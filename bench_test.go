@@ -1,0 +1,279 @@
+// Package rowsort's top-level benchmarks regenerate every table and figure
+// of the paper through the bench harness (one Benchmark per experiment id,
+// at tiny scale so `go test -bench=.` stays fast — use cmd/sortbench with
+// -scale small|paper for the real runs), plus ablation benchmarks for the
+// design choices called out in DESIGN.md.
+package rowsort
+
+import (
+	"fmt"
+	"io"
+	"testing"
+
+	"rowsort/internal/bench"
+	"rowsort/internal/core"
+	"rowsort/internal/mergepath"
+	"rowsort/internal/radix"
+	"rowsort/internal/row"
+	"rowsort/internal/rowcmp"
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	e, ok := bench.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	cfg := bench.Config{Scale: bench.ScaleTiny, Threads: 2, Seed: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)    { benchExperiment(b, "table1") }
+func BenchmarkTable2(b *testing.B)    { benchExperiment(b, "table2") }
+func BenchmarkTable3(b *testing.B)    { benchExperiment(b, "table3") }
+func BenchmarkTable4(b *testing.B)    { benchExperiment(b, "table4") }
+func BenchmarkFig2(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)      { benchExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)      { benchExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)      { benchExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)      { benchExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)      { benchExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)      { benchExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B)     { benchExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)     { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B)     { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)     { benchExperiment(b, "fig14") }
+func BenchmarkCompModel(b *testing.B) { benchExperiment(b, "compmodel") }
+
+// --- Ablations -----------------------------------------------------------
+
+// BenchmarkAblationRadixSkip measures the single-bucket skip optimization
+// on keys with a long shared prefix (where it matters most).
+func BenchmarkAblationRadixSkip(b *testing.B) {
+	const n, rowW, keyW = 1 << 15, 16, 12
+	rng := workload.NewRNG(1)
+	base := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		// 8 constant bytes, then 4 random: 8 skippable MSD levels.
+		copy(base[i*rowW:], []byte{9, 9, 9, 9, 9, 9, 9, 9})
+		for j := 8; j < keyW; j++ {
+			base[i*rowW+j] = byte(rng.Intn(256))
+		}
+	}
+	for _, opt := range []struct {
+		name string
+		o    radix.Options
+	}{
+		{"skip-on", radix.Options{}},
+		{"skip-off", radix.Options{NoSingleBucketSkip: true}},
+	} {
+		b.Run(opt.name, func(b *testing.B) {
+			data := make([]byte, len(base))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(data, base)
+				radix.SortOpts(data, rowW, keyW, opt.o)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLSDvsMSD sweeps key width to expose the LSD/MSD
+// crossover behind the paper's "LSD when keyWidth <= 4" rule.
+func BenchmarkAblationLSDvsMSD(b *testing.B) {
+	const n = 1 << 15
+	rng := workload.NewRNG(2)
+	for _, keyW := range []int{2, 4, 8, 16} {
+		rowW := (keyW + 4 + 7) &^ 7
+		base := make([]byte, n*rowW)
+		for i := 0; i < n*rowW; i++ {
+			base[i] = byte(rng.Intn(256))
+		}
+		for _, variant := range []struct {
+			name string
+			o    radix.Options
+		}{
+			{"lsd", radix.Options{ForceLSD: true}},
+			{"msd", radix.Options{ForceMSD: true}},
+		} {
+			b.Run(fmt.Sprintf("keyW=%d/%s", keyW, variant.name), func(b *testing.B) {
+				data := make([]byte, len(base))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					copy(data, base)
+					radix.SortOpts(data, rowW, keyW, variant.o)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationMergePath compares the final 2-run merge with and
+// without Merge Path parallelism — the phase the algorithm exists for.
+func BenchmarkAblationMergePath(b *testing.B) {
+	const n = 1 << 17
+	cols := workload.Dist{Random: true}.Generate(n, 1, 3)
+	data, rowW, keyW := rowcmp.EncodeNormalized(cols)
+	half := (n / 2) * rowW
+	radix.Sort(data[:half], rowW, keyW)
+	radix.Sort(data[half:], rowW, keyW)
+	a := mergepath.Run{Data: data[:half], Width: rowW}
+	c := mergepath.Run{Data: data[half:], Width: rowW}
+	dst := make([]byte, len(data))
+	for _, p := range []int{1, 4} {
+		b.Run(fmt.Sprintf("threads=%d", p), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mergepath.ParallelMerge(dst, a, c, nil, p)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPrefixLen sweeps the normalized string prefix length:
+// short prefixes shrink keys but force more tie-breaks.
+func BenchmarkAblationPrefixLen(b *testing.B) {
+	tbl := workload.Customer(20_000, 4)
+	for _, prefix := range []int{2, 4, 8, 12, 16} {
+		b.Run(fmt.Sprintf("prefix=%d", prefix), func(b *testing.B) {
+			keys := []core.SortColumn{{Column: 4, PrefixLen: prefix}, {Column: 5, PrefixLen: prefix}}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SortTable(tbl, keys, core.Options{Threads: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlignment measures the 8-byte row alignment the paper
+// adopted for memcpy performance against packed rows.
+func BenchmarkAblationAlignment(b *testing.B) {
+	types := []vector.Type{vector.Int32, vector.Int16, vector.Int8}
+	tbl := workload.CatalogSales(1<<14, 10, 5)
+	chunk := tbl.Chunks[0]
+	// Re-type the first three columns to the layout under test.
+	vecs := []*vector.Vector{
+		vector.New(vector.Int32, chunk.Len()),
+		vector.New(vector.Int16, chunk.Len()),
+		vector.New(vector.Int8, chunk.Len()),
+	}
+	for i := 0; i < chunk.Len(); i++ {
+		vecs[0].AppendInt32(int32(i))
+		vecs[1].AppendInt16(int16(i))
+		vecs[2].AppendInt8(int8(i))
+	}
+	for _, align := range []int{1, 8} {
+		b.Run(fmt.Sprintf("align=%d", align), func(b *testing.B) {
+			layout := row.NewLayoutAligned(types, align)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs := row.NewRowSet(layout)
+				if err := rs.AppendChunk(vecs); err != nil {
+					b.Fatal(err)
+				}
+				rs.GatherChunk(0, rs.Len())
+			}
+		})
+	}
+}
+
+// BenchmarkAblationRunSize sweeps the thread-local run size: the
+// run-generation vs merge trade-off of the Section II model.
+func BenchmarkAblationRunSize(b *testing.B) {
+	cols := workload.Dist{Random: true}.Generate(1<<16, 2, 6)
+	tbl := workload.UintColumnsTable(cols)
+	keys := []core.SortColumn{{Column: 0}, {Column: 1}}
+	for _, runSize := range []int{1 << 12, 1 << 14, 1 << 16} {
+		b.Run(fmt.Sprintf("runSize=%d", runSize), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SortTable(tbl, keys, core.Options{Threads: 4, RunSize: runSize}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAlgorithmChoice compares the paper's radix-by-default
+// run generation against forcing pdqsort (the Future Work heuristic
+// question).
+func BenchmarkAblationAlgorithmChoice(b *testing.B) {
+	for _, dist := range []workload.Dist{{Random: true, Name: "Random"}, {P: 0.9, Name: "Correlated0.90"}} {
+		cols := dist.Generate(1<<16, 4, 7)
+		tbl := workload.UintColumnsTable(cols)
+		keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
+		for _, force := range []bool{false, true} {
+			name := dist.Name + "/radix"
+			if force {
+				name = dist.Name + "/pdqsort"
+			}
+			b.Run(name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.SortTable(tbl, keys, core.Options{Threads: 2, ForcePdqsort: force}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkAblationHybridPdq measures the Future Work hybrid: MSD radix
+// recursing into pdqsort for mid-size buckets.
+func BenchmarkAblationHybridPdq(b *testing.B) {
+	const n, rowW, keyW = 1 << 16, 16, 12
+	rng := workload.NewRNG(8)
+	base := make([]byte, n*rowW)
+	for i := range base {
+		base[i] = byte(rng.Intn(256))
+	}
+	for _, cutoff := range []int{0, 256, 2048} {
+		name := fmt.Sprintf("pdqCutoff=%d", cutoff)
+		b.Run(name, func(b *testing.B) {
+			data := make([]byte, len(base))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(data, base)
+				radix.SortOpts(data, rowW, keyW, radix.Options{PdqCutoff: cutoff})
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAdaptive measures the Future Work algorithm-choice
+// heuristic against the paper's fixed rule on inputs where they disagree.
+func BenchmarkAblationAdaptive(b *testing.B) {
+	n := 1 << 16
+	sortedVals := make([]uint32, n)
+	for i := range sortedVals {
+		sortedVals[i] = uint32(i)
+	}
+	tbl := workload.UintColumnsTable([][]uint32{sortedVals})
+	keys := []core.SortColumn{{Column: 0}}
+	for _, adaptive := range []bool{false, true} {
+		name := "fixed-rule"
+		if adaptive {
+			name = "adaptive"
+		}
+		b.Run("presorted/"+name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.SortTable(tbl, keys, core.Options{Threads: 1, Adaptive: adaptive}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rowsort/internal/vector"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSortsByStringAndNumber(t *testing.T) {
+	path := writeTemp(t, "name,score\nbob,3\nalice,10\ncarol,3\n")
+	var sb strings.Builder
+	if err := run(path, "score:desc,name", 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "name,score\nalice,10\nbob,3\ncarol,3\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%s\nwant:\n%s", sb.String(), want)
+	}
+}
+
+func TestRunNullsAndFloats(t *testing.T) {
+	// Note: a NULL needs a multi-column file — encoding/csv skips fully
+	// blank lines, so a single empty column cannot express one.
+	path := writeTemp(t, "id,v\nx,2.5\ny,\nz,-1\n")
+	var sb strings.Builder
+	if err := run(path, "v:nullslast", 1, &sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "id,v\nz,-1\nx,2.5\ny,\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%q", sb.String())
+	}
+}
+
+func TestInferType(t *testing.T) {
+	recs := [][]string{{"1", "1.5", "x", ""}, {"-2", "2", "3", ""}}
+	if inferType(recs, 0) != vector.Int64 {
+		t.Fatal("ints should infer Int64")
+	}
+	if inferType(recs, 1) != vector.Float64 {
+		t.Fatal("mixed numerics should infer Float64")
+	}
+	if inferType(recs, 2) != vector.Varchar {
+		t.Fatal("strings should infer Varchar")
+	}
+	if inferType(recs, 3) != vector.Varchar {
+		t.Fatal("all-empty should infer Varchar")
+	}
+}
+
+func TestParseKeys(t *testing.T) {
+	schema := vector.Schema{{Name: "a", Type: vector.Int64}, {Name: "b", Type: vector.Varchar}}
+	keys, err := parseKeys("b:desc:nullslast, a:asc", schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 || keys[0].Column != 1 || !keys[0].Descending || !keys[0].NullsLast {
+		t.Fatalf("keys = %+v", keys)
+	}
+	if keys[1].Column != 0 || keys[1].Descending {
+		t.Fatalf("keys = %+v", keys)
+	}
+	for _, bad := range []string{"zzz", "a:sideways", ""} {
+		if _, err := parseKeys(bad, schema); err == nil {
+			t.Errorf("parseKeys(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("/nonexistent.csv", "a", 1, &strings.Builder{}); err == nil {
+		t.Fatal("missing file should error")
+	}
+	ragged := writeTemp(t, "a,b\n1\n")
+	if err := run(ragged, "a", 1, &strings.Builder{}); err == nil {
+		t.Fatal("ragged rows should error")
+	}
+	ok := writeTemp(t, "a\n1\n")
+	if err := run(ok, "nope", 1, &strings.Builder{}); err == nil {
+		t.Fatal("unknown key column should error")
+	}
+}

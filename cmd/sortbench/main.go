@@ -1,0 +1,70 @@
+// Command sortbench regenerates the tables and figures of "These Rows Are
+// Made for Sorting and That's Just What We'll Do" (ICDE 2023).
+//
+// Usage:
+//
+//	sortbench -list
+//	sortbench -exp fig9
+//	sortbench -exp all -scale paper -threads 16
+//
+// Each experiment prints the paper-style rows or relative-runtime grids to
+// stdout. The -scale flag trades fidelity for runtime: "tiny" finishes in
+// seconds, "small" (the default) in a few minutes, and "paper" uses the
+// paper's input sizes where memory allows.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rowsort/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id to run (see -list), or \"all\"")
+		scale   = flag.String("scale", "small", "input scale: tiny, small or paper")
+		threads = flag.Int("threads", 0, "thread budget for parallel experiments (0 = GOMAXPROCS)")
+		reps    = flag.Int("reps", 0, "repetitions per measurement, median reported (0 = scale default)")
+		seed    = flag.Uint64("seed", 42, "workload generation seed")
+		list    = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, e := range bench.Registry() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		fmt.Printf("  %-10s %s\n", "all", "run every experiment in order")
+		if !*list {
+			os.Exit(2)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		Scale:   bench.Scale(*scale),
+		Threads: *threads,
+		Reps:    *reps,
+		Seed:    *seed,
+	}
+
+	var err error
+	if *exp == "all" {
+		err = bench.RunAll(os.Stdout, cfg)
+	} else {
+		e, ok := bench.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "sortbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		fmt.Printf("=== %s: %s ===\n\n", e.ID, e.Title)
+		err = e.Run(os.Stdout, cfg)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+		os.Exit(1)
+	}
+}

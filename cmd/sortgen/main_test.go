@@ -1,0 +1,83 @@
+package main
+
+import (
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func generate(t *testing.T, kind string, rows, cols int) [][]string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(&sb, kind, rows, cols, 0.5, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(strings.NewReader(sb.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestWorkloadShapes(t *testing.T) {
+	cases := []struct {
+		kind string
+		cols int
+	}{
+		{"catalog_sales", 5},
+		{"customer", 6},
+		{"random", 3},
+		{"correlated", 3},
+		{"integers", 1},
+		{"floats", 1},
+	}
+	for _, c := range cases {
+		recs := generate(t, c.kind, 50, 3)
+		if len(recs) != 51 { // header + rows
+			t.Fatalf("%s: %d records", c.kind, len(recs))
+		}
+		if len(recs[0]) != c.cols {
+			t.Fatalf("%s: %d columns, want %d", c.kind, len(recs[0]), c.cols)
+		}
+	}
+}
+
+func TestDeterministicInSeed(t *testing.T) {
+	a := generate(t, "customer", 20, 0)
+	b := generate(t, "customer", 20, 0)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed should reproduce identical output")
+			}
+		}
+	}
+}
+
+func TestNULLsAreEmptyFields(t *testing.T) {
+	recs := generate(t, "catalog_sales", 2000, 0)
+	empties := 0
+	for _, r := range recs[1:] {
+		for _, f := range r[:3] { // FK columns carry NULLs
+			if f == "" {
+				empties++
+			}
+		}
+	}
+	if empties == 0 {
+		t.Fatal("expected some NULL (empty) FK fields")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "", 10, 1, 0.5, 1, 1); err == nil {
+		t.Fatal("missing workload should error")
+	}
+	if err := run(&sb, "bogus", 10, 1, 0.5, 1, 1); err == nil {
+		t.Fatal("unknown workload should error")
+	}
+	if err := run(&sb, "random", -1, 1, 0.5, 1, 1); err == nil {
+		t.Fatal("negative rows should error")
+	}
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a small table, sort it with the DuckDB-style relational
+// sorter, and print the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rowsort/internal/core"
+	"rowsort/internal/vector"
+)
+
+func main() {
+	// A table of (country, year) like the paper's running example:
+	// ORDER BY c_birth_country DESC, c_birth_year ASC NULLS FIRST.
+	schema := vector.Schema{
+		{Name: "c_birth_country", Type: vector.Varchar},
+		{Name: "c_birth_year", Type: vector.Int32},
+	}
+	country := vector.New(vector.Varchar, 6)
+	year := vector.New(vector.Int32, 6)
+	for _, r := range []struct {
+		country string
+		year    int32
+	}{
+		{"NETHERLANDS", 1992},
+		{"GERMANY", 1924},
+		{"NETHERLANDS", 1924},
+		{"GERMANY", 1992},
+		{"FRANCE", 1960},
+	} {
+		country.AppendString(r.country)
+		year.AppendInt32(r.year)
+	}
+	country.AppendNull() // a NULL country row
+	year.AppendInt32(2000)
+
+	table, err := vector.TableFromColumns(schema, country, year)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	keys := []core.SortColumn{
+		{Column: schema.IndexOf("c_birth_country"), Descending: true, NullsLast: true},
+		{Column: schema.IndexOf("c_birth_year")},
+	}
+	sorted, err := core.SortTable(table, keys, core.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ORDER BY c_birth_country DESC NULLS LAST, c_birth_year ASC:")
+	countryOut := sorted.Column(0)
+	yearOut := sorted.Column(1)
+	for i := 0; i < sorted.NumRows(); i++ {
+		c := countryOut.Value(i)
+		if c == nil {
+			c = "NULL"
+		}
+		fmt.Printf("  %-12v %v\n", c, yearOut.Value(i))
+	}
+}

@@ -1,0 +1,3 @@
+module rowsort
+
+go 1.24

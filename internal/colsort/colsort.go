@@ -1,0 +1,69 @@
+// Package colsort implements the columnar (DSM) sorting approaches of
+// Section IV-A of the paper. A columnar format cannot move tuples, so both
+// approaches sort an array of row indices and leave the column data in
+// place — which is precisely why they lose cache locality as inputs grow.
+//
+// Two comparison strategies are provided:
+//
+//   - Tuple-at-a-time: one comparator walks the key columns of both tuples
+//     until it finds inequality. Ties cause random accesses into later
+//     columns and a data-dependent branch per column.
+//   - Subsort: sort all indices by the first column only (a branch-free,
+//     single-column comparator), then find runs of ties and recursively sort
+//     each run by the next column.
+package colsort
+
+import "rowsort/internal/sortalgo"
+
+// TupleAtATime sorts the tuples of cols (parallel key columns) with a
+// multi-column comparator and returns the sorted row indices.
+func TupleAtATime(cols [][]uint32, alg sortalgo.Algorithm) []uint32 {
+	idx := identity(len(cols[0]))
+	less := func(a, b uint32) bool {
+		for _, col := range cols {
+			va, vb := col[a], col[b]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return false
+	}
+	sortalgo.SortSlice(alg, idx, less)
+	return idx
+}
+
+// Subsort sorts the tuples of cols column by column and returns the sorted
+// row indices: the whole index array is sorted on column 0 with a
+// single-column comparator, then every run of equal values is sorted on
+// column 1, and so on.
+func Subsort(cols [][]uint32, alg sortalgo.Algorithm) []uint32 {
+	idx := identity(len(cols[0]))
+	subsortRange(cols, idx, 0, alg)
+	return idx
+}
+
+func subsortRange(cols [][]uint32, idx []uint32, c int, alg sortalgo.Algorithm) {
+	col := cols[c]
+	sortalgo.SortSlice(alg, idx, func(a, b uint32) bool { return col[a] < col[b] })
+	if c+1 == len(cols) {
+		return
+	}
+	// Identify runs of tied values and recurse into the next column.
+	runStart := 0
+	for i := 1; i <= len(idx); i++ {
+		if i == len(idx) || col[idx[i]] != col[idx[runStart]] {
+			if i-runStart > 1 {
+				subsortRange(cols, idx[runStart:i], c+1, alg)
+			}
+			runStart = i
+		}
+	}
+}
+
+func identity(n int) []uint32 {
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	return idx
+}

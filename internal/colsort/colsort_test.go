@@ -1,0 +1,105 @@
+package colsort
+
+import (
+	"sort"
+	"testing"
+
+	"rowsort/internal/sortalgo"
+	"rowsort/internal/workload"
+)
+
+// oracleOrder returns row indices sorted lexicographically by the key
+// columns, stably.
+func oracleOrder(cols [][]uint32) []uint32 {
+	idx := make([]uint32, len(cols[0]))
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for _, col := range cols {
+			va, vb := col[idx[a]], col[idx[b]]
+			if va != vb {
+				return va < vb
+			}
+		}
+		return false
+	})
+	return idx
+}
+
+// tuplesEqual checks that two index orders produce identical tuple
+// sequences (they may differ in the order of fully tied tuples).
+func tuplesEqual(cols [][]uint32, a, b []uint32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for _, col := range cols {
+			if col[a[i]] != col[b[i]] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestApproachesMatchOracle(t *testing.T) {
+	algs := []sortalgo.Algorithm{sortalgo.AlgIntrosort, sortalgo.AlgStable, sortalgo.AlgPdq}
+	for _, dist := range workload.StandardDists() {
+		for numKeys := 1; numKeys <= 4; numKeys++ {
+			cols := dist.Generate(3000, numKeys, 51)
+			want := oracleOrder(cols)
+			for _, alg := range algs {
+				for name, approach := range map[string]func([][]uint32, sortalgo.Algorithm) []uint32{
+					"tuple": TupleAtATime, "subsort": Subsort,
+				} {
+					got := approach(cols, alg)
+					if !tuplesEqual(cols, got, want) {
+						t.Fatalf("%s/%v on %s keys=%d: wrong order", name, alg, dist, numKeys)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIndicesArePermutation(t *testing.T) {
+	cols := workload.Dist{P: 1}.Generate(1000, 3, 52)
+	for _, got := range [][]uint32{
+		TupleAtATime(cols, sortalgo.AlgPdq),
+		Subsort(cols, sortalgo.AlgIntrosort),
+	} {
+		seen := make([]bool, 1000)
+		for _, i := range got {
+			if seen[i] {
+				t.Fatal("duplicate index")
+			}
+			seen[i] = true
+		}
+	}
+}
+
+func TestSmallAndEmptyInputs(t *testing.T) {
+	for _, n := range []int{0, 1, 2} {
+		cols := [][]uint32{make([]uint32, n), make([]uint32, n)}
+		for i := 0; i < n; i++ {
+			cols[0][i] = uint32(n - i)
+			cols[1][i] = uint32(i)
+		}
+		if got := TupleAtATime(cols, sortalgo.AlgIntrosort); len(got) != n {
+			t.Fatalf("n=%d: got %d indices", n, len(got))
+		}
+		if got := Subsort(cols, sortalgo.AlgPdq); len(got) != n {
+			t.Fatalf("n=%d: got %d indices", n, len(got))
+		}
+	}
+}
+
+func TestSubsortSingleColumn(t *testing.T) {
+	cols := [][]uint32{{5, 3, 9, 3, 1}}
+	got := Subsort(cols, sortalgo.AlgStable)
+	want := oracleOrder(cols)
+	if !tuplesEqual(cols, got, want) {
+		t.Fatalf("single column subsort wrong: %v", got)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"rowsort/internal/workload"
+)
+
+func BenchmarkSortTableIntegerKeys(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 17} {
+		cols := workload.Dist{Random: true}.Generate(n, 2, 1)
+		tbl := workload.UintColumnsTable(cols)
+		keys := []SortColumn{{Column: 0}, {Column: 1}}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SortTable(tbl, keys, Options{Threads: 2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkSortTableStringKeys(b *testing.B) {
+	tbl := workload.Customer(1<<15, 2)
+	keys := []SortColumn{{Column: 4}, {Column: 5}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SortTable(tbl, keys, Options{Threads: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTopNVsFullSort(b *testing.B) {
+	tbl := workload.CatalogSales(1<<16, 10, 3)
+	keys := []SortColumn{{Column: 3, Descending: true}}
+	b.Run("top100", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			top, err := NewTopN(tbl.Schema, keys, 100, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range tbl.Chunks {
+				if err := top.Append(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if _, err := top.Result(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fullsort", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SortTable(tbl, keys, Options{Threads: 2}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkMergeJoin(b *testing.B) {
+	left := workload.CatalogSales(1<<14, 10, 4)
+	right := workload.CatalogSales(1<<13, 10, 5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := MergeJoin(left, right, []int{0, 1}, []int{0, 1}, Options{Threads: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWindowRank(b *testing.B) {
+	tbl := workload.Customer(1<<15, 6)
+	spec := WindowSpec{PartitionBy: []int{4}, OrderBy: []SortColumn{{Column: 1}}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Window(tbl, spec, []WindowFunc{Rank}, Options{Threads: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSpillOverhead(b *testing.B) {
+	tbl := workload.Customer(1<<15, 7)
+	keys := []SortColumn{{Column: 1}, {Column: 2}}
+	b.Run("in-memory", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SortTable(tbl, keys, Options{RunSize: 8 << 10}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("spill", func(b *testing.B) {
+		dir := b.TempDir()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SortTable(tbl, keys, Options{RunSize: 8 << 10, SpillDir: dir}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

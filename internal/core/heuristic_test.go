@@ -1,0 +1,120 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rowsort/internal/workload"
+)
+
+// buildKeyRows packs big-endian uint32 keys into rows of the given stride.
+func buildKeyRows(vals []uint32, rowWidth int) []byte {
+	data := make([]byte, len(vals)*rowWidth)
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(data[i*rowWidth:], v)
+	}
+	return data
+}
+
+func TestChooseRadixPrefersRadixOnRandomShortKeys(t *testing.T) {
+	rng := workload.NewRNG(140)
+	n := 1 << 14
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	keys := buildKeyRows(vals, 8)
+	if !chooseRadix(keys, 8, 4, n) {
+		t.Fatal("random 4-byte keys should pick radix")
+	}
+}
+
+func TestChooseRadixAvoidsNearlySorted(t *testing.T) {
+	n := 1 << 14
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	keys := buildKeyRows(vals, 8)
+	if chooseRadix(keys, 8, 4, n) {
+		t.Fatal("sorted input should pick pdqsort (pattern detection)")
+	}
+}
+
+func TestChooseRadixAvoidsLongEffectiveKeys(t *testing.T) {
+	// 64-byte keys, every byte varying, small n: log2(n)=10 << 64 passes.
+	rng := workload.NewRNG(141)
+	n := 1 << 10
+	const rowW, keyW = 72, 64
+	keys := make([]byte, n*rowW)
+	for i := range keys {
+		keys[i] = byte(rng.Intn(256))
+	}
+	if chooseRadix(keys, rowW, keyW, n) {
+		t.Fatal("64 varying key bytes at n=1024 should pick pdqsort")
+	}
+}
+
+func TestChooseRadixSharedPrefixCountsAsFree(t *testing.T) {
+	// 64-byte keys but only the last 2 bytes vary: effective width 2.
+	rng := workload.NewRNG(142)
+	n := 1 << 12
+	const rowW, keyW = 72, 64
+	keys := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		keys[i*rowW+62] = byte(rng.Intn(256))
+		keys[i*rowW+63] = byte(rng.Intn(256))
+	}
+	if !chooseRadix(keys, rowW, keyW, n) {
+		t.Fatal("2 effective key bytes should pick radix")
+	}
+}
+
+func TestChooseRadixDegenerate(t *testing.T) {
+	if !chooseRadix(nil, 8, 4, 0) || !chooseRadix(make([]byte, 8), 8, 4, 1) {
+		t.Fatal("degenerate inputs should default to radix")
+	}
+	// All keys equal: zero effective bytes.
+	keys := make([]byte, 1000*8)
+	if !chooseRadix(keys, 8, 4, 1000) {
+		t.Fatal("all-equal keys should pick radix (single skip pass)")
+	}
+}
+
+func TestSampleDistinctKeys(t *testing.T) {
+	vals := make([]uint32, 1000)
+	for i := range vals {
+		vals[i] = uint32(i % 3)
+	}
+	keys := buildKeyRows(vals, 8)
+	if got := sampleDistinctKeys(keys, 8, 4, 1000); got != 3 {
+		t.Fatalf("distinct estimate = %d, want 3", got)
+	}
+}
+
+func TestAdaptiveSortCorrectness(t *testing.T) {
+	// The heuristic must never affect the result, only the algorithm.
+	for _, dist := range []workload.Dist{{Random: true}, {P: 1}} {
+		cols := dist.Generate(8_000, 2, 143)
+		tbl := workload.UintColumnsTable(cols)
+		keys := []SortColumn{{Column: 0}, {Column: 1}}
+		got, err := SortTable(tbl, keys, Options{Adaptive: true, Threads: 2, RunSize: 1000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkSorted(t, tbl, got, keys, "adaptive "+dist.String())
+	}
+	// Presorted input exercises the pdqsort branch of the heuristic.
+	n := 8000
+	sortedVals := make([]uint32, n)
+	for i := range sortedVals {
+		sortedVals[i] = uint32(i)
+	}
+	tbl := workload.UintColumnsTable([][]uint32{sortedVals})
+	keys := []SortColumn{{Column: 0}}
+	got, err := SortTable(tbl, keys, Options{Adaptive: true, Threads: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkSorted(t, tbl, got, keys, "adaptive presorted")
+}

@@ -1,0 +1,446 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"rowsort/internal/mergepath"
+	"rowsort/internal/normkey"
+	"rowsort/internal/radix"
+	"rowsort/internal/row"
+	"rowsort/internal/sortalgo"
+	"rowsort/internal/vector"
+)
+
+// Sorter is the relational sort operator. Typical use:
+//
+//	s, _ := core.NewSorter(schema, keys, core.Options{})
+//	sink := s.NewSink()            // one per producing thread
+//	sink.Append(chunk)             // repeatedly
+//	sink.Close()
+//	s.Finalize()                   // parallel merge
+//	result, _ := s.Result()        // sorted table, columnar again
+//
+// SortTable wraps all of this for a materialized table.
+type Sorter struct {
+	schema vector.Schema
+	keys   []SortColumn
+	opt    Options
+
+	enc      *normkey.Encoder
+	layout   *row.Layout // payload layout: all schema columns
+	keyWidth int         // normalized key bytes per row
+	rowWidth int         // key row stride: keyWidth + 8-byte payload ref, 8-aligned
+
+	mu        sync.Mutex
+	runs      []*sortedRun
+	finalized bool
+	finalKeys []byte
+}
+
+// sortedRun is one thread-local sorted run: sorted key rows plus the
+// payload physically reordered to match (so scans read it sequentially).
+type sortedRun struct {
+	id       uint32
+	keys     []byte
+	payload  *row.RowSet
+	tieBreak bool // some string may exceed its prefix (or embed NUL)
+	spill    *spillFile
+}
+
+// NewSorter validates the specification and returns a sorter.
+func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, error) {
+	if err := validateKeys(schema, keys); err != nil {
+		return nil, err
+	}
+	nkeys := make([]normkey.SortKey, len(keys))
+	for i, k := range keys {
+		order := normkey.Ascending
+		if k.Descending {
+			order = normkey.Descending
+		}
+		nulls := normkey.NullsFirst
+		if k.NullsLast {
+			nulls = normkey.NullsLast
+		}
+		coll := normkey.CollationBinary
+		if k.CaseInsensitive {
+			coll = normkey.CollationNoCase
+		}
+		nkeys[i] = normkey.SortKey{
+			Column:    k.Column,
+			Type:      schema[k.Column].Type,
+			Order:     order,
+			Nulls:     nulls,
+			PrefixLen: k.PrefixLen,
+			Collation: coll,
+		}
+	}
+	enc, err := normkey.NewEncoder(nkeys)
+	if err != nil {
+		return nil, err
+	}
+	s := &Sorter{
+		schema:   schema,
+		keys:     append([]SortColumn(nil), keys...),
+		opt:      opt,
+		enc:      enc,
+		layout:   row.NewLayout(schema.Types()),
+		keyWidth: enc.Width(),
+	}
+	s.rowWidth = (s.keyWidth + refBytes + 7) &^ 7
+	return s, nil
+}
+
+// refBytes is the payload reference appended to every key row: the run id
+// and the row index within the run's payload.
+const refBytes = 8
+
+func (s *Sorter) putRef(keyRow []byte, runID, idx uint32) {
+	binary.LittleEndian.PutUint32(keyRow[s.keyWidth:], runID)
+	binary.LittleEndian.PutUint32(keyRow[s.keyWidth+4:], idx)
+}
+
+func (s *Sorter) getRef(keyRow []byte) (runID, idx uint32) {
+	return binary.LittleEndian.Uint32(keyRow[s.keyWidth:]),
+		binary.LittleEndian.Uint32(keyRow[s.keyWidth+4:])
+}
+
+// Sink is a per-thread ingestion point. It accumulates converted rows and
+// cuts a sorted run whenever RunSize rows are pending. Sinks are not safe
+// for concurrent use; create one per producing goroutine.
+type Sink struct {
+	s        *Sorter
+	keys     []byte
+	payload  *row.RowSet
+	n        int
+	tieBreak bool
+	closed   bool
+}
+
+// NewSink registers and returns a new ingestion sink.
+func (s *Sorter) NewSink() *Sink {
+	return &Sink{s: s, payload: row.NewRowSet(s.layout)}
+}
+
+// Append converts one chunk into the sink's pending run: payload columns
+// are scattered to the row format, key columns are normalized — both one
+// vector at a time.
+func (k *Sink) Append(c *vector.Chunk) error {
+	if k.closed {
+		return fmt.Errorf("core: append to closed sink")
+	}
+	s := k.s
+	if len(c.Vectors) != len(s.schema) {
+		return fmt.Errorf("core: chunk has %d columns, schema has %d", len(c.Vectors), len(s.schema))
+	}
+	n := c.Len()
+	if n == 0 {
+		return nil
+	}
+	base := k.payload.Len()
+	if err := k.payload.AppendChunk(c.Vectors); err != nil {
+		return err
+	}
+
+	keyCols := make([]*vector.Vector, len(s.keys))
+	for i, kc := range s.keys {
+		keyCols[i] = c.Vectors[kc.Column]
+	}
+	start := len(k.keys)
+	k.keys = append(k.keys, make([]byte, n*s.rowWidth)...)
+	if err := s.enc.Encode(keyCols, k.keys[start:], s.rowWidth, 0); err != nil {
+		return err
+	}
+	for r := 0; r < n; r++ {
+		s.putRef(k.keys[start+r*s.rowWidth:start+(r+1)*s.rowWidth], 0, uint32(base+r))
+	}
+	k.n += n
+
+	if s.enc.TiesPossible() && !k.tieBreak {
+		k.tieBreak = stringTiesPossible(s, keyCols)
+	}
+
+	if k.n >= s.opt.runSize() {
+		return k.flush()
+	}
+	return nil
+}
+
+// stringTiesPossible reports whether any string key value could collide
+// with a different string under prefix encoding: it is longer than the
+// prefix or contains a NUL byte (which the padding cannot distinguish).
+func stringTiesPossible(s *Sorter, keyCols []*vector.Vector) bool {
+	for i, nk := range s.enc.Keys() {
+		if nk.Type != vector.Varchar {
+			continue
+		}
+		prefix := nk.PrefixLen
+		if prefix <= 0 {
+			prefix = normkey.DefaultStringPrefixLen
+		}
+		col := keyCols[i]
+		vals := col.Strings()
+		for r := range vals {
+			if !col.Valid(r) {
+				continue
+			}
+			if len(vals[r]) > prefix || hasNUL(vals[r]) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func hasNUL(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Close flushes the sink's remaining rows as a final (possibly short) run.
+func (k *Sink) Close() error {
+	if k.closed {
+		return nil
+	}
+	k.closed = true
+	if k.n == 0 {
+		return nil
+	}
+	return k.flush()
+}
+
+// flush sorts the pending rows into a run and registers it globally.
+func (k *Sink) flush() error {
+	s := k.s
+	keys, payload, n := k.keys, k.payload, k.n
+	k.keys, k.payload, k.n = nil, row.NewRowSet(s.layout), 0
+	tb := k.tieBreak
+	k.tieBreak = false
+
+	// Sort the normalized keys: radix sort when plain byte order is the
+	// tuple order; pdqsort with a tie-breaking comparator when truncated
+	// string prefixes may collide (the paper's algorithm choice). With
+	// Adaptive set, the Future Work heuristic may pick pdqsort for inputs
+	// where radix is weak (long effective keys, nearly sorted data).
+	usePdq := tb || s.opt.ForcePdqsort
+	if !usePdq && s.opt.Adaptive {
+		usePdq = !chooseRadix(keys, s.rowWidth, s.keyWidth, n)
+	}
+	if usePdq {
+		r := sortalgo.NewRows(keys, s.rowWidth)
+		r.Compare = s.comparator(func(runID, idx uint32) *row.RowSet { return payload })
+		r.Pdqsort()
+	} else {
+		radix.Sort(keys, s.rowWidth, s.keyWidth)
+	}
+
+	// Register the run, then physically reorder the payload to the sorted
+	// order and point the key refs at the new positions.
+	s.mu.Lock()
+	runID := uint32(len(s.runs))
+	run := &sortedRun{id: runID, tieBreak: tb}
+	s.runs = append(s.runs, run)
+	s.mu.Unlock()
+
+	sorted := row.NewRowSet(s.layout)
+	sorted.Reserve(n)
+	for i := 0; i < n; i++ {
+		keyRow := keys[i*s.rowWidth : (i+1)*s.rowWidth]
+		_, idx := s.getRef(keyRow)
+		sorted.AppendRowFrom(payload, int(idx))
+		s.putRef(keyRow, runID, uint32(i))
+	}
+	run.keys = keys
+	run.payload = sorted
+
+	if s.opt.SpillDir != "" {
+		return run.spillTo(s)
+	}
+	return nil
+}
+
+// comparator returns the key-row comparator: a single bytes.Compare when no
+// tie-break is needed, otherwise a segment-wise compare that resolves tied
+// string prefixes against the full strings fetched through the payload
+// reference. lookup maps a payload reference to its RowSet.
+func (s *Sorter) comparator(lookup func(runID, idx uint32) *row.RowSet) func(a, b []byte) int {
+	keys := s.enc.Keys()
+	type seg struct {
+		off, end  int
+		varcharAt int // schema column of a Varchar key, else -1
+		desc      bool
+		coll      normkey.Collation
+	}
+	segs := make([]seg, len(keys))
+	for i, nk := range keys {
+		sg := seg{off: s.enc.Offset(i), varcharAt: -1, desc: nk.Order == normkey.Descending, coll: nk.Collation}
+		if i+1 < len(keys) {
+			sg.end = s.enc.Offset(i + 1)
+		} else {
+			sg.end = s.keyWidth
+		}
+		if nk.Type == vector.Varchar {
+			sg.varcharAt = nk.Column
+		}
+		segs[i] = sg
+	}
+	return func(a, b []byte) int {
+		for _, sg := range segs {
+			c := compareBytes(a[sg.off:sg.end], b[sg.off:sg.end])
+			if sg.varcharAt < 0 {
+				if c != 0 {
+					return c
+				}
+				continue
+			}
+			if c != 0 {
+				return c
+			}
+			// Prefixes tied: both NULL (equal) or both valid strings that
+			// may differ beyond the prefix.
+			ra, ia := s.getRef(a)
+			rb, ib := s.getRef(b)
+			pa, pb := lookup(ra, ia), lookup(rb, ib)
+			va := pa.Valid(int(ia), sg.varcharAt)
+			vb := pb.Valid(int(ib), sg.varcharAt)
+			if !va || !vb {
+				continue // both NULL (validity bytes matched)
+			}
+			sa := sg.coll.Apply(pa.String(int(ia), sg.varcharAt))
+			sb := sg.coll.Apply(pb.String(int(ib), sg.varcharAt))
+			c = compareStrings(sa, sb)
+			if sg.desc {
+				c = -c
+			}
+			if c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+}
+
+func compareBytes(a, b []byte) int { return bytes.Compare(a, b) }
+
+func compareStrings(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Finalize merges all sorted runs into one with a cascaded parallel merge
+// (Merge Path partitions keep all threads busy on the last merges). It must
+// be called after every sink is closed.
+func (s *Sorter) Finalize() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return fmt.Errorf("core: Finalize called twice")
+	}
+	s.finalized = true
+
+	if s.opt.SpillDir != "" {
+		return s.externalFinalize()
+	}
+
+	anyTieBreak := false
+	runs := make([]mergepath.Run, len(s.runs))
+	for i, r := range s.runs {
+		runs[i] = mergepath.Run{Data: r.keys, Width: s.rowWidth}
+		anyTieBreak = anyTieBreak || r.tieBreak
+	}
+	var cmp mergepath.CompareFunc
+	if anyTieBreak {
+		full := s.comparator(func(runID, idx uint32) *row.RowSet { return s.runs[runID].payload })
+		cmp = full
+	} else {
+		kw := s.keyWidth
+		cmp = func(a, b []byte) int { return compareBytes(a[:kw], b[:kw]) }
+	}
+	merged := mergepath.CascadeMerge(runs, cmp, s.opt.threads())
+	s.finalKeys = merged.Data
+	return nil
+}
+
+// NumRows returns the number of sorted rows; valid after Finalize.
+func (s *Sorter) NumRows() int {
+	if s.rowWidth == 0 {
+		return 0
+	}
+	return len(s.finalKeys) / s.rowWidth
+}
+
+// Result gathers the sorted payload back into a columnar table (the final
+// conversion of Figure 11), in chunks of vector.DefaultVectorSize.
+func (s *Sorter) Result() (*vector.Table, error) {
+	if !s.finalized {
+		return nil, fmt.Errorf("core: Result before Finalize")
+	}
+	out := vector.NewTable(s.schema)
+	n := s.NumRows()
+	for start := 0; start < n; start += vector.DefaultVectorSize {
+		count := min(vector.DefaultVectorSize, n-start)
+		chunk := vector.NewChunk(s.schema, count)
+		for c := range s.schema {
+			vec := chunk.Vectors[c]
+			for r := start; r < start+count; r++ {
+				keyRow := s.finalKeys[r*s.rowWidth : (r+1)*s.rowWidth]
+				runID, idx := s.getRef(keyRow)
+				s.runs[runID].payload.AppendTo(vec, int(idx), c)
+			}
+		}
+		if err := out.AppendChunk(chunk); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SortTable sorts a materialized table: chunks are distributed to worker
+// goroutines morsel-style, each feeding its own sink, then runs are merged
+// in parallel and the result gathered.
+func SortTable(t *vector.Table, keys []SortColumn, opt Options) (*vector.Table, error) {
+	s, err := NewSorter(t.Schema, keys, opt)
+	if err != nil {
+		return nil, err
+	}
+	threads := min(s.opt.threads(), max(1, len(t.Chunks)))
+	errs := make([]error, threads)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			sink := s.NewSink()
+			for i := w; i < len(t.Chunks); i += threads {
+				if err := sink.Append(t.Chunks[i]); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+			errs[w] = sink.Close()
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := s.Finalize(); err != nil {
+		return nil, err
+	}
+	return s.Result()
+}

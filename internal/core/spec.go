@@ -1,0 +1,95 @@
+// Package core implements the paper's primary contribution: a relational
+// sort operator for a vectorized interpreted engine, built from the
+// techniques of Section VI and structured as DuckDB's sorting pipeline
+// (Figure 11):
+//
+//	input chunks → per-thread sinks → normalized keys + payload row format
+//	→ thread-local run generation (radix sort, or pdqsort when string
+//	prefixes may tie) → cascaded parallel merge with Merge Path
+//	→ columnar scan of the result
+//
+// Keys are compared as plain bytes (one dynamic bytes.Compare per
+// comparison), so the interpreted engine pays no per-column interpretation
+// or function-call overhead where it matters: inside the sort and the merge.
+package core
+
+import (
+	"fmt"
+	"runtime"
+
+	"rowsort/internal/vector"
+)
+
+// SortColumn is one ORDER BY term of a sort specification.
+type SortColumn struct {
+	// Column indexes the sorted table's schema.
+	Column int
+	// Descending orders the column DESC.
+	Descending bool
+	// NullsLast places NULLs after all values (default: first).
+	NullsLast bool
+	// PrefixLen bounds the normalized-key prefix for Varchar columns;
+	// 0 means normkey.DefaultStringPrefixLen.
+	PrefixLen int
+	// CaseInsensitive collates Varchar columns ASCII case-insensitively.
+	// Per the paper, the collation is evaluated before the prefix is
+	// encoded, so the normalized key already reflects it.
+	CaseInsensitive bool
+}
+
+// Options tune the sorter; the zero value is a good default.
+type Options struct {
+	// Threads bounds the sorter's parallelism; 0 means GOMAXPROCS.
+	Threads int
+	// RunSize is the number of rows per thread-local sorted run; 0 means
+	// DefaultRunSize. Smaller runs mean more merging; larger runs mean more
+	// run-generation work per thread (Section II's comparison-count model).
+	RunSize int
+	// ForcePdqsort uses pdqsort for run generation even when radix sort is
+	// applicable (for the algorithm-choice ablation).
+	ForcePdqsort bool
+	// Adaptive replaces the paper's fixed "radix unless strings" rule with
+	// the Future Work heuristic: per run, choose pdqsort when the input
+	// samples as nearly sorted or the effective key width is large relative
+	// to log2(n), else radix sort. Ignored when ForcePdqsort is set or a
+	// tie-break forces pdqsort anyway.
+	Adaptive bool
+	// SpillDir, when non-empty, writes sorted runs to files in this
+	// directory after run generation and reads them back for the merge —
+	// the unified-row-format offloading sketched in the paper's future
+	// work. It trades memory for disk I/O; the merge itself is unchanged.
+	SpillDir string
+}
+
+// DefaultRunSize is the default thread-local run size in rows.
+const DefaultRunSize = 1 << 17
+
+func (o Options) threads() int {
+	if o.Threads > 0 {
+		return o.Threads
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (o Options) runSize() int {
+	if o.RunSize > 0 {
+		return o.RunSize
+	}
+	return DefaultRunSize
+}
+
+func validateKeys(schema vector.Schema, keys []SortColumn) error {
+	if len(keys) == 0 {
+		return fmt.Errorf("core: sort needs at least one key column")
+	}
+	for i, k := range keys {
+		if k.Column < 0 || k.Column >= len(schema) {
+			return fmt.Errorf("core: key %d column index %d out of range (schema has %d columns)",
+				i, k.Column, len(schema))
+		}
+		if !schema[k.Column].Type.IsValid() {
+			return fmt.Errorf("core: key %d column %q has invalid type", i, schema[k.Column].Name)
+		}
+	}
+	return nil
+}

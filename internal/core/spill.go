@@ -1,0 +1,177 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rowsort/internal/mergepath"
+	"rowsort/internal/row"
+)
+
+// spillFile records where a sorted run's keys and payload live on disk.
+//
+// Spilling demonstrates the paper's future-work direction: because a run is
+// just flat key rows plus a row-format payload, it can be offloaded to
+// secondary storage in one unified format and read back for the merge. The
+// current implementation frees memory between run generation and the merge;
+// the merge itself still runs in memory.
+type spillFile struct {
+	path string
+}
+
+// spillTo writes the run to a file under s.opt.SpillDir and releases its
+// in-memory buffers.
+func (r *sortedRun) spillTo(s *Sorter) error {
+	path := filepath.Join(s.opt.SpillDir, fmt.Sprintf("rowsort-run-%d.bin", r.id))
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("core: creating spill file: %w", err)
+	}
+	w := bufio.NewWriter(f)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(r.keys)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := w.Write(r.keys); err != nil {
+		f.Close()
+		return err
+	}
+	if _, err := r.payload.WriteTo(w); err != nil {
+		f.Close()
+		return err
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	r.spill = &spillFile{path: path}
+	r.keys = nil
+	r.payload = nil
+	return nil
+}
+
+// unspill reads the run back into memory and removes its file.
+func (r *sortedRun) unspill(s *Sorter) error {
+	f, err := os.Open(r.spill.path)
+	if err != nil {
+		return fmt.Errorf("core: opening spill file: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return err
+	}
+	keyLen := int(binary.LittleEndian.Uint64(hdr[:]))
+	r.keys = make([]byte, keyLen)
+	if _, err := io.ReadFull(br, r.keys); err != nil {
+		return err
+	}
+	payload, err := row.ReadRowSet(br, s.layout)
+	if err != nil {
+		return err
+	}
+	r.payload = payload
+	r.spill = nil
+	return os.Remove(f.Name())
+}
+
+// externalFinalize merges spilled runs with bounded memory: runs are merged
+// pairwise, with only the two inputs and their merged output resident at a
+// time; intermediate results are spilled back until one run remains, whose
+// keys become the final order. This is the graceful-degradation design the
+// paper's future work sketches: because runs are flat normalized-key rows
+// plus the unified row-format payload, offloading and reloading them needs
+// no format conversion at all.
+func (s *Sorter) externalFinalize() error {
+	// Work queue of pending run ids (some may be in memory if never spilled,
+	// e.g. when flush spilling failed to engage; handle both).
+	queue := make([]uint32, len(s.runs))
+	for i := range s.runs {
+		queue[i] = uint32(i)
+	}
+	if len(queue) == 0 {
+		return nil
+	}
+	for len(queue) > 1 {
+		a, b := s.runs[queue[0]], s.runs[queue[1]]
+		queue = queue[2:]
+		merged, err := s.mergeRunPair(a, b)
+		if err != nil {
+			return err
+		}
+		queue = append(queue, merged.id)
+		if len(queue) > 1 {
+			// More merging ahead: push the result out of memory again.
+			if err := merged.spillTo(s); err != nil {
+				return err
+			}
+		}
+	}
+	final := s.runs[queue[0]]
+	if final.spill != nil {
+		if err := final.unspill(s); err != nil {
+			return err
+		}
+	}
+	s.finalKeys = final.keys
+	return nil
+}
+
+// mergeRunPair loads two runs, merges their keys and payloads into a new
+// run (payload physically reordered, refs rewritten), registers it, and
+// releases the inputs.
+func (s *Sorter) mergeRunPair(a, b *sortedRun) (*sortedRun, error) {
+	for _, r := range []*sortedRun{a, b} {
+		if r.spill != nil {
+			if err := r.unspill(s); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var cmp mergepath.CompareFunc
+	if a.tieBreak || b.tieBreak {
+		cmp = s.comparator(func(runID, idx uint32) *row.RowSet { return s.runs[runID].payload })
+	} else {
+		kw := s.keyWidth
+		cmp = func(x, y []byte) int { return compareBytes(x[:kw], y[:kw]) }
+	}
+
+	mergedKeys := make([]byte, len(a.keys)+len(b.keys))
+	mergepath.ParallelMerge(mergedKeys,
+		mergepath.Run{Data: a.keys, Width: s.rowWidth},
+		mergepath.Run{Data: b.keys, Width: s.rowWidth},
+		cmp, s.opt.threads())
+
+	// Finalize already holds s.mu; run generation is over, so registering
+	// the merged run needs no further locking.
+	merged := &sortedRun{id: uint32(len(s.runs)), tieBreak: a.tieBreak || b.tieBreak}
+	s.runs = append(s.runs, merged)
+
+	n := len(mergedKeys) / s.rowWidth
+	payload := row.NewRowSet(s.layout)
+	payload.Reserve(n)
+	for i := 0; i < n; i++ {
+		keyRow := mergedKeys[i*s.rowWidth : (i+1)*s.rowWidth]
+		runID, idx := s.getRef(keyRow)
+		payload.AppendRowFrom(s.runs[runID].payload, int(idx))
+		s.putRef(keyRow, merged.id, uint32(i))
+	}
+	merged.keys = mergedKeys
+	merged.payload = payload
+
+	// Release the inputs.
+	a.keys, a.payload = nil, nil
+	b.keys, b.payload = nil, nil
+	return merged, nil
+}

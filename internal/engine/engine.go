@@ -1,0 +1,283 @@
+// Package engine is a miniature vectorized query engine: operators exchange
+// chunks of column vectors (vector-at-a-time execution, the paper's
+// interpreted-engine setting) through a pull-based iterator interface. It
+// exists to host the sort operator in its natural habitat — as a pipeline
+// breaker inside a query plan — and to express the paper's benchmark query
+//
+//	SELECT count(*) FROM (SELECT ... ORDER BY ... OFFSET 1)
+//
+// as an actual plan, including the optimizer behaviour the query was
+// designed to defeat: a Sort directly under a Limit is rewritten into the
+// specialized Top-N operator unless something (like the count-over-subquery
+// shape) consumes the full sorted output.
+package engine
+
+import (
+	"fmt"
+
+	"rowsort/internal/vector"
+)
+
+// Operator is a pull-based (vector-at-a-time Volcano) physical operator.
+// The contract: Open before Next, Next until it returns a nil chunk, then
+// Close. Operators are single-threaded at the iterator surface; blocking
+// operators may parallelize internally (the sort does).
+type Operator interface {
+	// Schema returns the operator's output schema.
+	Schema() vector.Schema
+	// Open prepares the operator (and its children) for iteration.
+	Open() error
+	// Next returns the next output chunk, or nil at end of stream.
+	Next() (*vector.Chunk, error)
+	// Close releases resources; the operator cannot be reused.
+	Close() error
+}
+
+// Run drives a plan to completion and materializes its output.
+func Run(op Operator) (*vector.Table, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	out := vector.NewTable(op.Schema())
+	for {
+		c, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			return out, nil
+		}
+		if c.Len() == 0 {
+			continue
+		}
+		if err := out.AppendChunk(c); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// --- Scan ---------------------------------------------------------------
+
+// ScanOp streams a materialized table chunk by chunk.
+type ScanOp struct {
+	table *vector.Table
+	pos   int
+}
+
+// Scan returns a table scan operator.
+func Scan(t *vector.Table) *ScanOp { return &ScanOp{table: t} }
+
+// Schema implements Operator.
+func (s *ScanOp) Schema() vector.Schema { return s.table.Schema }
+
+// Open implements Operator.
+func (s *ScanOp) Open() error { s.pos = 0; return nil }
+
+// Next implements Operator.
+func (s *ScanOp) Next() (*vector.Chunk, error) {
+	if s.pos >= len(s.table.Chunks) {
+		return nil, nil
+	}
+	c := s.table.Chunks[s.pos]
+	s.pos++
+	return c, nil
+}
+
+// Close implements Operator.
+func (s *ScanOp) Close() error { return nil }
+
+// --- Project ------------------------------------------------------------
+
+// ProjectOp selects a subset of its child's columns.
+type ProjectOp struct {
+	child  Operator
+	cols   []int
+	schema vector.Schema
+}
+
+// Project returns an operator emitting the child's columns cols, in order.
+func Project(child Operator, cols []int) (*ProjectOp, error) {
+	cs := child.Schema()
+	schema := make(vector.Schema, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(cs) {
+			return nil, fmt.Errorf("engine: project column %d out of range", c)
+		}
+		schema[i] = cs[c]
+	}
+	return &ProjectOp{child: child, cols: cols, schema: schema}, nil
+}
+
+// Schema implements Operator.
+func (p *ProjectOp) Schema() vector.Schema { return p.schema }
+
+// Open implements Operator.
+func (p *ProjectOp) Open() error { return p.child.Open() }
+
+// Next implements Operator.
+func (p *ProjectOp) Next() (*vector.Chunk, error) {
+	c, err := p.child.Next()
+	if c == nil || err != nil {
+		return nil, err
+	}
+	out := &vector.Chunk{Vectors: make([]*vector.Vector, len(p.cols))}
+	for i, col := range p.cols {
+		out.Vectors[i] = c.Vectors[col]
+	}
+	return out, nil
+}
+
+// Close implements Operator.
+func (p *ProjectOp) Close() error { return p.child.Close() }
+
+// --- Filter -------------------------------------------------------------
+
+// Predicate decides whether row r of a chunk qualifies.
+type Predicate func(c *vector.Chunk, r int) bool
+
+// FilterOp keeps rows matching a predicate, re-packing survivors into
+// dense chunks.
+type FilterOp struct {
+	child Operator
+	pred  Predicate
+}
+
+// Filter returns a selection operator.
+func Filter(child Operator, pred Predicate) *FilterOp {
+	return &FilterOp{child: child, pred: pred}
+}
+
+// Schema implements Operator.
+func (f *FilterOp) Schema() vector.Schema { return f.child.Schema() }
+
+// Open implements Operator.
+func (f *FilterOp) Open() error { return f.child.Open() }
+
+// Next implements Operator.
+func (f *FilterOp) Next() (*vector.Chunk, error) {
+	for {
+		c, err := f.child.Next()
+		if c == nil || err != nil {
+			return nil, err
+		}
+		out := vector.NewChunk(f.Schema(), c.Len())
+		for r := 0; r < c.Len(); r++ {
+			if !f.pred(c, r) {
+				continue
+			}
+			for i, v := range c.Vectors {
+				vector.AppendValue(out.Vectors[i], v, r)
+			}
+		}
+		if out.Len() > 0 {
+			return out, nil
+		}
+		// Entire chunk filtered away: pull the next one.
+	}
+}
+
+// Close implements Operator.
+func (f *FilterOp) Close() error { return f.child.Close() }
+
+// --- Limit --------------------------------------------------------------
+
+// LimitOp emits at most limit rows after skipping offset rows.
+type LimitOp struct {
+	child         Operator
+	limit, offset int
+	skipped       int
+	emitted       int
+}
+
+// Limit returns a LIMIT/OFFSET operator.
+func Limit(child Operator, limit, offset int) *LimitOp {
+	return &LimitOp{child: child, limit: limit, offset: offset}
+}
+
+// Schema implements Operator.
+func (l *LimitOp) Schema() vector.Schema { return l.child.Schema() }
+
+// Open implements Operator.
+func (l *LimitOp) Open() error {
+	l.skipped, l.emitted = 0, 0
+	return l.child.Open()
+}
+
+// Next implements Operator.
+func (l *LimitOp) Next() (*vector.Chunk, error) {
+	for l.emitted < l.limit {
+		c, err := l.child.Next()
+		if c == nil || err != nil {
+			return nil, err
+		}
+		start := 0
+		if l.skipped < l.offset {
+			skip := min(l.offset-l.skipped, c.Len())
+			l.skipped += skip
+			start = skip
+		}
+		take := min(c.Len()-start, l.limit-l.emitted)
+		if take <= 0 {
+			continue
+		}
+		out := vector.NewChunk(l.Schema(), take)
+		for r := start; r < start+take; r++ {
+			for i, v := range c.Vectors {
+				vector.AppendValue(out.Vectors[i], v, r)
+			}
+		}
+		l.emitted += take
+		return out, nil
+	}
+	return nil, nil
+}
+
+// Close implements Operator.
+func (l *LimitOp) Close() error { return l.child.Close() }
+
+// --- Count --------------------------------------------------------------
+
+// CountOp computes COUNT(*) over its child, emitting one BIGINT row. Like
+// the paper's benchmark query, it consumes the child's entire output — so a
+// sort below it cannot be elided or turned into a top-N.
+type CountOp struct {
+	child Operator
+	done  bool
+}
+
+// Count returns a COUNT(*) aggregate operator.
+func Count(child Operator) *CountOp { return &CountOp{child: child} }
+
+var countSchema = vector.Schema{{Name: "count", Type: vector.Int64}}
+
+// Schema implements Operator.
+func (c *CountOp) Schema() vector.Schema { return countSchema }
+
+// Open implements Operator.
+func (c *CountOp) Open() error { c.done = false; return c.child.Open() }
+
+// Next implements Operator.
+func (c *CountOp) Next() (*vector.Chunk, error) {
+	if c.done {
+		return nil, nil
+	}
+	c.done = true
+	n := int64(0)
+	for {
+		chunk, err := c.child.Next()
+		if err != nil {
+			return nil, err
+		}
+		if chunk == nil {
+			break
+		}
+		n += int64(chunk.Len())
+	}
+	out := vector.NewChunk(countSchema, 1)
+	out.Vectors[0].AppendInt64(n)
+	return out, nil
+}
+
+// Close implements Operator.
+func (c *CountOp) Close() error { return c.child.Close() }

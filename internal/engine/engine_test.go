@@ -1,0 +1,223 @@
+package engine
+
+import (
+	"testing"
+
+	"rowsort/internal/core"
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func scanTable(t *testing.T, n int) *vector.Table {
+	t.Helper()
+	return workload.CatalogSales(n, 10, 51)
+}
+
+func TestScanRoundTrip(t *testing.T) {
+	tbl := scanTable(t, 5000)
+	out, err := Run(Scan(tbl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 5000 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+}
+
+func TestProject(t *testing.T) {
+	tbl := scanTable(t, 100)
+	p, err := Project(Scan(tbl), []int{4, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Schema) != 2 || out.Schema[0].Name != "cs_item_sk" || out.Schema[1].Name != "cs_warehouse_sk" {
+		t.Fatalf("schema = %v", out.Schema)
+	}
+	if _, err := Project(Scan(tbl), []int{99}); err == nil {
+		t.Fatal("bad column should error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	tbl := scanTable(t, 5000)
+	// Keep rows with quantity > 50.
+	f := Filter(Scan(tbl), func(c *vector.Chunk, r int) bool {
+		return c.Vectors[3].Valid(r) && c.Vectors[3].Int32s()[r] > 50
+	})
+	out, err := Run(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() == 0 || out.NumRows() >= 5000 {
+		t.Fatalf("filter kept %d rows", out.NumRows())
+	}
+	q := out.Column(3)
+	for i := 0; i < q.Len(); i++ {
+		if q.Value(i).(int32) <= 50 {
+			t.Fatal("filter leaked a row")
+		}
+	}
+}
+
+func TestSortOperator(t *testing.T) {
+	tbl := scanTable(t, 6000)
+	keys := []core.SortColumn{{Column: 3, Descending: true}}
+	out, err := Run(Sort(Scan(tbl), keys, core.Options{Threads: 2, RunSize: 1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 6000 {
+		t.Fatalf("rows = %d", out.NumRows())
+	}
+	q := out.Column(3)
+	for i := 1; i < q.Len(); i++ {
+		if q.Value(i).(int32) > q.Value(i-1).(int32) {
+			t.Fatal("not sorted DESC")
+		}
+	}
+}
+
+func TestLimitOffset(t *testing.T) {
+	tbl := scanTable(t, 5000)
+	keys := []core.SortColumn{{Column: 4}}
+	full, err := Run(Sort(Scan(tbl), keys, core.Options{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Run(Limit(Sort(Scan(tbl), keys, core.Options{}), 10, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 10 {
+		t.Fatalf("limit rows = %d", out.NumRows())
+	}
+	want, got := full.Column(4), out.Column(4)
+	for i := 0; i < 10; i++ {
+		if got.Value(i) != want.Value(i+3) {
+			t.Fatalf("offset row %d mismatch", i)
+		}
+	}
+}
+
+func TestCountOverSort(t *testing.T) {
+	// The paper's benchmark query shape: count(*) over a sorted subquery.
+	tbl := scanTable(t, 4000)
+	plan := Count(Sort(Scan(tbl), []core.SortColumn{{Column: 0}}, core.Options{Threads: 2}))
+	out, err := Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 || out.Column(0).Value(0) != int64(4000) {
+		t.Fatalf("count = %v", out.Column(0).Value(0))
+	}
+}
+
+func TestOptimizeFusesSortLimitIntoTopN(t *testing.T) {
+	tbl := scanTable(t, 4000)
+	keys := []core.SortColumn{{Column: 3}}
+	plan := Limit(Sort(Scan(tbl), keys, core.Options{}), 5, 2)
+	opt := Optimize(plan)
+	if _, ok := opt.(*TopNOp); !ok {
+		t.Fatalf("Limit(Sort) should optimize to TopN, got %T", opt)
+	}
+	want, err := Run(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != want.NumRows() {
+		t.Fatalf("optimized rows %d != %d", got.NumRows(), want.NumRows())
+	}
+	for i := 0; i < got.NumRows(); i++ {
+		if got.Column(3).Value(i) != want.Column(3).Value(i) {
+			t.Fatalf("optimized row %d differs", i)
+		}
+	}
+}
+
+func TestOptimizeLeavesCountOverSortAlone(t *testing.T) {
+	// The count-over-subquery trick: no Limit above the Sort, so the
+	// rewrite must not fire and the full sort must run.
+	tbl := scanTable(t, 1000)
+	plan := Count(Sort(Scan(tbl), []core.SortColumn{{Column: 0}}, core.Options{}))
+	opt := Optimize(plan)
+	c, ok := opt.(*CountOp)
+	if !ok {
+		t.Fatalf("expected CountOp, got %T", opt)
+	}
+	if _, ok := c.child.(*SortOp); !ok {
+		t.Fatalf("Sort under Count must survive optimization, got %T", c.child)
+	}
+	out, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Column(0).Value(0) != int64(1000) {
+		t.Fatal("count wrong")
+	}
+}
+
+func TestOptimizeRecursesThroughProjectAndFilter(t *testing.T) {
+	tbl := scanTable(t, 2000)
+	keys := []core.SortColumn{{Column: 0}}
+	proj, err := Project(Scan(tbl), []int{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := Filter(proj, func(c *vector.Chunk, r int) bool { return true })
+	plan := Limit(Sort(inner, keys, core.Options{}), 3, 0)
+	opt := Optimize(plan)
+	if _, ok := opt.(*TopNOp); !ok {
+		t.Fatalf("rewrite should fire through the tree, got %T", opt)
+	}
+	got, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 3 {
+		t.Fatalf("rows = %d", got.NumRows())
+	}
+}
+
+// TestBenchmarkQueryPlan runs the paper's full anti-optimizer query:
+// SELECT count(*) FROM (SELECT cs_item_sk FROM catalog_sales ORDER BY
+// cs_warehouse_sk, cs_ship_mode_sk OFFSET 1).
+func TestBenchmarkQueryPlan(t *testing.T) {
+	tbl := scanTable(t, 3000)
+	proj, err := Project(Scan(tbl), []int{4, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []core.SortColumn{{Column: 1}, {Column: 2}}
+	sorted := Sort(proj, keys, core.Options{Threads: 2})
+	// OFFSET 1 with no LIMIT: model as a huge limit. The optimizer must NOT
+	// turn this into a TopN (the kept row count is unbounded), so the full
+	// sort runs — exactly what the paper's query construction ensures.
+	plan := Count(Limit(sorted, 1<<30, 1))
+	opt := Optimize(plan)
+	c, ok := opt.(*CountOp)
+	if !ok {
+		t.Fatalf("expected CountOp, got %T", opt)
+	}
+	l, ok := c.child.(*LimitOp)
+	if !ok {
+		t.Fatalf("expected LimitOp under Count, got %T", c.child)
+	}
+	if _, ok := l.child.(*SortOp); !ok {
+		t.Fatalf("unbounded limit must not fuse into TopN, got %T", l.child)
+	}
+	out, err := Run(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Column(0).Value(0) != int64(2999) {
+		t.Fatalf("count = %v, want 2999", out.Column(0).Value(0))
+	}
+}

@@ -1,0 +1,72 @@
+package mergepath
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"testing"
+
+	"rowsort/internal/workload"
+)
+
+func benchRun(n, width int, seed uint64) Run {
+	rng := workload.NewRNG(seed)
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	data := make([]byte, n*width)
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(data[i*width:], v)
+	}
+	return Run{Data: data, Width: width}
+}
+
+func BenchmarkParallelMerge(b *testing.B) {
+	a := benchRun(1<<16, 8, 1)
+	c := benchRun(1<<16, 8, 2)
+	dst := make([]byte, len(a.Data)+len(c.Data))
+	for _, p := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			b.SetBytes(int64(len(dst)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ParallelMerge(dst, a, c, nil, p)
+			}
+		})
+	}
+}
+
+func BenchmarkKWayVsCascade(b *testing.B) {
+	var runs []Run
+	total := 0
+	for r := 0; r < 16; r++ {
+		run := benchRun(1<<12, 8, uint64(r+10))
+		runs = append(runs, run)
+		total += run.Len()
+	}
+	b.Run("kway", func(b *testing.B) {
+		dst := make([]byte, total*8)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			KWayMerge(dst, runs, nil)
+		}
+	})
+	b.Run("cascade", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			CascadeMerge(runs, nil, 2)
+		}
+	})
+}
+
+func BenchmarkSplitPoint(b *testing.B) {
+	a := benchRun(1<<18, 8, 3)
+	c := benchRun(1<<18, 8, 4)
+	total := a.Len() + c.Len()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SplitPoint(a, c, (i*7919)%total, nil)
+	}
+}

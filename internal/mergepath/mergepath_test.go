@@ -1,0 +1,268 @@
+package mergepath
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// sortedRun builds a sorted run of big-endian uint32 keys with a trailing
+// sequence tag so stability can be checked.
+func sortedRun(vals []uint32, width int, tagBase uint32) Run {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	data := make([]byte, len(vals)*width)
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(data[i*width:], v)
+		if width >= 8 {
+			binary.BigEndian.PutUint32(data[i*width+4:], tagBase+uint32(i))
+		}
+	}
+	return Run{Data: data, Width: width}
+}
+
+func randVals(n int, mod uint32, rng *rand.Rand) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32() % mod
+	}
+	return out
+}
+
+func keyAt(data []byte, width, i int) uint32 {
+	return binary.BigEndian.Uint32(data[i*width:])
+}
+
+func checkSortedByKey(t *testing.T, data []byte, width int, ctx string) {
+	t.Helper()
+	n := len(data) / width
+	for i := 1; i < n; i++ {
+		if keyAt(data, width, i-1) > keyAt(data, width, i) {
+			t.Fatalf("%s: out of order at %d", ctx, i)
+		}
+	}
+}
+
+// cmpKey compares only the first 4 bytes so tags do not affect order.
+func cmpKey(a, b []byte) int { return bytes.Compare(a[:4], b[:4]) }
+
+func TestMergeIntoBasic(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	a := sortedRun(randVals(100, 50, rng), 8, 0)
+	b := sortedRun(randVals(80, 50, rng), 8, 1000)
+	dst := make([]byte, len(a.Data)+len(b.Data))
+	MergeInto(dst, a, b, cmpKey)
+	checkSortedByKey(t, dst, 8, "MergeInto")
+	if len(dst)/8 != 180 {
+		t.Fatal("row count wrong")
+	}
+}
+
+func TestMergeIntoStability(t *testing.T) {
+	// All keys equal: output must be all of a (tags < 1000) then all of b.
+	a := sortedRun([]uint32{7, 7, 7}, 8, 0)
+	b := sortedRun([]uint32{7, 7}, 8, 1000)
+	dst := make([]byte, len(a.Data)+len(b.Data))
+	MergeInto(dst, a, b, cmpKey)
+	tags := make([]uint32, 5)
+	for i := range tags {
+		tags[i] = binary.BigEndian.Uint32(dst[i*8+4:])
+	}
+	want := []uint32{0, 1, 2, 1000, 1001}
+	for i := range want {
+		if tags[i] != want[i] {
+			t.Fatalf("stability broken: tags %v", tags)
+		}
+	}
+}
+
+func TestMergeIntoEmptySides(t *testing.T) {
+	a := sortedRun([]uint32{1, 2}, 4, 0)
+	empty := Run{Width: 4}
+	dst := make([]byte, len(a.Data))
+	MergeInto(dst, a, empty, nil)
+	if !bytes.Equal(dst, a.Data) {
+		t.Fatal("merge with empty b should copy a")
+	}
+	MergeInto(dst, empty, a, nil)
+	if !bytes.Equal(dst, a.Data) {
+		t.Fatal("merge with empty a should copy b")
+	}
+}
+
+func TestSplitPointInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := sortedRun(randVals(200, 40, rng), 4, 0)
+	b := sortedRun(randVals(150, 40, rng), 4, 0)
+	total := a.Len() + b.Len()
+	for d := 0; d <= total; d += 7 {
+		i, j := SplitPoint(a, b, d, nil)
+		if i+j != d {
+			t.Fatalf("d=%d: i+j=%d", d, i+j)
+		}
+		if i < 0 || i > a.Len() || j < 0 || j > b.Len() {
+			t.Fatalf("d=%d: out of range i=%d j=%d", d, i, j)
+		}
+		// Stable split: a[i-1] <= b[j] and b[j-1] < a[i].
+		if i > 0 && j < b.Len() && bytes.Compare(a.Row(i-1), b.Row(j)) > 0 {
+			t.Fatalf("d=%d: a[%d-1] > b[%d]", d, i, j)
+		}
+		if j > 0 && i < a.Len() && bytes.Compare(b.Row(j-1), a.Row(i)) >= 0 {
+			t.Fatalf("d=%d: b[%d-1] >= a[%d] (stability violated)", d, j, i)
+		}
+	}
+}
+
+func TestSplitPointConcatenatesToFullMerge(t *testing.T) {
+	// Merging each partition independently must equal the full merge.
+	rng := rand.New(rand.NewSource(43))
+	a := sortedRun(randVals(333, 25, rng), 4, 0)
+	b := sortedRun(randVals(77, 25, rng), 4, 0)
+	total := a.Len() + b.Len()
+	want := make([]byte, total*4)
+	MergeInto(want, a, b, nil)
+
+	for _, parts := range []int{2, 3, 7} {
+		got := make([]byte, 0, total*4)
+		pi, pj := 0, 0
+		for p := 1; p <= parts; p++ {
+			d := p * total / parts
+			i, j := a.Len(), b.Len()
+			if p < parts {
+				i, j = SplitPoint(a, b, d, nil)
+			}
+			sub := make([]byte, (i-pi+j-pj)*4)
+			MergeInto(sub,
+				Run{Data: a.Data[pi*4 : i*4], Width: 4},
+				Run{Data: b.Data[pj*4 : j*4], Width: 4}, nil)
+			got = append(got, sub...)
+			pi, pj = i, j
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("parts=%d: partitioned merge differs from full merge", parts)
+		}
+	}
+}
+
+func TestParallelMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for _, p := range []int{1, 2, 4, 8} {
+		a := sortedRun(randVals(1000, 100, rng), 8, 0)
+		b := sortedRun(randVals(900, 100, rng), 8, 100000)
+		want := make([]byte, len(a.Data)+len(b.Data))
+		MergeInto(want, a, b, cmpKey)
+		got := make([]byte, len(want))
+		ParallelMerge(got, a, b, cmpKey, p)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("p=%d: parallel merge differs", p)
+		}
+	}
+}
+
+func TestCascadeMergeManyRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for _, numRuns := range []int{1, 2, 3, 5, 16, 17} {
+		var runs []Run
+		var all []uint32
+		for r := 0; r < numRuns; r++ {
+			vals := randVals(rng.Intn(500), 1000, rng)
+			all = append(all, vals...)
+			runs = append(runs, sortedRun(vals, 4, 0))
+		}
+		out := CascadeMerge(runs, nil, 4)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		if out.Len() != len(all) {
+			t.Fatalf("runs=%d: got %d rows, want %d", numRuns, out.Len(), len(all))
+		}
+		for i, v := range all {
+			if keyAt(out.Data, 4, i) != v {
+				t.Fatalf("runs=%d: row %d = %d, want %d", numRuns, i, keyAt(out.Data, 4, i), v)
+			}
+		}
+	}
+}
+
+func TestCascadeMergeEmpty(t *testing.T) {
+	out := CascadeMerge(nil, nil, 2)
+	if out.Len() != 0 {
+		t.Fatal("empty cascade should produce empty run")
+	}
+}
+
+func TestKWayMergeMatchesCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	var runs []Run
+	total := 0
+	for r := 0; r < 9; r++ {
+		n := rng.Intn(300)
+		runs = append(runs, sortedRun(randVals(n, 64, rng), 4, 0))
+		total += n
+	}
+	dst := make([]byte, total*4)
+	KWayMerge(dst, runs, nil)
+	checkSortedByKey(t, dst, 4, "KWayMerge")
+
+	want := CascadeMerge(runs, nil, 1)
+	if !bytes.Equal(dst, want.Data) {
+		t.Fatal("k-way merge differs from cascade merge")
+	}
+}
+
+func TestKWayMergeStabilityAcrossRuns(t *testing.T) {
+	a := sortedRun([]uint32{5, 5}, 8, 0)
+	b := sortedRun([]uint32{5}, 8, 100)
+	c := sortedRun([]uint32{5}, 8, 200)
+	dst := make([]byte, 4*8)
+	KWayMerge(dst, []Run{a, b, c}, cmpKey)
+	want := []uint32{0, 1, 100, 200}
+	for i, w := range want {
+		if got := binary.BigEndian.Uint32(dst[i*8+4:]); got != w {
+			t.Fatalf("tag %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestKWayMergeEmptyRuns(t *testing.T) {
+	dst := make([]byte, 2*4)
+	KWayMerge(dst, []Run{{Width: 4}, sortedRun([]uint32{9, 1}, 4, 0), {Width: 4}}, nil)
+	if keyAt(dst, 4, 0) != 1 || keyAt(dst, 4, 1) != 9 {
+		t.Fatal("k-way with empty runs wrong")
+	}
+}
+
+func TestQuickParallelMergeEqualsSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	f := func(na, nb uint16, mod uint8) bool {
+		m := uint32(mod)%100 + 1
+		av := randVals(int(na)%2000, m, rng)
+		bv := randVals(int(nb)%2000, m, rng)
+		a := sortedRun(av, 4, 0)
+		b := sortedRun(bv, 4, 0)
+		dst := make([]byte, len(a.Data)+len(b.Data))
+		ParallelMerge(dst, a, b, nil, 4)
+		all := append(append([]uint32(nil), av...), bv...)
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		for i, v := range all {
+			if keyAt(dst, 4, i) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAccessors(t *testing.T) {
+	r := Run{}
+	if r.Len() != 0 {
+		t.Fatal("zero run should have zero len")
+	}
+	r2 := sortedRun([]uint32{1, 2, 3}, 4, 0)
+	if r2.Len() != 3 || keyAt(r2.Row(1), 4, 0) != 2 {
+		t.Fatal("Run accessors broken")
+	}
+}

@@ -1,0 +1,90 @@
+package normkey
+
+import (
+	"bytes"
+	"testing"
+
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func benchColumns(n int) []*vector.Vector {
+	rng := workload.NewRNG(1)
+	i32 := vector.New(vector.Int32, n)
+	f64 := vector.New(vector.Float64, n)
+	str := vector.New(vector.Varchar, n)
+	for i := 0; i < n; i++ {
+		i32.AppendInt32(int32(rng.Uint32()))
+		f64.AppendFloat64(rng.Float64() * 1e6)
+		str.AppendString(lastNamesSample[rng.Intn(len(lastNamesSample))])
+	}
+	return []*vector.Vector{i32, f64, str}
+}
+
+var lastNamesSample = []string{"Smith", "Johnson", "Garcia", "Nakamura", "Okafor", "Silva"}
+
+// BenchmarkEncode measures vector-at-a-time key normalization — the
+// conversion cost the paper argues is worth paying.
+func BenchmarkEncode(b *testing.B) {
+	const n = 1 << 14
+	cols := benchColumns(n)
+	enc, err := NewEncoder([]SortKey{
+		{Type: vector.Int32},
+		{Type: vector.Float64, Order: Descending},
+		{Type: vector.Varchar, Nulls: NullsLast},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, n*enc.Width())
+	b.SetBytes(int64(len(out)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := enc.Encode(cols, out, enc.Width(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareKeysVsTuples contrasts one bytes.Compare on normalized
+// keys with the dynamic per-column tuple comparison — the paper's central
+// trade.
+func BenchmarkCompareKeysVsTuples(b *testing.B) {
+	const n = 1 << 12
+	cols := benchColumns(n)
+	keys := []SortKey{
+		{Type: vector.Int32},
+		{Type: vector.Float64},
+		{Type: vector.Varchar},
+	}
+	enc, err := NewEncoder(keys)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]byte, n*enc.Width())
+	if err := enc.Encode(cols, out, enc.Width(), 0); err != nil {
+		b.Fatal(err)
+	}
+	w := enc.Width()
+
+	b.Run("memcmp", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			a := (i * 31) % n
+			c := (i * 17) % n
+			sink += bytes.Compare(out[a*w:(a+1)*w], out[c*w:(c+1)*w])
+		}
+		_ = sink
+	})
+	b.Run("tuple", func(b *testing.B) {
+		b.ReportAllocs()
+		sink := 0
+		for i := 0; i < b.N; i++ {
+			a := (i * 31) % n
+			c := (i * 17) % n
+			sink += CompareRows(keys, cols, a, c)
+		}
+		_ = sink
+	})
+}

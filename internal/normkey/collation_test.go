@@ -1,0 +1,80 @@
+package normkey
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"rowsort/internal/vector"
+)
+
+func TestCollationApply(t *testing.T) {
+	cases := map[string]string{
+		"":        "",
+		"abc":     "abc",
+		"ABC":     "abc",
+		"AbC12-z": "abc12-z",
+	}
+	for in, want := range cases {
+		if got := CollationNoCase.Apply(in); got != want {
+			t.Errorf("NoCase(%q) = %q, want %q", in, got, want)
+		}
+		if got := CollationBinary.Apply(in); got != in {
+			t.Errorf("Binary(%q) = %q", in, got)
+		}
+	}
+}
+
+func TestNoCaseEncodingOrder(t *testing.T) {
+	v := vector.New(vector.Varchar, 4)
+	v.AppendString("apple")
+	v.AppendString("APPLE")
+	v.AppendString("Banana")
+	v.AppendString("aPricot")
+	keys := []SortKey{{Type: vector.Varchar, Collation: CollationNoCase}}
+	e, out := encodeTuples(t, keys, []*vector.Vector{v})
+
+	// apple and APPLE must encode identically.
+	if !bytes.Equal(keyRow(out, e.Width(), 0), keyRow(out, e.Width(), 1)) {
+		t.Fatal("case variants should encode equal under NOCASE")
+	}
+	// apple < aPricot < Banana under NOCASE.
+	if bytes.Compare(keyRow(out, e.Width(), 0), keyRow(out, e.Width(), 3)) >= 0 {
+		t.Fatal("apple should sort before aPricot")
+	}
+	if bytes.Compare(keyRow(out, e.Width(), 3), keyRow(out, e.Width(), 2)) >= 0 {
+		t.Fatal("aPricot should sort before Banana")
+	}
+	// Binary collation orders them differently (uppercase first).
+	binKeys := []SortKey{{Type: vector.Varchar}}
+	be, bout := encodeTuples(t, binKeys, []*vector.Vector{v})
+	if bytes.Compare(keyRow(bout, be.Width(), 2), keyRow(bout, be.Width(), 0)) >= 0 {
+		t.Fatal("binary collation should put Banana before apple")
+	}
+}
+
+func TestNoCaseCompareRowsAgreesWithEncoding(t *testing.T) {
+	rng := rand.New(rand.NewSource(121))
+	letters := "aAbBcC"
+	v := vector.New(vector.Varchar, 200)
+	for i := 0; i < 200; i++ {
+		n := rng.Intn(6)
+		b := make([]byte, n)
+		for j := range b {
+			b[j] = letters[rng.Intn(len(letters))]
+		}
+		v.AppendString(string(b))
+	}
+	keys := []SortKey{{Type: vector.Varchar, Collation: CollationNoCase}}
+	cols := []*vector.Vector{v}
+	e, out := encodeTuples(t, keys, cols)
+	for trial := 0; trial < 2000; trial++ {
+		i, j := rng.Intn(200), rng.Intn(200)
+		want := sign(CompareRows(keys, cols, i, j))
+		got := sign(bytes.Compare(keyRow(out, e.Width(), i), keyRow(out, e.Width(), j)))
+		if got != want {
+			t.Fatalf("rows %d(%q) vs %d(%q): key %d, oracle %d",
+				i, v.Strings()[i], j, v.Strings()[j], got, want)
+		}
+	}
+}

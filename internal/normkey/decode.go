@@ -1,0 +1,85 @@
+package normkey
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"rowsort/internal/vector"
+)
+
+// DecodeValue decodes key k's segment of the normalized key row back into a
+// Go value, returning nil for NULL. Varchar keys decode to their encoded
+// prefix with trailing padding removed (the full string is not recoverable
+// from the key; the sorter keeps it in the payload). DecodeValue exists for
+// tests, debugging and the Figure 7 demonstration; the sort itself never
+// decodes keys.
+func (e *Encoder) DecodeValue(k int, keyRow []byte) (any, error) {
+	if k < 0 || k >= len(e.keys) {
+		return nil, fmt.Errorf("normkey: key index %d out of range", k)
+	}
+	key := e.keys[k]
+	seg := keyRow[e.offsets[k] : e.offsets[k]+key.segWidth()]
+	// Undo DESC inversion on a copy.
+	if key.Order == Descending {
+		cp := make([]byte, len(seg))
+		for i, b := range seg {
+			cp[i] = ^b
+		}
+		seg = cp
+	}
+	// Undoing the inversion restores the encoder's pre-inversion validity
+	// byte, which uses the same swapped placement as the encoder.
+	effFirst := (key.Nulls == NullsFirst) != (key.Order == Descending)
+	var validByte byte
+	if effFirst {
+		validByte = 0x01
+	} else {
+		validByte = 0x00
+	}
+	if seg[0] != validByte {
+		return nil, nil // NULL
+	}
+	v := seg[1:]
+	switch key.Type {
+	case vector.Bool:
+		return v[0] != 0, nil
+	case vector.Uint8:
+		return v[0], nil
+	case vector.Uint16:
+		return getU16(v), nil
+	case vector.Uint32:
+		return getU32(v), nil
+	case vector.Uint64:
+		return getU64(v), nil
+	case vector.Int8:
+		return int8(v[0] ^ 0x80), nil
+	case vector.Int16:
+		return int16(getU16(v) ^ 0x8000), nil
+	case vector.Int32:
+		return int32(getU32(v) ^ 0x80000000), nil
+	case vector.Int64:
+		return int64(getU64(v) ^ 0x8000000000000000), nil
+	case vector.Float32:
+		return decodeFloat32(getU32(v)), nil
+	case vector.Float64:
+		return decodeFloat64(getU64(v)), nil
+	case vector.Varchar:
+		return strings.TrimRight(string(v), "\x00"), nil
+	}
+	return nil, fmt.Errorf("normkey: cannot decode type %v", key.Type)
+}
+
+func decodeFloat32(bits uint32) float32 {
+	if bits&0x80000000 != 0 {
+		return math.Float32frombits(bits &^ 0x80000000)
+	}
+	return math.Float32frombits(^bits)
+}
+
+func decodeFloat64(bits uint64) float64 {
+	if bits&0x8000000000000000 != 0 {
+		return math.Float64frombits(bits &^ 0x8000000000000000)
+	}
+	return math.Float64frombits(^bits)
+}

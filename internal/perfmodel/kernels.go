@@ -1,0 +1,388 @@
+package perfmodel
+
+import "encoding/binary"
+
+// Instrumented sort kernels. Each mirrors one of the paper's benchmark
+// configurations and drives the cache and branch models with the memory
+// accesses and data-dependent branches the real kernel would execute. The
+// sorting work itself is identical to the real algorithms (the output is
+// sorted); only the bookkeeping differs, so the counters are faithful to
+// the access patterns rather than estimated.
+
+// Synthetic base addresses, spaced far apart so arrays never alias.
+const (
+	idxBase = uint64(0x1000_0000)
+	colBase = uint64(0x2000_0000) // column c lives at colBase + c<<26
+	rowBase = uint64(0x6000_0000)
+	auxBase = uint64(0x7000_0000)
+)
+
+// Branch predictor site numbers.
+const (
+	siteTieBase   = 0  // comparator tie check for key column c => site c
+	sitePartition = 16 // quicksort partition decision
+	siteInsertion = 17 // insertion sort inner loop
+	siteHeap      = 18 // heapsort sift decision
+	siteMedian    = 20 // median-of-three ordering
+)
+
+func colAddr(c int, i uint32) uint64 { return colBase + uint64(c)<<26 + uint64(i)*4 }
+
+// --- Columnar (DSM) kernels: sort an index array, data stays put. ------
+
+// colSim sorts a row-index array over column data, firing probe events for
+// index reads/writes, column value reads, and comparator branches.
+type colSim struct {
+	cols  [][]uint32
+	idx   []uint32
+	probe *Probe
+	// tuple selects the tuple-at-a-time comparator (with tie branches);
+	// otherwise a single active column is compared.
+	tuple  bool
+	active int
+}
+
+func (s *colSim) readIdx(i int) uint32 {
+	s.probe.access(idxBase + uint64(i)*4)
+	return s.idx[i]
+}
+
+func (s *colSim) less(i, j int) bool {
+	a, b := s.readIdx(i), s.readIdx(j)
+	return s.lessVal(a, b)
+}
+
+// lessVal compares tuples a and b by value, with the memory accesses and
+// branches of the comparator.
+func (s *colSim) lessVal(a, b uint32) bool {
+	if !s.tuple {
+		c := s.active
+		s.probe.access(colAddr(c, a))
+		s.probe.access(colAddr(c, b))
+		return s.cols[c][a] < s.cols[c][b]
+	}
+	for c := range s.cols {
+		s.probe.access(colAddr(c, a))
+		s.probe.access(colAddr(c, b))
+		va, vb := s.cols[c][a], s.cols[c][b]
+		tie := va == vb
+		s.probe.branch(siteTieBase+min(c, 15), tie)
+		if !tie {
+			return va < vb
+		}
+	}
+	return false
+}
+
+func (s *colSim) swap(i, j int) {
+	s.probe.access(idxBase + uint64(i)*4)
+	s.probe.access(idxBase + uint64(j)*4)
+	s.idx[i], s.idx[j] = s.idx[j], s.idx[i]
+}
+
+// ColumnarTupleAtATime simulates sorting the columns with std::sort and a
+// tuple-at-a-time comparator on the columnar format (Table II, "T").
+func ColumnarTupleAtATime(cols [][]uint32) Counters {
+	return columnarTupleProbe(cols, NewProbe())
+}
+
+func columnarTupleProbe(cols [][]uint32, probe *Probe) Counters {
+	s := &colSim{cols: cols, idx: identity(len(cols[0])), probe: probe, tuple: true}
+	introsortSim(s.less, s.swap, 0, len(s.idx), probe)
+	return probe.Counters()
+}
+
+// ColumnarSubsort simulates the subsort approach on the columnar format
+// (Table II, "S"): sort by one column at a time, re-scanning for ties.
+func ColumnarSubsort(cols [][]uint32) Counters {
+	return columnarSubsortProbe(cols, NewProbe())
+}
+
+func columnarSubsortProbe(cols [][]uint32, probe *Probe) Counters {
+	s := &colSim{cols: cols, idx: identity(len(cols[0])), probe: probe}
+	var rec func(lo, hi, c int)
+	rec = func(lo, hi, c int) {
+		s.active = c
+		introsortSim(s.less, s.swap, lo, hi, probe)
+		if c+1 == len(s.cols) {
+			return
+		}
+		// Scan for tie runs: sequential reads of idx and the column.
+		runStart := lo
+		var prev uint32
+		for i := lo; i <= hi; i++ {
+			var cur uint32
+			if i < hi {
+				ri := s.readIdx(i)
+				s.probe.access(colAddr(c, ri))
+				cur = s.cols[c][ri]
+			}
+			if i == hi || (i > lo && cur != prev) {
+				if i-runStart > 1 {
+					end := i
+					saved := s.active
+					rec(runStart, end, c+1)
+					s.active = saved
+				}
+				runStart = i
+			}
+			prev = cur
+		}
+	}
+	rec(0, len(s.idx), 0)
+	return probe.Counters()
+}
+
+// --- Row (NSM) kernels: fixed-width rows move physically. --------------
+
+// rowSim sorts byte rows in place. Rows hold numKeys big-endian uint32 keys
+// (so value comparison works) plus padding to width w.
+type rowSim struct {
+	data    []byte
+	w       int
+	numKeys int
+	probe   *Probe
+	// memcmp selects the normalized-key comparator (byte-wise, single
+	// branch); otherwise the tuple-at-a-time comparator with per-column tie
+	// branches. active selects single-column mode when >= 0.
+	memcmp bool
+	active int
+	tmp    []byte
+	piv    []byte
+}
+
+func newRowSim(cols [][]uint32, probe *Probe) *rowSim {
+	numKeys := len(cols)
+	w := (numKeys*4 + 4 + 7) &^ 7
+	n := len(cols[0])
+	data := make([]byte, n*w)
+	for c, col := range cols {
+		for i, v := range col {
+			binary.BigEndian.PutUint32(data[i*w+c*4:], v)
+		}
+	}
+	return &rowSim{data: data, w: w, numKeys: numKeys, probe: probe, active: -1}
+}
+
+func (s *rowSim) n() int            { return len(s.data) / s.w }
+func (s *rowSim) addr(i int) uint64 { return rowBase + uint64(i*s.w) }
+func (s *rowSim) row(i int) []byte  { return s.data[i*s.w : (i+1)*s.w] }
+
+func (s *rowSim) key(i, c int) uint32 { return binary.BigEndian.Uint32(s.data[i*s.w+c*4:]) }
+
+// lessRows compares rows i and j with the configured comparator.
+func (s *rowSim) lessRows(i, j int) bool {
+	if s.active >= 0 {
+		c := s.active
+		s.probe.access(s.addr(i) + uint64(c*4))
+		s.probe.access(s.addr(j) + uint64(c*4))
+		return s.key(i, c) < s.key(j, c)
+	}
+	if s.memcmp {
+		// memcmp reads both keys up to the first differing byte; one
+		// outcome branch feeds the algorithm.
+		ka, kb := s.row(i)[:s.numKeys*4], s.row(j)[:s.numKeys*4]
+		d := 0
+		for d < len(ka) && ka[d] == kb[d] {
+			d++
+		}
+		s.probe.accessRange(s.addr(i), min(d+1, len(ka)))
+		s.probe.accessRange(s.addr(j), min(d+1, len(kb)))
+		return d < len(ka) && ka[d] < kb[d]
+	}
+	for c := 0; c < s.numKeys; c++ {
+		s.probe.access(s.addr(i) + uint64(c*4))
+		s.probe.access(s.addr(j) + uint64(c*4))
+		va, vb := s.key(i, c), s.key(j, c)
+		tie := va == vb
+		s.probe.branch(siteTieBase+min(c, 15), tie)
+		if !tie {
+			return va < vb
+		}
+	}
+	return false
+}
+
+func (s *rowSim) swapRows(i, j int) {
+	// Read and write both rows.
+	s.probe.accessRange(s.addr(i), s.w)
+	s.probe.accessRange(s.addr(j), s.w)
+	if s.tmp == nil {
+		s.tmp = make([]byte, s.w)
+	}
+	copy(s.tmp, s.row(i))
+	copy(s.row(i), s.row(j))
+	copy(s.row(j), s.tmp)
+}
+
+// RowTupleAtATime simulates sorting the row format with std::sort and a
+// tuple-at-a-time comparator (Table III, "T").
+func RowTupleAtATime(cols [][]uint32) Counters {
+	probe := NewProbe()
+	s := newRowSim(cols, probe)
+	introsortSim(s.lessRows, s.swapRows, 0, s.n(), probe)
+	return probe.Counters()
+}
+
+// RowSubsort simulates the subsort approach on the row format (Table III,
+// "S"): single-column comparators, whole rows move, ties re-scanned.
+func RowSubsort(cols [][]uint32) Counters {
+	probe := NewProbe()
+	s := newRowSim(cols, probe)
+	var rec func(lo, hi, c int)
+	rec = func(lo, hi, c int) {
+		s.active = c
+		introsortSim(s.lessRows, s.swapRows, lo, hi, probe)
+		if c+1 == s.numKeys {
+			return
+		}
+		runStart := lo
+		var prev uint32
+		for i := lo; i <= hi; i++ {
+			var cur uint32
+			if i < hi {
+				s.probe.access(s.addr(i) + uint64(c*4))
+				cur = s.key(i, c)
+			}
+			if i == hi || (i > lo && cur != prev) {
+				if i-runStart > 1 {
+					rec(runStart, i, c+1)
+				}
+				runStart = i
+			}
+			prev = cur
+		}
+	}
+	rec(0, s.n(), 0)
+	s.active = -1
+	return probe.Counters()
+}
+
+// --- Figure 10 kernels: pdqsort vs radix sort on normalized keys. -------
+
+// PdqsortNormalized simulates pdqsort with a dynamic memcmp comparator on
+// normalized keys, returning cumulative counter snapshots (about `samples`
+// of them) plus the final totals.
+func PdqsortNormalized(cols [][]uint32, samples int) ([]Counters, Counters) {
+	run := func(probe *Probe) Counters {
+		s := newRowSim(cols, probe)
+		s.memcmp = true
+		pdqsortSim(s.lessRows, s.swapRows, s.n(), probe)
+		return probe.Counters()
+	}
+	total := run(NewProbe())
+	if samples <= 0 {
+		return nil, total
+	}
+	probe := NewProbe()
+	probe.SampleEvery(max(1, total.CacheAccesses/uint64(samples)))
+	final := run(probe)
+	return probe.Samples(), final
+}
+
+// RadixNormalized simulates MSD radix sort on normalized keys (the paper
+// uses MSD for 4-key, 16-byte keys), returning cumulative snapshots plus
+// the final totals. Radix performs no comparisons — and therefore no
+// data-dependent branches — but its bucket scatter is cache-hostile.
+func RadixNormalized(cols [][]uint32, samples int) ([]Counters, Counters) {
+	run := func(probe *Probe) Counters {
+		s := newRowSim(cols, probe)
+		radixSim(s, probe)
+		return probe.Counters()
+	}
+	total := run(NewProbe())
+	if samples <= 0 {
+		return nil, total
+	}
+	probe := NewProbe()
+	probe.SampleEvery(max(1, total.CacheAccesses/uint64(samples)))
+	final := run(probe)
+	return probe.Samples(), final
+}
+
+// radixSim mirrors the MSD radix sort of package radix with probe events:
+// one read per counting-pass byte, a read and a scattered write per row in
+// the scatter pass, sequential copy-back, and insertion sort in small
+// buckets.
+func radixSim(s *rowSim, probe *Probe) {
+	keyW := s.numKeys * 4
+	aux := make([]byte, len(s.data))
+	var rec func(lo, hi, d int)
+	rec = func(lo, hi, d int) {
+		for d < keyW {
+			n := hi - lo
+			if n <= 24 {
+				insertionRangeSim(s.lessMemcmpFrom(d), s.swapRows, lo, hi, probe)
+				return
+			}
+			var count [256]int
+			for i := lo; i < hi; i++ {
+				probe.access(s.addr(i) + uint64(d))
+				count[s.data[i*s.w+d]]++
+			}
+			single := false
+			for _, c := range count {
+				if c == n {
+					single = true
+				}
+				if c > 0 {
+					break
+				}
+			}
+			if single {
+				d++
+				continue
+			}
+			var offset [256]int
+			sum := lo
+			for b := 0; b < 256; b++ {
+				offset[b] = sum
+				sum += count[b]
+			}
+			pos := offset
+			for i := lo; i < hi; i++ {
+				probe.accessRange(s.addr(i), s.w) // read row
+				b := s.data[i*s.w+d]
+				p := pos[b]
+				pos[b]++
+				probe.accessRange(auxBase+uint64(p*s.w), s.w) // scattered write
+				copy(aux[p*s.w:(p+1)*s.w], s.row(i))
+			}
+			// Sequential copy back.
+			probe.accessRange(auxBase+uint64(lo*s.w), n*s.w)
+			probe.accessRange(s.addr(lo), n*s.w)
+			copy(s.data[lo*s.w:hi*s.w], aux[lo*s.w:hi*s.w])
+			for b := 0; b < 256; b++ {
+				if count[b] > 1 {
+					rec(offset[b], offset[b]+count[b], d+1)
+				}
+			}
+			return
+		}
+	}
+	rec(0, s.n(), 0)
+}
+
+// lessMemcmpFrom returns a comparator over key bytes [d, keyW) with events.
+func (s *rowSim) lessMemcmpFrom(d int) func(i, j int) bool {
+	keyW := s.numKeys * 4
+	return func(i, j int) bool {
+		ka := s.data[i*s.w+d : i*s.w+keyW]
+		kb := s.data[j*s.w+d : j*s.w+keyW]
+		x := 0
+		for x < len(ka) && ka[x] == kb[x] {
+			x++
+		}
+		s.probe.accessRange(s.addr(i)+uint64(d), min(x+1, len(ka)))
+		s.probe.accessRange(s.addr(j)+uint64(d), min(x+1, len(kb)))
+		return x < len(ka) && ka[x] < kb[x]
+	}
+}
+
+func identity(n int) []uint32 {
+	idx := make([]uint32, n)
+	for i := range idx {
+		idx[i] = uint32(i)
+	}
+	return idx
+}

@@ -1,0 +1,367 @@
+package perfmodel
+
+import "math/bits"
+
+// Instrumented mirrors of the sorting algorithms in package sortalgo. They
+// operate through (less, swap) callbacks that fire cache events, and they
+// record every data-dependent decision at a branch-predictor site. The
+// element permutation they produce is identical to the real algorithms'.
+
+const (
+	simInsertionThreshold = 24
+	simNintherThreshold   = 128
+)
+
+type lessFn = func(i, j int) bool
+type swapFn = func(i, j int)
+
+// introsortSim sorts [lo,hi) with the instrumented std::sort analog.
+func introsortSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) {
+	if hi-lo < 2 {
+		return
+	}
+	introsortLoopSim(less, swap, lo, hi, 2*(bits.Len(uint(hi-lo))-1), probe)
+}
+
+func introsortLoopSim(less lessFn, swap swapFn, lo, hi, depth int, probe *Probe) {
+	for hi-lo > simInsertionThreshold {
+		if depth == 0 {
+			heapsortSim(less, swap, lo, hi, probe)
+			return
+		}
+		depth--
+		mid := lo + (hi-lo)/2
+		sort3Sim(less, swap, lo, mid, hi-1, probe)
+		swap(lo, mid)
+		p := hoarePartitionSim(less, swap, lo, hi, probe)
+		if p-lo < hi-p-1 {
+			introsortLoopSim(less, swap, lo, p, depth, probe)
+			lo = p + 1
+		} else {
+			introsortLoopSim(less, swap, p+1, hi, depth, probe)
+			hi = p
+		}
+	}
+	insertionRangeSim(less, swap, lo, hi, probe)
+}
+
+func hoarePartitionSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) int {
+	i, j := lo+1, hi-1
+	for {
+		for i <= j {
+			l := less(i, lo)
+			probe.branch(sitePartition, l)
+			if !l {
+				break
+			}
+			i++
+		}
+		for i <= j {
+			l := less(j, lo)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+			j--
+		}
+		if i > j {
+			break
+		}
+		swap(i, j)
+		i++
+		j--
+	}
+	swap(lo, j)
+	return j
+}
+
+func insertionRangeSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) {
+	for i := lo + 1; i < hi; i++ {
+		for j := i; j > lo; j-- {
+			l := less(j, j-1)
+			probe.branch(siteInsertion, l)
+			if !l {
+				break
+			}
+			swap(j, j-1)
+		}
+	}
+}
+
+func heapsortSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) {
+	n := hi - lo
+	sift := func(root, n int) {
+		for {
+			child := 2*root + 1
+			if child >= n {
+				return
+			}
+			if child+1 < n {
+				l := less(lo+child, lo+child+1)
+				probe.branch(siteHeap, l)
+				if l {
+					child++
+				}
+			}
+			l := less(lo+root, lo+child)
+			probe.branch(siteHeap, l)
+			if !l {
+				return
+			}
+			swap(lo+root, lo+child)
+			root = child
+		}
+	}
+	for i := n/2 - 1; i >= 0; i-- {
+		sift(i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		swap(lo, lo+i)
+		sift(0, i)
+	}
+}
+
+func sort3Sim(less lessFn, swap swapFn, i0, i1, i2 int, probe *Probe) {
+	l := less(i1, i0)
+	probe.branch(siteMedian, l)
+	if l {
+		swap(i1, i0)
+	}
+	l = less(i2, i1)
+	probe.branch(siteMedian, l)
+	if l {
+		swap(i2, i1)
+		l = less(i1, i0)
+		probe.branch(siteMedian, l)
+		if l {
+			swap(i1, i0)
+		}
+	}
+}
+
+// pdqsortSim is the instrumented pattern-defeating quicksort. The pivot is
+// addressed by index (it stays at the range head during partitioning, as in
+// the real algorithm, whose pivot lives in a register).
+func pdqsortSim(less lessFn, swap swapFn, n int, probe *Probe) {
+	if n < 2 {
+		return
+	}
+	pdqLoopSim(less, swap, 0, n, bits.Len(uint(n))-1, true, probe)
+}
+
+func pdqLoopSim(less lessFn, swap swapFn, lo, hi, badAllowed int, leftmost bool, probe *Probe) {
+	for {
+		size := hi - lo
+		if size < simInsertionThreshold {
+			insertionRangeSim(less, swap, lo, hi, probe)
+			return
+		}
+
+		s2 := size / 2
+		if size > simNintherThreshold {
+			sort3Sim(less, swap, lo, lo+s2, hi-1, probe)
+			sort3Sim(less, swap, lo+1, lo+s2-1, hi-2, probe)
+			sort3Sim(less, swap, lo+2, lo+s2+1, hi-3, probe)
+			sort3Sim(less, swap, lo+s2-1, lo+s2, lo+s2+1, probe)
+			swap(lo, lo+s2)
+		} else {
+			sort3Sim(less, swap, lo+s2, lo, hi-1, probe)
+		}
+
+		if !leftmost {
+			l := less(lo-1, lo)
+			probe.branch(sitePartition, l)
+			if !l {
+				lo = partitionLeftSim(less, swap, lo, hi, probe) + 1
+				continue
+			}
+		}
+
+		pivotPos, alreadyPartitioned := partitionRightSim(less, swap, lo, hi, probe)
+
+		lSize, rSize := pivotPos-lo, hi-(pivotPos+1)
+		if lSize < size/8 || rSize < size/8 {
+			badAllowed--
+			if badAllowed <= 0 {
+				heapsortSim(less, swap, lo, hi, probe)
+				return
+			}
+			if lSize >= simInsertionThreshold {
+				swap(lo, lo+lSize/4)
+				swap(pivotPos-1, pivotPos-lSize/4)
+				if lSize > simNintherThreshold {
+					swap(lo+1, lo+lSize/4+1)
+					swap(lo+2, lo+lSize/4+2)
+					swap(pivotPos-2, pivotPos-(lSize/4+1))
+					swap(pivotPos-3, pivotPos-(lSize/4+2))
+				}
+			}
+			if rSize >= simInsertionThreshold {
+				swap(pivotPos+1, pivotPos+1+rSize/4)
+				swap(hi-1, hi-rSize/4)
+				if rSize > simNintherThreshold {
+					swap(pivotPos+2, pivotPos+2+rSize/4)
+					swap(pivotPos+3, pivotPos+3+rSize/4)
+					swap(hi-2, hi-(1+rSize/4))
+					swap(hi-3, hi-(2+rSize/4))
+				}
+			}
+		} else if alreadyPartitioned &&
+			partialInsertionSim(less, swap, lo, pivotPos, probe) &&
+			partialInsertionSim(less, swap, pivotPos+1, hi, probe) {
+			return
+		}
+
+		pdqLoopSim(less, swap, lo, pivotPos, badAllowed, leftmost, probe)
+		lo = pivotPos + 1
+		leftmost = false
+	}
+}
+
+// partitionRightSim mirrors pdqsort's partition_right: the pivot sits at
+// index lo until final placement.
+func partitionRightSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) (int, bool) {
+	first, last := lo+1, hi
+	for {
+		l := less(first, lo)
+		probe.branch(sitePartition, l)
+		if !l {
+			break
+		}
+		first++
+	}
+	if first-1 == lo {
+		for first < last {
+			last--
+			l := less(last, lo)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+		}
+	} else {
+		for {
+			last--
+			l := less(last, lo)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+		}
+	}
+
+	alreadyPartitioned := first >= last
+	for first < last {
+		// The elements at first/last are swapped; the pivot stays at lo.
+		swapAvoidingPivot(swap, first, last, lo)
+		first++
+		for {
+			l := less(first, lo)
+			probe.branch(sitePartition, l)
+			if !l {
+				break
+			}
+			first++
+		}
+		for {
+			last--
+			l := less(last, lo)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+		}
+	}
+
+	pivotPos := first - 1
+	swap(lo, pivotPos)
+	return pivotPos, alreadyPartitioned
+}
+
+func partitionLeftSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) int {
+	first, last := lo, hi
+	for {
+		last--
+		l := less(lo, last)
+		probe.branch(sitePartition, l)
+		if !l {
+			break
+		}
+	}
+	if last+1 == hi {
+		for first < last {
+			first++
+			l := less(lo, first)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+		}
+	} else {
+		for {
+			first++
+			l := less(lo, first)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+		}
+	}
+
+	for first < last {
+		swapAvoidingPivot(swap, first, last, lo)
+		for {
+			last--
+			l := less(lo, last)
+			probe.branch(sitePartition, l)
+			if !l {
+				break
+			}
+		}
+		for {
+			first++
+			l := less(lo, first)
+			probe.branch(sitePartition, l)
+			if l {
+				break
+			}
+		}
+	}
+
+	swap(lo, last)
+	return last
+}
+
+func swapAvoidingPivot(swap swapFn, i, j, pivot int) {
+	// In the index-pivot formulation the scans never cross the pivot slot,
+	// so i and j are distinct from it; this guard documents the invariant.
+	if i == pivot || j == pivot {
+		panic("perfmodel: partition scan crossed the pivot slot")
+	}
+	swap(i, j)
+}
+
+func partialInsertionSim(less lessFn, swap swapFn, lo, hi int, probe *Probe) bool {
+	if lo == hi {
+		return true
+	}
+	const limitMax = 8
+	limit := 0
+	for cur := lo + 1; cur < hi; cur++ {
+		if limit > limitMax {
+			return false
+		}
+		sift := cur
+		for sift > lo {
+			l := less(sift, sift-1)
+			probe.branch(siteInsertion, l)
+			if !l {
+				break
+			}
+			swap(sift, sift-1)
+			sift--
+		}
+		limit += cur - sift
+	}
+	return true
+}

@@ -1,0 +1,43 @@
+package radix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkSortByKeyWidth(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 1 << 15
+	for _, keyW := range []int{4, 8, 16} {
+		rowW := (keyW + 4 + 7) &^ 7
+		base := makeRows(n, rowW, keyW, rng)
+		b.Run(fmt.Sprintf("keyW=%d", keyW), func(b *testing.B) {
+			data := make([]byte, len(base))
+			b.SetBytes(int64(len(base)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(data, base)
+				Sort(data, rowW, keyW)
+			}
+		})
+	}
+}
+
+func BenchmarkSortDuplicateHeavy(b *testing.B) {
+	// Few distinct keys: the single-bucket skip and small-bucket insertion
+	// paths dominate.
+	rng := rand.New(rand.NewSource(2))
+	const n, rowW, keyW = 1 << 15, 16, 8
+	base := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		base[i*rowW+6] = byte(rng.Intn(4))
+		base[i*rowW+7] = byte(rng.Intn(4))
+	}
+	b.ReportAllocs()
+	data := make([]byte, len(base))
+	for i := 0; i < b.N; i++ {
+		copy(data, base)
+		Sort(data, rowW, keyW)
+	}
+}

@@ -1,0 +1,264 @@
+package radix
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// makeRows builds n rows of rowW bytes whose first keyW bytes are random key
+// material and whose remaining bytes are a per-row payload marker derived
+// from the key, so tests can verify that payload travels with its key.
+func makeRows(n, rowW, keyW int, rng *rand.Rand) []byte {
+	data := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		row := data[i*rowW : (i+1)*rowW]
+		rng.Read(row[:keyW])
+		sum := byte(0)
+		for _, b := range row[:keyW] {
+			sum += b
+		}
+		for j := keyW; j < rowW; j++ {
+			row[j] = sum
+		}
+	}
+	return data
+}
+
+func sortedOracle(data []byte, rowW, keyW int) []byte {
+	n := len(data) / rowW
+	rows := make([][]byte, n)
+	for i := range rows {
+		rows[i] = append([]byte(nil), data[i*rowW:(i+1)*rowW]...)
+	}
+	sort.SliceStable(rows, func(i, j int) bool {
+		return bytes.Compare(rows[i][:keyW], rows[j][:keyW]) < 0
+	})
+	out := make([]byte, 0, len(data))
+	for _, r := range rows {
+		out = append(out, r...)
+	}
+	return out
+}
+
+func checkSorted(t *testing.T, data []byte, rowW, keyW int, ctx string) {
+	t.Helper()
+	n := len(data) / rowW
+	for i := 1; i < n; i++ {
+		prev := data[(i-1)*rowW : (i-1)*rowW+keyW]
+		cur := data[i*rowW : i*rowW+keyW]
+		if bytes.Compare(prev, cur) > 0 {
+			t.Fatalf("%s: rows %d,%d out of order", ctx, i-1, i)
+		}
+	}
+}
+
+func TestSortMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	shapes := []struct{ rowW, keyW int }{
+		{4, 4}, {8, 4}, {8, 8}, {16, 8}, {16, 12}, {24, 17}, {12, 1},
+	}
+	for _, sz := range []int{0, 1, 2, 24, 25, 100, 1000, 5000} {
+		for _, sh := range shapes {
+			data := makeRows(sz, sh.rowW, sh.keyW, rng)
+			want := sortedOracle(data, sh.rowW, sh.keyW)
+			Sort(data, sh.rowW, sh.keyW)
+			if !bytes.Equal(data, want) {
+				t.Fatalf("n=%d rowW=%d keyW=%d: mismatch with oracle", sz, sh.rowW, sh.keyW)
+			}
+		}
+	}
+}
+
+func TestLSDIsStable(t *testing.T) {
+	// Keys with few distinct values; payload records original index. LSD
+	// radix sort must preserve input order among equal keys.
+	rng := rand.New(rand.NewSource(12))
+	const n, rowW, keyW = 2000, 8, 2
+	data := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		row := data[i*rowW:]
+		row[0] = byte(rng.Intn(3))
+		row[1] = byte(rng.Intn(3))
+		binary.BigEndian.PutUint32(row[4:], uint32(i))
+	}
+	SortOpts(data, rowW, keyW, Options{ForceLSD: true})
+	for i := 1; i < n; i++ {
+		prev, cur := data[(i-1)*rowW:(i-1)*rowW+rowW], data[i*rowW:i*rowW+rowW]
+		c := bytes.Compare(prev[:keyW], cur[:keyW])
+		if c > 0 {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if c == 0 && binary.BigEndian.Uint32(prev[4:]) > binary.BigEndian.Uint32(cur[4:]) {
+			t.Fatalf("LSD unstable at %d", i)
+		}
+	}
+}
+
+func TestMSDForcedMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	data := makeRows(3000, 8, 4, rng) // keyW=4 would normally pick LSD
+	want := sortedOracle(data, 8, 4)
+	st := SortOpts(data, 8, 4, Options{ForceMSD: true})
+	if !st.UsedMSD {
+		t.Fatal("ForceMSD ignored")
+	}
+	if !bytes.Equal(data, want) {
+		t.Fatal("forced MSD mismatch")
+	}
+}
+
+func TestSelectionRule(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	d4 := makeRows(500, 8, 4, rng)
+	if st := Sort(d4, 8, 4); st.UsedMSD {
+		t.Fatal("keyW=4 should select LSD")
+	}
+	d5 := makeRows(500, 8, 5, rng)
+	if st := Sort(d5, 8, 5); !st.UsedMSD {
+		t.Fatal("keyW=5 should select MSD")
+	}
+}
+
+func TestSingleBucketSkip(t *testing.T) {
+	// All rows share the first 6 key bytes; with skip enabled, MSD should
+	// skip those levels without scatter passes.
+	rng := rand.New(rand.NewSource(15))
+	const n, rowW, keyW = 5000, 8, 8
+	data := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		row := data[i*rowW:]
+		copy(row, []byte{1, 2, 3, 4, 5, 6})
+		row[6] = byte(rng.Intn(256))
+		row[7] = byte(rng.Intn(256))
+	}
+	cp := append([]byte(nil), data...)
+
+	st := Sort(data, rowW, keyW)
+	if st.SkippedPasses < 6 {
+		t.Fatalf("expected >=6 skipped passes, got %d", st.SkippedPasses)
+	}
+	checkSorted(t, data, rowW, keyW, "with skip")
+
+	st2 := SortOpts(cp, rowW, keyW, Options{NoSingleBucketSkip: true})
+	if st2.SkippedPasses != 0 {
+		t.Fatalf("skip disabled but %d passes skipped", st2.SkippedPasses)
+	}
+	if !bytes.Equal(data, cp) {
+		t.Fatal("skip on/off disagree")
+	}
+}
+
+func TestLSDSkipOnConstantBytes(t *testing.T) {
+	// 4-byte keys whose middle two bytes are constant: two LSD passes must
+	// be skipped.
+	rng := rand.New(rand.NewSource(16))
+	const n, rowW, keyW = 1000, 4, 4
+	data := make([]byte, n*rowW)
+	for i := 0; i < n; i++ {
+		row := data[i*rowW:]
+		row[0] = byte(rng.Intn(256))
+		row[1] = 0xAA
+		row[2] = 0xBB
+		row[3] = byte(rng.Intn(256))
+	}
+	st := Sort(data, rowW, keyW)
+	if st.SkippedPasses != 2 {
+		t.Fatalf("expected 2 skipped passes, got %d", st.SkippedPasses)
+	}
+	checkSorted(t, data, rowW, keyW, "lsd skip")
+}
+
+func TestPayloadTravelsWithKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, force := range []Options{{ForceLSD: true}, {ForceMSD: true}} {
+		data := makeRows(2000, 12, 6, rng)
+		SortOpts(data, 12, 6, force)
+		for i := 0; i < len(data)/12; i++ {
+			row := data[i*12 : (i+1)*12]
+			sum := byte(0)
+			for _, b := range row[:6] {
+				sum += b
+			}
+			for j := 6; j < 12; j++ {
+				if row[j] != sum {
+					t.Fatalf("payload separated from key at row %d (force=%+v)", i, force)
+				}
+			}
+		}
+	}
+}
+
+func TestInsertionCutoffOption(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	data := makeRows(4000, 8, 8, rng)
+	want := sortedOracle(data, 8, 8)
+	SortOpts(data, 8, 8, Options{InsertionCutoff: 128})
+	if !bytes.Equal(data, want) {
+		t.Fatal("custom cutoff mismatch")
+	}
+}
+
+func TestSortPanicsOnBadArgs(t *testing.T) {
+	mustPanic := func(f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected panic")
+			}
+		}()
+		f()
+	}
+	mustPanic(func() { Sort(make([]byte, 7), 4, 4) })
+	mustPanic(func() { Sort(make([]byte, 8), 4, 5) })
+	mustPanic(func() { Sort(make([]byte, 8), 0, 0) })
+}
+
+func TestSortQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	f := func(nRows uint16, keySel uint8) bool {
+		n := int(nRows) % 3000
+		keyW := 1 + int(keySel)%12
+		rowW := keyW + 4
+		if rowW%2 == 1 {
+			rowW++
+		}
+		data := makeRows(n, rowW, keyW, rng)
+		want := sortedOracle(data, rowW, keyW)
+		Sort(data, rowW, keyW)
+		return bytes.Equal(data, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHybridPdqCutoffMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for _, cutoff := range []int{64, 512, 4096} {
+		data := makeRows(6000, 16, 10, rng)
+		want := sortedOracle(data, 16, 10)
+		st := SortOpts(data, 16, 10, Options{PdqCutoff: cutoff})
+		if !bytes.Equal(data, want) {
+			t.Fatalf("cutoff=%d: hybrid sort mismatch", cutoff)
+		}
+		if !st.UsedMSD {
+			t.Fatal("10-byte keys should use MSD")
+		}
+		if st.PdqBuckets == 0 {
+			t.Fatalf("cutoff=%d: expected pdq buckets to be used", cutoff)
+		}
+	}
+}
+
+func TestHybridDisabledByDefault(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	data := makeRows(3000, 16, 10, rng)
+	st := Sort(data, 16, 10)
+	if st.PdqBuckets != 0 {
+		t.Fatal("hybrid should be off by default")
+	}
+}

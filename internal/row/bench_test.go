@@ -1,0 +1,67 @@
+package row
+
+import (
+	"testing"
+
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func benchChunk(n int) ([]vector.Type, []*vector.Vector) {
+	rng := workload.NewRNG(1)
+	types := []vector.Type{vector.Int32, vector.Int64, vector.Float64, vector.Varchar}
+	i32 := vector.New(vector.Int32, n)
+	i64 := vector.New(vector.Int64, n)
+	f64 := vector.New(vector.Float64, n)
+	str := vector.New(vector.Varchar, n)
+	for i := 0; i < n; i++ {
+		i32.AppendInt32(int32(rng.Uint32()))
+		i64.AppendInt64(int64(rng.Uint64()))
+		f64.AppendFloat64(rng.Float64())
+		str.AppendString("payload-string")
+	}
+	return types, []*vector.Vector{i32, i64, f64, str}
+}
+
+// BenchmarkScatter measures the DSM-to-NSM conversion (Figure 1, left).
+func BenchmarkScatter(b *testing.B) {
+	types, vecs := benchChunk(1 << 14)
+	layout := NewLayout(types)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs := NewRowSet(layout)
+		if err := rs.AppendChunk(vecs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGather measures the NSM-to-DSM conversion (Figure 1, right).
+func BenchmarkGather(b *testing.B) {
+	types, vecs := benchChunk(1 << 14)
+	rs := NewRowSet(NewLayout(types))
+	if err := rs.AppendChunk(vecs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rs.GatherChunk(0, rs.Len())
+	}
+}
+
+// BenchmarkAppendRowFrom measures run payload reordering.
+func BenchmarkAppendRowFrom(b *testing.B) {
+	types, vecs := benchChunk(1 << 14)
+	src := NewRowSet(NewLayout(types))
+	if err := src.AppendChunk(vecs); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dst := NewRowSet(src.Layout())
+		dst.Reserve(src.Len())
+		for r := src.Len() - 1; r >= 0; r-- {
+			dst.AppendRowFrom(src, r)
+		}
+	}
+}

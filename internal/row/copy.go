@@ -1,0 +1,67 @@
+package row
+
+import (
+	"encoding/binary"
+	"math"
+
+	"rowsort/internal/vector"
+)
+
+// AppendTo appends column c of row i to v, which must match the column's
+// type. It is the single-value gather used when output rows are scattered
+// across sorted runs.
+func (rs *RowSet) AppendTo(v *vector.Vector, i, c int) {
+	l := rs.layout
+	rowb := rs.Row(i)
+	if !l.valid(rowb, c) {
+		v.AppendNull()
+		return
+	}
+	off := l.offsets[c]
+	switch l.types[c] {
+	case vector.Bool:
+		v.AppendBool(rowb[off] != 0)
+	case vector.Int8:
+		v.AppendInt8(int8(rowb[off]))
+	case vector.Uint8:
+		v.AppendUint8(rowb[off])
+	case vector.Int16:
+		v.AppendInt16(int16(binary.LittleEndian.Uint16(rowb[off:])))
+	case vector.Uint16:
+		v.AppendUint16(binary.LittleEndian.Uint16(rowb[off:]))
+	case vector.Int32:
+		v.AppendInt32(int32(binary.LittleEndian.Uint32(rowb[off:])))
+	case vector.Uint32:
+		v.AppendUint32(binary.LittleEndian.Uint32(rowb[off:]))
+	case vector.Int64:
+		v.AppendInt64(int64(binary.LittleEndian.Uint64(rowb[off:])))
+	case vector.Uint64:
+		v.AppendUint64(binary.LittleEndian.Uint64(rowb[off:]))
+	case vector.Float32:
+		v.AppendFloat32(math.Float32frombits(binary.LittleEndian.Uint32(rowb[off:])))
+	case vector.Float64:
+		v.AppendFloat64(math.Float64frombits(binary.LittleEndian.Uint64(rowb[off:])))
+	case vector.Varchar:
+		v.AppendString(rs.String(i, c))
+	}
+}
+
+// AppendRowFrom appends row i of src, which must share the layout, copying
+// any string data into this set's heap. It is how sorted runs physically
+// reorder their payload after the keys are sorted.
+func (rs *RowSet) AppendRowFrom(src *RowSet, i int) {
+	rs.data = append(rs.data, src.Row(i)...)
+	rs.n++
+	dst := rs.Row(rs.n - 1)
+	// Rewrite heap references for valid varchar columns.
+	for c, t := range rs.layout.types {
+		if t != vector.Varchar || !rs.layout.valid(dst, c) {
+			continue
+		}
+		off := rs.layout.offsets[c]
+		srcOff := binary.LittleEndian.Uint32(dst[off:])
+		length := binary.LittleEndian.Uint32(dst[off+4:])
+		binary.LittleEndian.PutUint32(dst[off:], uint32(len(rs.heap)))
+		rs.heap = append(rs.heap, src.heap[srcOff:srcOff+length]...)
+	}
+}

@@ -1,0 +1,304 @@
+package row
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"rowsort/internal/vector"
+)
+
+// RowSet is a materialized collection of fixed-width rows plus a string
+// heap. Rows are stored back to back in one flat buffer, so a sorted RowSet
+// doubles as a sorted run for the merge phase.
+type RowSet struct {
+	layout *Layout
+	data   []byte
+	heap   []byte
+	n      int
+}
+
+// NewRowSet returns an empty row set with the given layout.
+func NewRowSet(layout *Layout) *RowSet {
+	return &RowSet{layout: layout}
+}
+
+// Layout returns the row layout.
+func (rs *RowSet) Layout() *Layout { return rs.layout }
+
+// Len returns the number of rows.
+func (rs *RowSet) Len() int { return rs.n }
+
+// Bytes returns the flat row buffer (rows of Layout().Width() bytes).
+func (rs *RowSet) Bytes() []byte { return rs.data }
+
+// Row returns row i's bytes, aliasing the underlying buffer.
+func (rs *RowSet) Row(i int) []byte {
+	w := rs.layout.width
+	return rs.data[i*w : (i+1)*w]
+}
+
+// Reserve grows the row buffer capacity to hold at least n rows.
+func (rs *RowSet) Reserve(n int) {
+	need := n * rs.layout.width
+	if cap(rs.data) < need {
+		nd := make([]byte, len(rs.data), need)
+		copy(nd, rs.data)
+		rs.data = nd
+	}
+}
+
+// AppendChunk scatters the chunk's vectors into rows (DSM to NSM). Vectors
+// must match the layout's types in order. Conversion runs one vector at a
+// time so per-column type dispatch happens once per vector, not once per
+// value — the vectorized engine's way of amortizing interpretation.
+func (rs *RowSet) AppendChunk(vecs []*vector.Vector) error {
+	if len(vecs) != len(rs.layout.types) {
+		return fmt.Errorf("row: got %d vectors for %d columns", len(vecs), len(rs.layout.types))
+	}
+	n := -1
+	for c, v := range vecs {
+		if v.Type() != rs.layout.types[c] {
+			return fmt.Errorf("row: column %d is %v, layout wants %v", c, v.Type(), rs.layout.types[c])
+		}
+		if n == -1 {
+			n = v.Len()
+		} else if v.Len() != n {
+			return fmt.Errorf("row: column %d has %d rows, want %d", c, v.Len(), n)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+
+	w := rs.layout.width
+	start := rs.n
+	rs.data = append(rs.data, make([]byte, n*w)...)
+	// All-valid masks by default; scatterColumn clears bits for NULLs.
+	for r := 0; r < n; r++ {
+		copy(rs.Row(start+r), rs.layout.maskInit)
+	}
+	rs.n += n
+	for c, v := range vecs {
+		rs.scatterColumn(c, v, start)
+	}
+	return nil
+}
+
+// scatterColumn writes column c of n rows starting at row index start.
+func (rs *RowSet) scatterColumn(c int, v *vector.Vector, start int) {
+	l := rs.layout
+	off := l.offsets[c]
+	n := v.Len()
+	switch v.Type() {
+	case vector.Bool:
+		vals := v.Bools()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			if vals[r] {
+				row[off] = 1
+			} else {
+				row[off] = 0
+			}
+		}
+	case vector.Int8:
+		vals := v.Int8s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			row[off] = byte(vals[r])
+		}
+	case vector.Uint8:
+		vals := v.Uint8s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			row[off] = vals[r]
+		}
+	case vector.Int16:
+		vals := v.Int16s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint16(row[off:], uint16(vals[r]))
+		}
+	case vector.Uint16:
+		vals := v.Uint16s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint16(row[off:], vals[r])
+		}
+	case vector.Int32:
+		vals := v.Int32s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint32(row[off:], uint32(vals[r]))
+		}
+	case vector.Uint32:
+		vals := v.Uint32s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint32(row[off:], vals[r])
+		}
+	case vector.Int64:
+		vals := v.Int64s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint64(row[off:], uint64(vals[r]))
+		}
+	case vector.Uint64:
+		vals := v.Uint64s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint64(row[off:], vals[r])
+		}
+	case vector.Float32:
+		vals := v.Float32s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint32(row[off:], math.Float32bits(vals[r]))
+		}
+	case vector.Float64:
+		vals := v.Float64s()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			binary.LittleEndian.PutUint64(row[off:], math.Float64bits(vals[r]))
+		}
+	case vector.Varchar:
+		vals := v.Strings()
+		for r := 0; r < n; r++ {
+			row := rs.Row(start + r)
+			if !v.Valid(r) {
+				l.setValid(row, c, false)
+				continue
+			}
+			s := vals[r]
+			binary.LittleEndian.PutUint32(row[off:], uint32(len(rs.heap)))
+			binary.LittleEndian.PutUint32(row[off+4:], uint32(len(s)))
+			rs.heap = append(rs.heap, s...)
+		}
+	}
+}
+
+// String returns the string value of column c in row i. The column must be
+// a valid Varchar.
+func (rs *RowSet) String(i, c int) string {
+	row := rs.Row(i)
+	off := rs.layout.offsets[c]
+	ho := binary.LittleEndian.Uint32(row[off:])
+	hl := binary.LittleEndian.Uint32(row[off+4:])
+	return string(rs.heap[ho : ho+hl])
+}
+
+// Valid reports whether column c of row i is non-NULL.
+func (rs *RowSet) Valid(i, c int) bool { return rs.layout.valid(rs.Row(i), c) }
+
+// Value returns column c of row i as an any (nil for NULL). For tests and
+// debugging.
+func (rs *RowSet) Value(i, c int) any {
+	row := rs.Row(i)
+	l := rs.layout
+	if !l.valid(row, c) {
+		return nil
+	}
+	off := l.offsets[c]
+	switch l.types[c] {
+	case vector.Bool:
+		return row[off] != 0
+	case vector.Int8:
+		return int8(row[off])
+	case vector.Uint8:
+		return row[off]
+	case vector.Int16:
+		return int16(binary.LittleEndian.Uint16(row[off:]))
+	case vector.Uint16:
+		return binary.LittleEndian.Uint16(row[off:])
+	case vector.Int32:
+		return int32(binary.LittleEndian.Uint32(row[off:]))
+	case vector.Uint32:
+		return binary.LittleEndian.Uint32(row[off:])
+	case vector.Int64:
+		return int64(binary.LittleEndian.Uint64(row[off:]))
+	case vector.Uint64:
+		return binary.LittleEndian.Uint64(row[off:])
+	case vector.Float32:
+		return math.Float32frombits(binary.LittleEndian.Uint32(row[off:]))
+	case vector.Float64:
+		return math.Float64frombits(binary.LittleEndian.Uint64(row[off:]))
+	case vector.Varchar:
+		return rs.String(i, c)
+	}
+	return nil
+}
+
+// GatherChunk converts rows [start, start+count) back to vectors (NSM to
+// DSM), returning one vector per column.
+func (rs *RowSet) GatherChunk(start, count int) []*vector.Vector {
+	idx := make([]int, count)
+	for i := range idx {
+		idx[i] = start + i
+	}
+	return rs.GatherIndexed(idx)
+}
+
+// GatherIndexed converts the rows named by indices back to vectors, in
+// index order. This is how payload is retrieved in sorted order after the
+// keys have been sorted: the sorted keys carry row indices, and the payload
+// rows are gathered through them.
+func (rs *RowSet) GatherIndexed(indices []int) []*vector.Vector {
+	l := rs.layout
+	out := make([]*vector.Vector, len(l.types))
+	for c, t := range l.types {
+		v := vector.New(t, len(indices))
+		out[c] = v
+		rs.gatherColumn(c, indices, v)
+	}
+	return out
+}
+
+func (rs *RowSet) gatherColumn(c int, indices []int, v *vector.Vector) {
+	for _, i := range indices {
+		rs.AppendTo(v, i, c)
+	}
+}

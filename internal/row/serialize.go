@@ -1,0 +1,58 @@
+package row
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// serializeMagic guards against reading unrelated files as row sets.
+const serializeMagic = uint32(0x524F5753) // "ROWS"
+
+// WriteTo serializes the row set (row count, row bytes, heap) to w. The
+// layout itself is not serialized; the reader must supply an identical one.
+// This is the unified on-disk form that lets sorted runs spill to secondary
+// storage (the paper's future-work direction).
+func (rs *RowSet) WriteTo(w io.Writer) (int64, error) {
+	var hdr [20]byte
+	binary.LittleEndian.PutUint32(hdr[0:], serializeMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(rs.n))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(len(rs.data)))
+	binary.LittleEndian.PutUint32(hdr[16:], uint32(len(rs.heap)))
+	written := int64(0)
+	for _, buf := range [][]byte{hdr[:], rs.data, rs.heap} {
+		n, err := w.Write(buf)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// ReadRowSet deserializes a row set written by WriteTo, using the given
+// layout (which must match the writer's).
+func ReadRowSet(r io.Reader, layout *Layout) (*RowSet, error) {
+	var hdr [20]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("row: reading header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != serializeMagic {
+		return nil, fmt.Errorf("row: bad magic in serialized row set")
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[4:]))
+	dataLen := int(binary.LittleEndian.Uint64(hdr[8:]))
+	heapLen := int(binary.LittleEndian.Uint32(hdr[16:]))
+	if dataLen != n*layout.Width() {
+		return nil, fmt.Errorf("row: serialized data length %d does not match %d rows of width %d",
+			dataLen, n, layout.Width())
+	}
+	rs := &RowSet{layout: layout, n: n, data: make([]byte, dataLen), heap: make([]byte, heapLen)}
+	if _, err := io.ReadFull(r, rs.data); err != nil {
+		return nil, fmt.Errorf("row: reading rows: %w", err)
+	}
+	if _, err := io.ReadFull(r, rs.heap); err != nil {
+		return nil, fmt.Errorf("row: reading heap: %w", err)
+	}
+	return rs, nil
+}

@@ -1,0 +1,47 @@
+package sortalgo
+
+import "fmt"
+
+// Algorithm selects one of the package's sorting algorithms by name, so the
+// micro-benchmarks can sweep algorithms while holding the data format and
+// comparison strategy fixed (the paper compares each algorithm only against
+// itself).
+type Algorithm uint8
+
+// The selectable algorithms.
+const (
+	// AlgIntrosort is the std::sort analog.
+	AlgIntrosort Algorithm = iota
+	// AlgStable is the std::stable_sort analog.
+	AlgStable
+	// AlgPdq is pattern-defeating quicksort.
+	AlgPdq
+)
+
+// String returns the algorithm's display name.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgIntrosort:
+		return "introsort"
+	case AlgStable:
+		return "stablesort"
+	case AlgPdq:
+		return "pdqsort"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", uint8(a))
+	}
+}
+
+// SortSlice sorts a with the selected algorithm.
+func SortSlice[E any](alg Algorithm, a []E, less LessFunc[E]) {
+	switch alg {
+	case AlgIntrosort:
+		Introsort(a, less)
+	case AlgStable:
+		StableSort(a, less)
+	case AlgPdq:
+		Pdqsort(a, less)
+	default:
+		panic(fmt.Sprintf("sortalgo: unknown algorithm %d", alg))
+	}
+}

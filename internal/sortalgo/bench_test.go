@@ -1,0 +1,92 @@
+package sortalgo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"rowsort/internal/workload"
+)
+
+func benchInput(n int) []uint32 {
+	rng := workload.NewRNG(1)
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = rng.Uint32()
+	}
+	return out
+}
+
+func BenchmarkGenericSorts(b *testing.B) {
+	in := benchInput(1 << 16)
+	algs := []struct {
+		name string
+		run  func([]uint32)
+	}{
+		{"introsort", func(a []uint32) { Introsort(a, func(x, y uint32) bool { return x < y }) }},
+		{"stablesort", func(a []uint32) { StableSort(a, func(x, y uint32) bool { return x < y }) }},
+		{"pdqsort", func(a []uint32) { Pdqsort(a, func(x, y uint32) bool { return x < y }) }},
+	}
+	for _, alg := range algs {
+		b.Run(alg.name, func(b *testing.B) {
+			buf := make([]uint32, len(in))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(buf, in)
+				alg.run(buf)
+			}
+		})
+	}
+}
+
+// BenchmarkPdqsortPatterns shows pattern-defeating behaviour: sorted and
+// all-equal inputs should be far faster than random.
+func BenchmarkPdqsortPatterns(b *testing.B) {
+	n := 1 << 16
+	patterns := map[string]func(i int) uint32{
+		"random":   func(i int) uint32 { return uint32(i*2654435761 + 12345) },
+		"sorted":   func(i int) uint32 { return uint32(i) },
+		"reversed": func(i int) uint32 { return uint32(n - i) },
+		"allEqual": func(int) uint32 { return 7 },
+	}
+	for name, gen := range patterns {
+		in := make([]uint32, n)
+		for i := range in {
+			in[i] = gen(i)
+		}
+		b.Run(name, func(b *testing.B) {
+			buf := make([]uint32, n)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				copy(buf, in)
+				Pdqsort(buf, func(x, y uint32) bool { return x < y })
+			}
+		})
+	}
+}
+
+func BenchmarkRowsSorts(b *testing.B) {
+	for _, width := range []int{8, 16, 32} {
+		n := 1 << 14
+		rng := workload.NewRNG(2)
+		base := make([]byte, n*width)
+		for i := 0; i < n; i++ {
+			binary.BigEndian.PutUint64(base[i*width:], rng.Uint64())
+		}
+		for _, alg := range []string{"introsort", "pdqsort"} {
+			b.Run(fmt.Sprintf("width=%d/%s", width, alg), func(b *testing.B) {
+				buf := make([]byte, len(base))
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					copy(buf, base)
+					r := NewRows(buf, width)
+					if alg == "introsort" {
+						r.Introsort()
+					} else {
+						r.Pdqsort()
+					}
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,190 @@
+// Package sortalgo implements the sorting algorithms the paper benchmarks:
+// introsort (the std::sort analog), a stable bottom-up merge sort (the
+// std::stable_sort analog), and pdqsort (pattern-defeating quicksort), plus
+// the insertion sort and heapsort they bottom out in.
+//
+// Every algorithm exists in two forms: a generic slice form used by the
+// micro-benchmarks (sorting columns of integers, index arrays, or struct
+// rows), and a fixed-stride byte-row form (rows.go) used to sort normalized
+// keys in place, which is how the DuckDB-style sorter of package core moves
+// whole key rows to improve cache locality.
+package sortalgo
+
+import "math/bits"
+
+// Thresholds shared by the quicksort family. They follow the reference
+// pdqsort implementation.
+const (
+	insertionThreshold = 24  // below this, insertion sort
+	nintherThreshold   = 128 // above this, median of three medians
+	partialInsertLimit = 8   // moves allowed by the pattern detector
+)
+
+// LessFunc compares two elements; it must describe a strict weak ordering.
+type LessFunc[E any] func(a, b E) bool
+
+// Insertion sorts a with insertion sort. It is stable.
+func Insertion[E any](a []E, less LessFunc[E]) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && less(a[j], a[j-1]); j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// Heapsort sorts a with a binary max-heap. It is the fallback that bounds
+// introsort and pdqsort to O(n log n).
+func Heapsort[E any](a []E, less LessFunc[E]) {
+	n := len(a)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDown(a, i, n, less)
+	}
+	for i := n - 1; i > 0; i-- {
+		a[0], a[i] = a[i], a[0]
+		siftDown(a, 0, i, less)
+	}
+}
+
+func siftDown[E any](a []E, root, n int, less LessFunc[E]) {
+	for {
+		child := 2*root + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && less(a[child], a[child+1]) {
+			child++
+		}
+		if !less(a[root], a[child]) {
+			return
+		}
+		a[root], a[child] = a[child], a[root]
+		root = child
+	}
+}
+
+// Introsort sorts a with introspective sort: median-of-three quicksort that
+// switches to heapsort past a depth limit and to insertion sort for small
+// ranges. This is the std::sort analog the paper uses for its layout
+// experiments.
+func Introsort[E any](a []E, less LessFunc[E]) {
+	if len(a) < 2 {
+		return
+	}
+	introsortLoop(a, 2*log2(len(a)), less)
+}
+
+func log2(n int) int { return bits.Len(uint(n)) - 1 }
+
+func introsortLoop[E any](a []E, depth int, less LessFunc[E]) {
+	for len(a) > insertionThreshold {
+		if depth == 0 {
+			Heapsort(a, less)
+			return
+		}
+		depth--
+		p := partitionMedian3(a, less)
+		// Recurse into the smaller side to bound stack depth.
+		if p < len(a)-p-1 {
+			introsortLoop(a[:p], depth, less)
+			a = a[p+1:]
+		} else {
+			introsortLoop(a[p+1:], depth, less)
+			a = a[:p]
+		}
+	}
+	Insertion(a, less)
+}
+
+// partitionMedian3 places a median-of-three pivot and partitions a around
+// it, returning the pivot's final index.
+func partitionMedian3[E any](a []E, less LessFunc[E]) int {
+	n := len(a)
+	medianOfThree(a, 0, n/2, n-1, less)
+	// Pivot is at a[n/2]; move to front for a Hoare-style partition.
+	a[0], a[n/2] = a[n/2], a[0]
+	return partitionRight(a, less)
+}
+
+// medianOfThree orders a[i0], a[i1], a[i2] so that a[i1] is the median.
+func medianOfThree[E any](a []E, i0, i1, i2 int, less LessFunc[E]) {
+	if less(a[i1], a[i0]) {
+		a[i1], a[i0] = a[i0], a[i1]
+	}
+	if less(a[i2], a[i1]) {
+		a[i2], a[i1] = a[i1], a[i2]
+		if less(a[i1], a[i0]) {
+			a[i1], a[i0] = a[i0], a[i1]
+		}
+	}
+}
+
+// partitionRight partitions a[1:] around the pivot at a[0], placing elements
+// < pivot before it. Returns the pivot's final index. Elements equal to the
+// pivot end up in the right partition.
+func partitionRight[E any](a []E, less LessFunc[E]) int {
+	pivot := a[0]
+	i, j := 1, len(a)-1
+	for {
+		for i <= j && less(a[i], pivot) {
+			i++
+		}
+		for i <= j && !less(a[j], pivot) {
+			j--
+		}
+		if i > j {
+			break
+		}
+		a[i], a[j] = a[j], a[i]
+		i++
+		j--
+	}
+	a[0], a[j] = a[j], a[0]
+	return j
+}
+
+// StableSort sorts a with a bottom-up merge sort over insertion-sorted base
+// runs, allocating one auxiliary buffer. It is the std::stable_sort analog:
+// merges are sequential scans, which is the cache behaviour the paper
+// contrasts with quicksort in Figures 3 and 5.
+func StableSort[E any](a []E, less LessFunc[E]) {
+	n := len(a)
+	if n < 2 {
+		return
+	}
+	const base = 32
+	for lo := 0; lo < n; lo += base {
+		hi := min(lo+base, n)
+		Insertion(a[lo:hi], less)
+	}
+	buf := make([]E, n)
+	src, dst := a, buf
+	for width := base; width < n; width *= 2 {
+		for lo := 0; lo < n; lo += 2 * width {
+			mid := min(lo+width, n)
+			hi := min(lo+2*width, n)
+			mergeInto(dst[lo:hi], src[lo:mid], src[mid:hi], less)
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
+}
+
+// mergeInto merges the sorted runs left and right into out, preferring left
+// on ties so the sort stays stable. len(out) must equal len(left)+len(right).
+func mergeInto[E any](out, left, right []E, less LessFunc[E]) {
+	i, j, k := 0, 0, 0
+	for i < len(left) && j < len(right) {
+		if less(right[j], left[i]) {
+			out[k] = right[j]
+			j++
+		} else {
+			out[k] = left[i]
+			i++
+		}
+		k++
+	}
+	copy(out[k:], left[i:])
+	copy(out[k+len(left)-i:], right[j:])
+}

@@ -1,0 +1,235 @@
+package sortalgo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// inputs returns a family of adversarial and typical integer inputs.
+func inputs(n int, rng *rand.Rand) map[string][]uint32 {
+	m := map[string][]uint32{}
+
+	random := make([]uint32, n)
+	for i := range random {
+		random[i] = rng.Uint32()
+	}
+	m["random"] = random
+
+	sorted := make([]uint32, n)
+	for i := range sorted {
+		sorted[i] = uint32(i)
+	}
+	m["sorted"] = sorted
+
+	reversed := make([]uint32, n)
+	for i := range reversed {
+		reversed[i] = uint32(n - i)
+	}
+	m["reversed"] = reversed
+
+	equal := make([]uint32, n)
+	for i := range equal {
+		equal[i] = 42
+	}
+	m["allEqual"] = equal
+
+	fewUnique := make([]uint32, n)
+	for i := range fewUnique {
+		fewUnique[i] = uint32(rng.Intn(4))
+	}
+	m["fewUnique"] = fewUnique
+
+	organPipe := make([]uint32, n)
+	for i := range organPipe {
+		if i < n/2 {
+			organPipe[i] = uint32(i)
+		} else {
+			organPipe[i] = uint32(n - i)
+		}
+	}
+	m["organPipe"] = organPipe
+
+	nearlySorted := append([]uint32(nil), sorted...)
+	if n > 0 {
+		for k := 0; k < n/20+1; k++ {
+			i, j := rng.Intn(n), rng.Intn(n)
+			nearlySorted[i], nearlySorted[j] = nearlySorted[j], nearlySorted[i]
+		}
+	}
+	m["nearlySorted"] = nearlySorted
+
+	pushHeap := make([]uint32, n) // ascending sawtooth, a classic bad case
+	for i := range pushHeap {
+		pushHeap[i] = uint32(i % 17)
+	}
+	m["sawtooth"] = pushHeap
+
+	return m
+}
+
+var algorithms = map[string]func([]uint32, LessFunc[uint32]){
+	"Insertion":  Insertion[uint32],
+	"Heapsort":   Heapsort[uint32],
+	"Introsort":  Introsort[uint32],
+	"StableSort": StableSort[uint32],
+	"Pdqsort":    Pdqsort[uint32],
+}
+
+func TestAlgorithmsSortCorrectly(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for name, alg := range algorithms {
+		sizes := []int{0, 1, 2, 3, 10, 24, 25, 100, 1000, 5000}
+		if name == "Insertion" {
+			sizes = []int{0, 1, 2, 3, 10, 24, 100, 500}
+		}
+		for _, n := range sizes {
+			for shape, in := range inputs(n, rng) {
+				got := append([]uint32(nil), in...)
+				want := append([]uint32(nil), in...)
+				alg(got, func(a, b uint32) bool { return a < b })
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s on %s n=%d: index %d got %d want %d", name, shape, n, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAlgorithmsDescendingComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in := make([]uint32, 2000)
+	for i := range in {
+		in[i] = rng.Uint32() % 100
+	}
+	for name, alg := range algorithms {
+		got := append([]uint32(nil), in...)
+		alg(got, func(a, b uint32) bool { return a > b })
+		for i := 1; i < len(got); i++ {
+			if got[i] > got[i-1] {
+				t.Fatalf("%s: not descending at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestQuickSortedPermutation(t *testing.T) {
+	for name, alg := range algorithms {
+		if name == "Insertion" {
+			continue // quadratic; covered above at small n
+		}
+		alg := alg
+		f := func(in []uint32) bool {
+			got := append([]uint32(nil), in...)
+			alg(got, func(a, b uint32) bool { return a < b })
+			if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+				return false
+			}
+			// Permutation check via multiset counts.
+			counts := map[uint32]int{}
+			for _, x := range in {
+				counts[x]++
+			}
+			for _, x := range got {
+				counts[x]--
+			}
+			for _, c := range counts {
+				if c != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+type pair struct {
+	key uint32
+	seq int
+}
+
+func TestStableSortIsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	in := make([]pair, n)
+	for i := range in {
+		in[i] = pair{key: uint32(rng.Intn(16)), seq: i}
+	}
+	got := append([]pair(nil), in...)
+	StableSort(got, func(a, b pair) bool { return a.key < b.key })
+	for i := 1; i < n; i++ {
+		if got[i].key == got[i-1].key && got[i].seq < got[i-1].seq {
+			t.Fatalf("StableSort broke stability at %d", i)
+		}
+		if got[i].key < got[i-1].key {
+			t.Fatalf("StableSort not sorted at %d", i)
+		}
+	}
+}
+
+func TestInsertionIsStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	in := make([]pair, 300)
+	for i := range in {
+		in[i] = pair{key: uint32(rng.Intn(5)), seq: i}
+	}
+	Insertion(in, func(a, b pair) bool { return a.key < b.key })
+	for i := 1; i < len(in); i++ {
+		if in[i].key == in[i-1].key && in[i].seq < in[i-1].seq {
+			t.Fatal("Insertion broke stability")
+		}
+	}
+}
+
+func TestPartialInsertionGivesUp(t *testing.T) {
+	// A reversed run needs many moves, so the detector must bail out.
+	a := []uint32{9, 8, 7, 6, 5, 4, 3, 2, 1, 0}
+	if partialInsertion(a, 0, len(a), func(x, y uint32) bool { return x < y }) {
+		t.Fatal("partialInsertion should give up on a reversed run")
+	}
+	b := []uint32{0, 1, 2, 4, 3, 5, 6, 7}
+	if !partialInsertion(b, 0, len(b), func(x, y uint32) bool { return x < y }) {
+		t.Fatal("partialInsertion should finish a nearly sorted run")
+	}
+	if !sort.SliceIsSorted(b, func(i, j int) bool { return b[i] < b[j] }) {
+		t.Fatal("partialInsertion should have sorted the nearly sorted run")
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 1, 4: 2, 1024: 10, 1 << 20: 20}
+	for n, want := range cases {
+		if got := log2(n); got != want {
+			t.Errorf("log2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestHeapsortStrings(t *testing.T) {
+	in := []string{"pear", "apple", "fig", "apple", "banana", ""}
+	Heapsort(in, func(a, b string) bool { return a < b })
+	if !sort.StringsAreSorted(in) {
+		t.Fatalf("Heapsort strings: %v", in)
+	}
+}
+
+func TestIntrosortDepthLimitFallback(t *testing.T) {
+	// Median-of-3 killer-ish input: many duplicates plus adversarial order.
+	// We only assert correctness; the depth limit guarantees termination.
+	n := 1 << 14
+	in := make([]uint32, n)
+	for i := range in {
+		in[i] = uint32((i * 2654435761) % 64)
+	}
+	Introsort(in, func(a, b uint32) bool { return a < b })
+	if !sort.SliceIsSorted(in, func(i, j int) bool { return in[i] < in[j] }) {
+		t.Fatal("Introsort failed on adversarial duplicates")
+	}
+}

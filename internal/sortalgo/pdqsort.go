@@ -1,0 +1,224 @@
+package sortalgo
+
+// Pdqsort sorts a with pattern-defeating quicksort (Peters). Compared to
+// introsort it adds: detection of already-partitioned ranges finished with a
+// bounded insertion sort (fast on sorted and nearly-sorted inputs), grouping
+// of elements equal to the pivot (fast on low-cardinality keys — the
+// Correlated distributions), deterministic shuffling on unbalanced
+// partitions to defeat adversarial patterns, and the usual heapsort
+// fallback. This is the comparison-sort half of the paper's normalized-key
+// design: DuckDB sorts keys with pdqsort when strings are present.
+func Pdqsort[E any](a []E, less LessFunc[E]) {
+	if len(a) < 2 {
+		return
+	}
+	pdqLoop(a, 0, len(a), log2(len(a)), true, less)
+}
+
+func pdqLoop[E any](a []E, lo, hi, badAllowed int, leftmost bool, less LessFunc[E]) {
+	for {
+		size := hi - lo
+		if size < insertionThreshold {
+			Insertion(a[lo:hi], less)
+			return
+		}
+
+		// Choose a pivot: median of three, or median of three medians
+		// (ninther) for large ranges. The pivot ends up at a[lo].
+		s2 := size / 2
+		if size > nintherThreshold {
+			sort3(a, lo, lo+s2, hi-1, less)
+			sort3(a, lo+1, lo+s2-1, hi-2, less)
+			sort3(a, lo+2, lo+s2+1, hi-3, less)
+			sort3(a, lo+s2-1, lo+s2, lo+s2+1, less)
+			a[lo], a[lo+s2] = a[lo+s2], a[lo]
+		} else {
+			sort3(a, lo+s2, lo, hi-1, less)
+		}
+
+		// If the chosen pivot equals the predecessor of this range (the
+		// pivot of an ancestor partition), the range contains many elements
+		// equal to it: partition them to the left and skip past them.
+		if !leftmost && !less(a[lo-1], a[lo]) {
+			lo = partitionLeft(a, lo, hi, less) + 1
+			continue
+		}
+
+		pivotPos, alreadyPartitioned := pdqPartitionRight(a, lo, hi, less)
+
+		lSize, rSize := pivotPos-lo, hi-(pivotPos+1)
+		if lSize < size/8 || rSize < size/8 {
+			// Highly unbalanced: the pattern-defeating part. After too many
+			// bad partitions, give up on quicksort.
+			badAllowed--
+			if badAllowed <= 0 {
+				Heapsort(a[lo:hi], less)
+				return
+			}
+			// Break up common patterns by swapping a few elements.
+			if lSize >= insertionThreshold {
+				a[lo], a[lo+lSize/4] = a[lo+lSize/4], a[lo]
+				a[pivotPos-1], a[pivotPos-lSize/4] = a[pivotPos-lSize/4], a[pivotPos-1]
+				if lSize > nintherThreshold {
+					a[lo+1], a[lo+lSize/4+1] = a[lo+lSize/4+1], a[lo+1]
+					a[lo+2], a[lo+lSize/4+2] = a[lo+lSize/4+2], a[lo+2]
+					a[pivotPos-2], a[pivotPos-(lSize/4+1)] = a[pivotPos-(lSize/4+1)], a[pivotPos-2]
+					a[pivotPos-3], a[pivotPos-(lSize/4+2)] = a[pivotPos-(lSize/4+2)], a[pivotPos-3]
+				}
+			}
+			if rSize >= insertionThreshold {
+				a[pivotPos+1], a[pivotPos+1+rSize/4] = a[pivotPos+1+rSize/4], a[pivotPos+1]
+				a[hi-1], a[hi-rSize/4] = a[hi-rSize/4], a[hi-1]
+				if rSize > nintherThreshold {
+					a[pivotPos+2], a[pivotPos+2+rSize/4] = a[pivotPos+2+rSize/4], a[pivotPos+2]
+					a[pivotPos+3], a[pivotPos+3+rSize/4] = a[pivotPos+3+rSize/4], a[pivotPos+3]
+					a[hi-2], a[hi-(1+rSize/4)] = a[hi-(1+rSize/4)], a[hi-2]
+					a[hi-3], a[hi-(2+rSize/4)] = a[hi-(2+rSize/4)], a[hi-3]
+				}
+			}
+		} else if alreadyPartitioned &&
+			partialInsertion(a, lo, pivotPos, less) &&
+			partialInsertion(a, pivotPos+1, hi, less) {
+			// The partition pass did not move anything and both sides were
+			// nearly sorted: done without recursing.
+			return
+		}
+
+		pdqLoop(a, lo, pivotPos, badAllowed, leftmost, less)
+		lo = pivotPos + 1
+		leftmost = false
+	}
+}
+
+// sort3 orders a[i0] <= a[i1] <= a[i2], leaving the median at i1. Callers
+// pick the index order so the median lands where the pivot is wanted.
+func sort3[E any](a []E, i0, i1, i2 int, less LessFunc[E]) {
+	medianOfThree(a, i0, i1, i2, less)
+}
+
+// pdqPartitionRight partitions [lo,hi) around the pivot at a[lo]; elements
+// equal to the pivot go right. It reports the pivot's final position and
+// whether no element had to move (the range was already partitioned).
+func pdqPartitionRight[E any](a []E, lo, hi int, less LessFunc[E]) (pivotPos int, alreadyPartitioned bool) {
+	pivot := a[lo]
+	first, last := lo+1, hi
+
+	// The pivot is a median of (at least) three, so an element >= pivot
+	// stops this scan without a bounds check.
+	for less(a[first], pivot) {
+		first++
+	}
+	// Scan backward for an element < pivot; guard against running off the
+	// front only if the forward scan did not move (then no sentinel exists).
+	if first-1 == lo {
+		for first < last {
+			last--
+			if less(a[last], pivot) {
+				break
+			}
+		}
+	} else {
+		for {
+			last--
+			if less(a[last], pivot) {
+				break
+			}
+		}
+	}
+
+	alreadyPartitioned = first >= last
+	for first < last {
+		a[first], a[last] = a[last], a[first]
+		first++
+		for less(a[first], pivot) {
+			first++
+		}
+		for {
+			last--
+			if less(a[last], pivot) {
+				break
+			}
+		}
+	}
+
+	pivotPos = first - 1
+	a[lo] = a[pivotPos]
+	a[pivotPos] = pivot
+	return pivotPos, alreadyPartitioned
+}
+
+// partitionLeft partitions [lo,hi) around the pivot at a[lo]; elements equal
+// to the pivot go left. Used when the range is known to contain many
+// elements equal to the pivot. Returns the pivot's final position.
+func partitionLeft[E any](a []E, lo, hi int, less LessFunc[E]) int {
+	pivot := a[lo]
+	first, last := lo, hi
+
+	for {
+		last--
+		if !less(pivot, a[last]) {
+			break
+		}
+	}
+	if last+1 == hi {
+		for first < last {
+			first++
+			if less(pivot, a[first]) {
+				break
+			}
+		}
+	} else {
+		for {
+			first++
+			if less(pivot, a[first]) {
+				break
+			}
+		}
+	}
+
+	for first < last {
+		a[first], a[last] = a[last], a[first]
+		for {
+			last--
+			if !less(pivot, a[last]) {
+				break
+			}
+		}
+		for {
+			first++
+			if less(pivot, a[first]) {
+				break
+			}
+		}
+	}
+
+	a[lo] = a[last]
+	a[last] = pivot
+	return last
+}
+
+// partialInsertion insertion-sorts [lo,hi) but gives up (returning false)
+// after moving more than partialInsertLimit elements. It lets pdqsort finish
+// nearly-sorted partitions in linear time without risking quadratic work.
+func partialInsertion[E any](a []E, lo, hi int, less LessFunc[E]) bool {
+	if lo == hi {
+		return true
+	}
+	limit := 0
+	for cur := lo + 1; cur < hi; cur++ {
+		if limit > partialInsertLimit {
+			return false
+		}
+		if less(a[cur], a[cur-1]) {
+			tmp := a[cur]
+			sift := cur
+			for sift > lo && less(tmp, a[sift-1]) {
+				a[sift] = a[sift-1]
+				sift--
+			}
+			a[sift] = tmp
+			limit += cur - sift
+		}
+	}
+	return true
+}

@@ -1,0 +1,155 @@
+package sortalgo
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// buildRows packs vals as big-endian uint32 rows, optionally widened with a
+// constant suffix to test wider strides.
+func buildRows(vals []uint32, width int) []byte {
+	if width < 4 {
+		panic("width must be >= 4")
+	}
+	data := make([]byte, len(vals)*width)
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(data[i*width:], v)
+	}
+	return data
+}
+
+func rowValues(data []byte, width int) []uint32 {
+	out := make([]uint32, len(data)/width)
+	for i := range out {
+		out[i] = binary.BigEndian.Uint32(data[i*width:])
+	}
+	return out
+}
+
+func TestNewRowsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on misaligned data")
+		}
+	}()
+	NewRows(make([]byte, 7), 4)
+}
+
+func TestRowsBasics(t *testing.T) {
+	r := NewRows(buildRows([]uint32{3, 1, 2}, 4), 4)
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	if r.IsSorted() {
+		t.Fatal("should not be sorted")
+	}
+	r.Swap(0, 1)
+	if got := rowValues(r.Data, 4); got[0] != 1 || got[1] != 3 {
+		t.Fatalf("swap wrong: %v", got)
+	}
+}
+
+func TestRowSortsMatchOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	sorters := map[string]func(r *Rows){
+		"InsertionSort": func(r *Rows) { r.InsertionSort(0, r.Len()) },
+		"Heapsort":      func(r *Rows) { r.Heapsort(0, r.Len()) },
+		"Introsort":     (*Rows).Introsort,
+		"Pdqsort":       (*Rows).Pdqsort,
+	}
+	for name, sortRows := range sorters {
+		sizes := []int{0, 1, 2, 23, 24, 25, 129, 1000, 4096}
+		if name == "InsertionSort" {
+			sizes = []int{0, 1, 2, 25, 300}
+		}
+		for _, n := range sizes {
+			for shape, vals := range inputs(n, rng) {
+				for _, width := range []int{4, 8, 12} {
+					r := NewRows(buildRows(vals, width), width)
+					sortRows(r)
+					got := rowValues(r.Data, width)
+					want := append([]uint32(nil), vals...)
+					sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+					for i := range got {
+						if got[i] != want[i] {
+							t.Fatalf("%s %s n=%d w=%d: idx %d got %d want %d",
+								name, shape, n, width, i, got[i], want[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRowsPdqsortQuick(t *testing.T) {
+	f := func(vals []uint32) bool {
+		const width = 8
+		r := NewRows(buildRows(vals, width), width)
+		r.Pdqsort()
+		if !r.IsSorted() {
+			return false
+		}
+		got := rowValues(r.Data, width)
+		counts := map[uint32]int{}
+		for _, v := range vals {
+			counts[v]++
+		}
+		for _, v := range got {
+			counts[v]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRowsCustomComparator(t *testing.T) {
+	// Descending order via a custom comparator.
+	vals := []uint32{5, 1, 9, 1, 7}
+	r := NewRows(buildRows(vals, 4), 4)
+	r.Compare = func(a, b []byte) int { return bytes.Compare(b, a) }
+	r.Pdqsort()
+	got := rowValues(r.Data, 4)
+	for i := 1; i < len(got); i++ {
+		if got[i] > got[i-1] {
+			t.Fatalf("not descending: %v", got)
+		}
+	}
+}
+
+func TestRowsWideRowsMoveWholeRow(t *testing.T) {
+	// Each row carries a payload byte after the key; sorting must move it
+	// together with the key.
+	const width = 8
+	vals := []uint32{30, 10, 20}
+	data := buildRows(vals, width)
+	for i, v := range vals {
+		data[i*width+7] = byte(v) // payload marker
+	}
+	r := NewRows(data, width)
+	r.Introsort()
+	for i := 0; i < r.Len(); i++ {
+		key := binary.BigEndian.Uint32(r.Row(i))
+		if r.Row(i)[7] != byte(key) {
+			t.Fatalf("row %d payload %d does not match key %d", i, r.Row(i)[7], key)
+		}
+	}
+}
+
+func TestRowsLenZeroWidth(t *testing.T) {
+	r := &Rows{}
+	if r.Len() != 0 {
+		t.Fatal("zero-width rows should have zero length")
+	}
+}

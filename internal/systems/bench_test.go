@@ -1,0 +1,41 @@
+package systems
+
+import (
+	"testing"
+
+	"rowsort/internal/core"
+	"rowsort/internal/workload"
+)
+
+// BenchmarkSystemsMultiKey is a miniature Figure 13 cell: each system
+// sorting catalog_sales by four keys.
+func BenchmarkSystemsMultiKey(b *testing.B) {
+	tbl := workload.CatalogSales(1<<15, 10, 1)
+	keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
+	for _, sys := range All(2) {
+		b.Run(sys.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SortCount(sys, tbl, keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSystemsStringKeys is a miniature Figure 14 cell.
+func BenchmarkSystemsStringKeys(b *testing.B) {
+	tbl := workload.Customer(1<<14, 2)
+	keys := []core.SortColumn{{Column: 4}, {Column: 5}}
+	for _, sys := range All(2) {
+		b.Run(sys.Name(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := SortCount(sys, tbl, keys); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,25 @@
+package systems
+
+import (
+	"rowsort/internal/core"
+	"rowsort/internal/vector"
+)
+
+// DuckDB is the paper's implementation: the core sorter's full pipeline —
+// vectorized conversion to normalized keys and payload rows, thread-local
+// radix sort (or pdqsort when string prefixes may tie), cascaded parallel
+// merge with Merge Path, and a columnar scan of the result.
+type DuckDB struct {
+	threads int
+}
+
+// NewDuckDB returns the DuckDB model limited to the given thread count.
+func NewDuckDB(threads int) *DuckDB { return &DuckDB{threads: threads} }
+
+// Name implements System.
+func (d *DuckDB) Name() string { return "DuckDB" }
+
+// Sort implements System.
+func (d *DuckDB) Sort(t *vector.Table, keys []core.SortColumn) (*vector.Table, error) {
+	return core.SortTable(t, keys, core.Options{Threads: d.threads})
+}

@@ -1,0 +1,98 @@
+package vector
+
+import "math/bits"
+
+// Bitmap is a validity mask: bit i is set when row i holds a valid
+// (non-NULL) value. A zero Bitmap treats every row as valid, so columns
+// without NULLs pay no mask cost.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns an all-valid bitmap covering n rows.
+func NewBitmap(n int) *Bitmap {
+	bm := &Bitmap{}
+	bm.Resize(n)
+	return bm
+}
+
+// Len returns the number of rows the bitmap covers.
+func (b *Bitmap) Len() int { return b.n }
+
+// Resize grows or shrinks the bitmap to cover n rows. New rows are valid.
+func (b *Bitmap) Resize(n int) {
+	words := (n + 63) / 64
+	for len(b.words) < words {
+		b.words = append(b.words, ^uint64(0))
+	}
+	b.words = b.words[:words]
+	// Newly exposed bits within the last word must be valid.
+	if n > b.n {
+		for i := b.n; i < n && i < len(b.words)*64; i++ {
+			b.words[i>>6] |= 1 << (uint(i) & 63)
+		}
+	}
+	b.n = n
+}
+
+// Valid reports whether row i is valid. Rows of a nil bitmap are all valid.
+func (b *Bitmap) Valid(i int) bool {
+	if b == nil || len(b.words) == 0 {
+		return true
+	}
+	return b.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// SetValid marks row i valid.
+func (b *Bitmap) SetValid(i int) {
+	b.ensure(i + 1)
+	b.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// SetNull marks row i NULL.
+func (b *Bitmap) SetNull(i int) {
+	b.ensure(i + 1)
+	b.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+func (b *Bitmap) ensure(n int) {
+	if n > b.n {
+		b.Resize(n)
+	}
+}
+
+// AllValid reports whether no row is NULL.
+func (b *Bitmap) AllValid() bool {
+	if b == nil {
+		return true
+	}
+	return b.CountNull() == 0
+}
+
+// CountNull returns the number of NULL rows.
+func (b *Bitmap) CountNull() int {
+	if b == nil || len(b.words) == 0 {
+		return 0
+	}
+	valid := 0
+	for i, w := range b.words {
+		if i == len(b.words)-1 {
+			// Mask out bits beyond n.
+			if rem := uint(b.n) & 63; rem != 0 {
+				w &= (1 << rem) - 1
+			}
+		}
+		valid += bits.OnesCount64(w)
+	}
+	return b.n - valid
+}
+
+// Clone returns a deep copy of the bitmap.
+func (b *Bitmap) Clone() *Bitmap {
+	if b == nil {
+		return nil
+	}
+	cp := &Bitmap{words: append([]uint64(nil), b.words...), n: b.n}
+	return cp
+}

@@ -1,0 +1,146 @@
+package vector
+
+import "fmt"
+
+// Chunk is a horizontal slice of a table: one vector per column, all with
+// the same length (at most DefaultVectorSize in engine pipelines).
+type Chunk struct {
+	Vectors []*Vector
+}
+
+// NewChunk returns an empty chunk with one vector per schema column.
+func NewChunk(schema Schema, capacity int) *Chunk {
+	c := &Chunk{Vectors: make([]*Vector, len(schema))}
+	for i, col := range schema {
+		c.Vectors[i] = New(col.Type, capacity)
+	}
+	return c
+}
+
+// Len returns the number of rows in the chunk.
+func (c *Chunk) Len() int {
+	if len(c.Vectors) == 0 {
+		return 0
+	}
+	return c.Vectors[0].Len()
+}
+
+// NumColumns returns the number of columns.
+func (c *Chunk) NumColumns() int { return len(c.Vectors) }
+
+// Verify checks that all vectors have the same length.
+func (c *Chunk) Verify() error {
+	if len(c.Vectors) == 0 {
+		return nil
+	}
+	n := c.Vectors[0].Len()
+	for i, v := range c.Vectors {
+		if v.Len() != n {
+			return fmt.Errorf("chunk column %d has %d rows, want %d", i, v.Len(), n)
+		}
+	}
+	return nil
+}
+
+// Table is a fully materialized in-memory table: a schema plus its data
+// split into chunks.
+type Table struct {
+	Schema Schema
+	Chunks []*Chunk
+}
+
+// NewTable returns an empty table with the given schema.
+func NewTable(schema Schema) *Table {
+	return &Table{Schema: schema}
+}
+
+// NumRows returns the total number of rows across all chunks.
+func (t *Table) NumRows() int {
+	n := 0
+	for _, c := range t.Chunks {
+		n += c.Len()
+	}
+	return n
+}
+
+// AppendChunk adds a chunk to the table. The chunk must match the schema.
+func (t *Table) AppendChunk(c *Chunk) error {
+	if len(c.Vectors) != len(t.Schema) {
+		return fmt.Errorf("chunk has %d columns, schema has %d", len(c.Vectors), len(t.Schema))
+	}
+	for i, v := range c.Vectors {
+		if v.Type() != t.Schema[i].Type {
+			return fmt.Errorf("chunk column %d is %v, schema wants %v", i, v.Type(), t.Schema[i].Type)
+		}
+	}
+	if err := c.Verify(); err != nil {
+		return err
+	}
+	t.Chunks = append(t.Chunks, c)
+	return nil
+}
+
+// Column gathers the values of column idx across all chunks as one vector.
+// It copies data and is intended for tests and result checking.
+func (t *Table) Column(idx int) *Vector {
+	out := New(t.Schema[idx].Type, t.NumRows())
+	for _, c := range t.Chunks {
+		v := c.Vectors[idx]
+		for i := 0; i < v.Len(); i++ {
+			appendValue(out, v, i)
+		}
+	}
+	return out
+}
+
+// appendValue appends row i of src to dst; both must share a type.
+func appendValue(dst, src *Vector, i int) {
+	if !src.Valid(i) {
+		dst.AppendNull()
+		return
+	}
+	switch src.Type() {
+	case Bool:
+		dst.AppendBool(src.b[i])
+	case Int8:
+		dst.AppendInt8(src.i8[i])
+	case Int16:
+		dst.AppendInt16(src.i16[i])
+	case Int32:
+		dst.AppendInt32(src.i32[i])
+	case Int64:
+		dst.AppendInt64(src.i64[i])
+	case Uint8:
+		dst.AppendUint8(src.u8[i])
+	case Uint16:
+		dst.AppendUint16(src.u16[i])
+	case Uint32:
+		dst.AppendUint32(src.u32[i])
+	case Uint64:
+		dst.AppendUint64(src.u64[i])
+	case Float32:
+		dst.AppendFloat32(src.f32[i])
+	case Float64:
+		dst.AppendFloat64(src.f64[i])
+	case Varchar:
+		dst.AppendString(src.str[i])
+	}
+}
+
+// AppendValue appends row i of src to dst; both must share a type. It is a
+// convenience for building expected results in tests and system models.
+func AppendValue(dst, src *Vector, i int) { appendValue(dst, src, i) }
+
+// TableFromColumns builds a single-chunk table from whole-column vectors.
+// All vectors must have the same length.
+func TableFromColumns(schema Schema, cols ...*Vector) (*Table, error) {
+	if len(cols) != len(schema) {
+		return nil, fmt.Errorf("got %d columns, schema has %d", len(cols), len(schema))
+	}
+	t := NewTable(schema)
+	c := &Chunk{Vectors: cols}
+	if err := t.AppendChunk(c); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

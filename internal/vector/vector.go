@@ -1,0 +1,296 @@
+package vector
+
+import "fmt"
+
+// Vector is a typed column of values plus a validity mask. Only the slice
+// matching the vector's type is allocated; the accessors panic on a type
+// mismatch, which turns mis-wired operators into loud failures instead of
+// silent corruption.
+type Vector struct {
+	typ   Type
+	n     int
+	valid *Bitmap
+
+	b   []bool
+	i8  []int8
+	i16 []int16
+	i32 []int32
+	i64 []int64
+	u8  []uint8
+	u16 []uint16
+	u32 []uint32
+	u64 []uint64
+	f32 []float32
+	f64 []float64
+	str []string
+}
+
+// New returns an empty vector of the given type with room for capacity rows.
+func New(t Type, capacity int) *Vector {
+	v := &Vector{typ: t}
+	switch t {
+	case Bool:
+		v.b = make([]bool, 0, capacity)
+	case Int8:
+		v.i8 = make([]int8, 0, capacity)
+	case Int16:
+		v.i16 = make([]int16, 0, capacity)
+	case Int32:
+		v.i32 = make([]int32, 0, capacity)
+	case Int64:
+		v.i64 = make([]int64, 0, capacity)
+	case Uint8:
+		v.u8 = make([]uint8, 0, capacity)
+	case Uint16:
+		v.u16 = make([]uint16, 0, capacity)
+	case Uint32:
+		v.u32 = make([]uint32, 0, capacity)
+	case Uint64:
+		v.u64 = make([]uint64, 0, capacity)
+	case Float32:
+		v.f32 = make([]float32, 0, capacity)
+	case Float64:
+		v.f64 = make([]float64, 0, capacity)
+	case Varchar:
+		v.str = make([]string, 0, capacity)
+	default:
+		panic(fmt.Sprintf("vector.New: invalid type %v", t))
+	}
+	return v
+}
+
+// FromUint32 wraps an existing slice as a Uint32 vector without copying.
+func FromUint32(vals []uint32) *Vector {
+	return &Vector{typ: Uint32, n: len(vals), u32: vals}
+}
+
+// FromInt32 wraps an existing slice as an Int32 vector without copying.
+func FromInt32(vals []int32) *Vector {
+	return &Vector{typ: Int32, n: len(vals), i32: vals}
+}
+
+// FromFloat32 wraps an existing slice as a Float32 vector without copying.
+func FromFloat32(vals []float32) *Vector {
+	return &Vector{typ: Float32, n: len(vals), f32: vals}
+}
+
+// FromStrings wraps an existing slice as a Varchar vector without copying.
+func FromStrings(vals []string) *Vector {
+	return &Vector{typ: Varchar, n: len(vals), str: vals}
+}
+
+// Type returns the vector's logical type.
+func (v *Vector) Type() Type { return v.typ }
+
+// Len returns the number of rows.
+func (v *Vector) Len() int { return v.n }
+
+// Validity returns the validity mask; it may be nil when all rows are valid.
+func (v *Vector) Validity() *Bitmap { return v.valid }
+
+// Valid reports whether row i is non-NULL.
+func (v *Vector) Valid(i int) bool { return v.valid.Valid(i) }
+
+// SetNull marks row i NULL. The stored value becomes meaningless.
+func (v *Vector) SetNull(i int) {
+	if v.valid == nil {
+		v.valid = NewBitmap(v.n)
+	}
+	v.valid.SetNull(i)
+}
+
+func (v *Vector) checkType(want Type, op string) {
+	if v.typ != want {
+		panic(fmt.Sprintf("vector: %s on %v vector (want %v)", op, v.typ, want))
+	}
+}
+
+// Bools returns the backing slice of a Bool vector.
+func (v *Vector) Bools() []bool { v.checkType(Bool, "Bools"); return v.b }
+
+// Int8s returns the backing slice of an Int8 vector.
+func (v *Vector) Int8s() []int8 { v.checkType(Int8, "Int8s"); return v.i8 }
+
+// Int16s returns the backing slice of an Int16 vector.
+func (v *Vector) Int16s() []int16 { v.checkType(Int16, "Int16s"); return v.i16 }
+
+// Int32s returns the backing slice of an Int32 vector.
+func (v *Vector) Int32s() []int32 { v.checkType(Int32, "Int32s"); return v.i32 }
+
+// Int64s returns the backing slice of an Int64 vector.
+func (v *Vector) Int64s() []int64 { v.checkType(Int64, "Int64s"); return v.i64 }
+
+// Uint8s returns the backing slice of a Uint8 vector.
+func (v *Vector) Uint8s() []uint8 { v.checkType(Uint8, "Uint8s"); return v.u8 }
+
+// Uint16s returns the backing slice of a Uint16 vector.
+func (v *Vector) Uint16s() []uint16 { v.checkType(Uint16, "Uint16s"); return v.u16 }
+
+// Uint32s returns the backing slice of a Uint32 vector.
+func (v *Vector) Uint32s() []uint32 { v.checkType(Uint32, "Uint32s"); return v.u32 }
+
+// Uint64s returns the backing slice of a Uint64 vector.
+func (v *Vector) Uint64s() []uint64 { v.checkType(Uint64, "Uint64s"); return v.u64 }
+
+// Float32s returns the backing slice of a Float32 vector.
+func (v *Vector) Float32s() []float32 { v.checkType(Float32, "Float32s"); return v.f32 }
+
+// Float64s returns the backing slice of a Float64 vector.
+func (v *Vector) Float64s() []float64 { v.checkType(Float64, "Float64s"); return v.f64 }
+
+// Strings returns the backing slice of a Varchar vector.
+func (v *Vector) Strings() []string { v.checkType(Varchar, "Strings"); return v.str }
+
+// AppendBool appends a value to a Bool vector.
+func (v *Vector) AppendBool(x bool) { v.checkType(Bool, "AppendBool"); v.b = append(v.b, x); v.grow() }
+
+// AppendInt8 appends a value to an Int8 vector.
+func (v *Vector) AppendInt8(x int8) {
+	v.checkType(Int8, "AppendInt8")
+	v.i8 = append(v.i8, x)
+	v.grow()
+}
+
+// AppendInt16 appends a value to an Int16 vector.
+func (v *Vector) AppendInt16(x int16) {
+	v.checkType(Int16, "AppendInt16")
+	v.i16 = append(v.i16, x)
+	v.grow()
+}
+
+// AppendInt32 appends a value to an Int32 vector.
+func (v *Vector) AppendInt32(x int32) {
+	v.checkType(Int32, "AppendInt32")
+	v.i32 = append(v.i32, x)
+	v.grow()
+}
+
+// AppendInt64 appends a value to an Int64 vector.
+func (v *Vector) AppendInt64(x int64) {
+	v.checkType(Int64, "AppendInt64")
+	v.i64 = append(v.i64, x)
+	v.grow()
+}
+
+// AppendUint8 appends a value to a Uint8 vector.
+func (v *Vector) AppendUint8(x uint8) {
+	v.checkType(Uint8, "AppendUint8")
+	v.u8 = append(v.u8, x)
+	v.grow()
+}
+
+// AppendUint16 appends a value to a Uint16 vector.
+func (v *Vector) AppendUint16(x uint16) {
+	v.checkType(Uint16, "AppendUint16")
+	v.u16 = append(v.u16, x)
+	v.grow()
+}
+
+// AppendUint32 appends a value to a Uint32 vector.
+func (v *Vector) AppendUint32(x uint32) {
+	v.checkType(Uint32, "AppendUint32")
+	v.u32 = append(v.u32, x)
+	v.grow()
+}
+
+// AppendUint64 appends a value to a Uint64 vector.
+func (v *Vector) AppendUint64(x uint64) {
+	v.checkType(Uint64, "AppendUint64")
+	v.u64 = append(v.u64, x)
+	v.grow()
+}
+
+// AppendFloat32 appends a value to a Float32 vector.
+func (v *Vector) AppendFloat32(x float32) {
+	v.checkType(Float32, "AppendFloat32")
+	v.f32 = append(v.f32, x)
+	v.grow()
+}
+
+// AppendFloat64 appends a value to a Float64 vector.
+func (v *Vector) AppendFloat64(x float64) {
+	v.checkType(Float64, "AppendFloat64")
+	v.f64 = append(v.f64, x)
+	v.grow()
+}
+
+// AppendString appends a value to a Varchar vector.
+func (v *Vector) AppendString(x string) {
+	v.checkType(Varchar, "AppendString")
+	v.str = append(v.str, x)
+	v.grow()
+}
+
+// AppendNull appends a NULL row. The stored value is the type's zero value.
+func (v *Vector) AppendNull() {
+	switch v.typ {
+	case Bool:
+		v.b = append(v.b, false)
+	case Int8:
+		v.i8 = append(v.i8, 0)
+	case Int16:
+		v.i16 = append(v.i16, 0)
+	case Int32:
+		v.i32 = append(v.i32, 0)
+	case Int64:
+		v.i64 = append(v.i64, 0)
+	case Uint8:
+		v.u8 = append(v.u8, 0)
+	case Uint16:
+		v.u16 = append(v.u16, 0)
+	case Uint32:
+		v.u32 = append(v.u32, 0)
+	case Uint64:
+		v.u64 = append(v.u64, 0)
+	case Float32:
+		v.f32 = append(v.f32, 0)
+	case Float64:
+		v.f64 = append(v.f64, 0)
+	case Varchar:
+		v.str = append(v.str, "")
+	}
+	v.grow()
+	v.SetNull(v.n - 1)
+}
+
+func (v *Vector) grow() {
+	v.n++
+	if v.valid != nil {
+		v.valid.Resize(v.n)
+	}
+}
+
+// Value returns row i as an any, or nil if the row is NULL. It is intended
+// for tests and debugging, not hot paths.
+func (v *Vector) Value(i int) any {
+	if !v.Valid(i) {
+		return nil
+	}
+	switch v.typ {
+	case Bool:
+		return v.b[i]
+	case Int8:
+		return v.i8[i]
+	case Int16:
+		return v.i16[i]
+	case Int32:
+		return v.i32[i]
+	case Int64:
+		return v.i64[i]
+	case Uint8:
+		return v.u8[i]
+	case Uint16:
+		return v.u16[i]
+	case Uint32:
+		return v.u32[i]
+	case Uint64:
+		return v.u64[i]
+	case Float32:
+		return v.f32[i]
+	case Float64:
+		return v.f64[i]
+	case Varchar:
+		return v.str[i]
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package workload
+
+// Name pools for the customer generator. TPC-DS draws customer names from
+// fixed lists; these pools mirror that: a few hundred distinct values with
+// heavily skewed selection, producing the duplicate-rich string keys the
+// Figure 14 benchmark sorts.
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez",
+	"Wilson", "Anderson", "Thomas", "Taylor", "Moore", "Jackson", "Martin",
+	"Lee", "Perez", "Thompson", "White", "Harris", "Sanchez", "Clark",
+	"Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King",
+	"Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green",
+	"Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+	"Carter", "Roberts", "Gomez", "Phillips", "Evans", "Turner", "Diaz",
+	"Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+	"Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan",
+	"Cooper", "Peterson", "Bailey", "Reed", "Kelly", "Howard", "Ramos",
+	"Kim", "Cox", "Ward", "Richardson", "Watson", "Brooks", "Chavez",
+	"Wood", "James", "Bennett", "Gray", "Mendoza", "Ruiz", "Hughes",
+	"Price", "Alvarez", "Castillo", "Sanders", "Patel", "Myers", "Long",
+	"Ross", "Foster", "Jimenez", "Powell", "Jenkins", "Perry", "Russell",
+	"Sullivan", "Bell", "Coleman", "Butler", "Henderson", "Barnes",
+	"Fisher", "Vasquez", "Simmons", "Romero", "Jordan", "Patterson",
+	"Alexander", "Hamilton", "Graham", "Reynolds", "Griffin", "Wallace",
+	"Moreno", "West", "Cole", "Hayes", "Bryant", "Herrera", "Gibson",
+	"Ellis", "Tran", "Medina", "Aguilar", "Stevens", "Murray", "Ford",
+	"Castro", "Marshall", "Owens", "Harrison", "Fernandez", "McDonald",
+	"Woods", "Washington", "Kennedy", "Wells", "Vargas", "Henry", "Chen",
+	"Freeman", "Webb", "Tucker", "Guzman", "Burns", "Crawford", "Olson",
+	"Simpson", "Porter", "Hunter", "Gordon", "Mendez", "Silva", "Shaw",
+	"Snyder", "Mason", "Dixon", "Munoz", "Hunt", "Hicks", "Holmes",
+	"Palmer", "Wagner", "Black", "Robertson", "Boyd", "Rose", "Stone",
+	"Salazar", "Fox", "Warren", "Mills", "Meyer", "Rice", "Schmidt",
+	"Garza", "Daniels", "Ferguson", "Nichols", "Stephens", "Soto",
+	"Weaver", "Ryan", "Gardner", "Payne", "Grant", "Dunn", "Kelley",
+	"Spencer", "Hawkins", "Arnold", "Pierce", "Vazquez", "Hansen", "Peters",
+}
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+	"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Charles", "Karen",
+	"Christopher", "Lisa", "Daniel", "Nancy", "Matthew", "Betty",
+	"Anthony", "Margaret", "Mark", "Sandra", "Donald", "Ashley", "Steven",
+	"Kimberly", "Paul", "Emily", "Andrew", "Donna", "Joshua", "Michelle",
+	"Kenneth", "Carol", "Kevin", "Amanda", "Brian", "Dorothy", "George",
+	"Melissa", "Timothy", "Deborah", "Ronald", "Stephanie", "Edward",
+	"Rebecca", "Jason", "Sharon", "Jeffrey", "Laura", "Ryan", "Cynthia",
+	"Jacob", "Kathleen", "Gary", "Amy", "Nicholas", "Angela", "Eric",
+	"Shirley", "Jonathan", "Anna", "Stephen", "Brenda", "Larry", "Pamela",
+	"Justin", "Emma", "Scott", "Nicole", "Brandon", "Helen", "Benjamin",
+	"Samantha", "Samuel", "Katherine", "Gregory", "Christine", "Alexander",
+	"Debra", "Patrick", "Rachel", "Frank", "Carolyn", "Raymond", "Janet",
+	"Jack", "Catherine", "Dennis", "Maria", "Jerry", "Heather", "Tyler",
+	"Diane", "Aaron", "Ruth", "Jose", "Julie", "Adam", "Olivia", "Nathan",
+	"Joyce", "Henry", "Virginia", "Douglas", "Victoria", "Zachary",
+	"Kelly", "Peter", "Lauren", "Kyle", "Christina", "Ethan", "Joan",
+	"Walter", "Evelyn", "Noah", "Judith", "Jeremy", "Megan", "Christian",
+	"Andrea", "Keith", "Cheryl", "Roger", "Hannah", "Terry", "Jacqueline",
+	"Gerald", "Martha", "Harold", "Gloria", "Sean", "Teresa", "Austin",
+	"Ann", "Carl", "Sara", "Arthur", "Madison", "Lawrence", "Frances",
+}
+
+// pickSkewed selects an index in [0, n) with a rank-skewed (approximately
+// Zipfian) distribution: low ranks are much more likely, giving realistic
+// duplicate-heavy name columns.
+func pickSkewed(rng *RNG, n int) int {
+	// Inverse-CDF of a power-law-ish distribution.
+	u := rng.Float64()
+	i := int(float64(n) * u * u)
+	if i >= n {
+		i = n - 1
+	}
+	return i
+}

@@ -1,0 +1,50 @@
+// Package workload generates the benchmark data of the paper: the
+// micro-benchmark distributions of Section III-A (Random and CorrelatedP
+// columns of unsigned 32-bit integers), the end-to-end workloads of Section
+// VII-B (shuffled integers and uniform floats), and TPC-DS-like
+// catalog_sales and customer tables for the multi-key and string
+// benchmarks. All generation is deterministic in a caller-supplied seed.
+package workload
+
+// RNG is a small deterministic pseudo-random generator (splitmix64). It is
+// implemented here rather than borrowed from math/rand so generated
+// workloads stay bit-identical across Go releases.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed.
+func NewRNG(seed uint64) *RNG { return &RNG{state: seed} }
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Uint32 returns the next pseudo-random 32-bit value.
+func (r *RNG) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a pseudo-random int in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("workload: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a pseudo-random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Shuffle permutes the first n elements with the given swap function
+// (Fisher-Yates).
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+
+	"rowsort/internal/vector"
+)
+
+// Table IV of the paper reports TPC-DS cardinalities. These are the
+// specification's row counts for the tables and scale factors the paper
+// benchmarks.
+var (
+	catalogSalesRows = map[int]int{
+		1:   1_441_548,
+		10:  14_401_261,
+		100: 143_997_065,
+		300: 431_969_836,
+	}
+	customerRows = map[int]int{
+		1:   100_000,
+		10:  500_000,
+		100: 2_000_000,
+		300: 5_000_000,
+	}
+)
+
+// CatalogSalesRows returns the TPC-DS catalog_sales row count at the given
+// scale factor, interpolating linearly for unlisted factors.
+func CatalogSalesRows(sf int) int {
+	if n, ok := catalogSalesRows[sf]; ok {
+		return n
+	}
+	return catalogSalesRows[1] * sf
+}
+
+// CustomerRows returns the TPC-DS customer row count at the given scale
+// factor. Unlisted factors scale with sqrt(sf) relative to SF100, roughly
+// matching the spec's sublinear dimension growth.
+func CustomerRows(sf int) int {
+	if n, ok := customerRows[sf]; ok {
+		return n
+	}
+	return int(float64(customerRows[100]) * math.Sqrt(float64(sf)/100))
+}
+
+// fkNullRate approximates TPC-DS's NULL rate in fact-table foreign keys.
+const fkNullRate = 0.04
+
+// CatalogSalesSchema is the schema of the generated catalog_sales slice:
+// the four sort keys of the Figure 13 benchmark plus the selected payload
+// column cs_item_sk.
+var CatalogSalesSchema = vector.Schema{
+	{Name: "cs_warehouse_sk", Type: vector.Int32},
+	{Name: "cs_ship_mode_sk", Type: vector.Int32},
+	{Name: "cs_promo_sk", Type: vector.Int32},
+	{Name: "cs_quantity", Type: vector.Int32},
+	{Name: "cs_item_sk", Type: vector.Int32},
+}
+
+// CatalogSales generates n rows of the catalog_sales columns used by the
+// Figure 13 benchmark, with domain sizes matching TPC-DS at scale factor sf:
+// a handful of warehouses, 20 ship modes, a few hundred promotions and
+// quantities 1..100 — all low-cardinality keys producing many ties.
+func CatalogSales(n, sf int, seed uint64) *vector.Table {
+	rng := NewRNG(seed)
+	warehouses := 5 + 5*ilog10(sf)   // 5 at SF1, 10 at SF10, 15 at SF100
+	promos := 300 * (1 + ilog10(sf)) // grows slowly with SF
+	items := 18_000 * (1 + 5*ilog10(sf))
+
+	t := vector.NewTable(CatalogSalesSchema)
+	appendRows(t, n, func(c *vector.Chunk) {
+		appendFK(c.Vectors[0], rng, warehouses)
+		appendFK(c.Vectors[1], rng, 20)
+		appendFK(c.Vectors[2], rng, promos)
+		c.Vectors[3].AppendInt32(int32(1 + rng.Intn(100)))
+		c.Vectors[4].AppendInt32(int32(1 + rng.Intn(items)))
+	})
+	return t
+}
+
+// appendFK appends a foreign-key value in [1, domain] or NULL at the
+// TPC-DS-like rate.
+func appendFK(v *vector.Vector, rng *RNG, domain int) {
+	if rng.Float64() < fkNullRate {
+		v.AppendNull()
+		return
+	}
+	v.AppendInt32(int32(1 + rng.Intn(domain)))
+}
+
+// CustomerSchema is the schema of the generated customer slice: the integer
+// and string sort keys of the Figure 14 benchmark plus the selected payload
+// column c_customer_sk.
+var CustomerSchema = vector.Schema{
+	{Name: "c_customer_sk", Type: vector.Int32},
+	{Name: "c_birth_year", Type: vector.Int32},
+	{Name: "c_birth_month", Type: vector.Int32},
+	{Name: "c_birth_day", Type: vector.Int32},
+	{Name: "c_last_name", Type: vector.Varchar},
+	{Name: "c_first_name", Type: vector.Varchar},
+}
+
+// Customer generates n rows of the customer columns used by the Figure 14
+// benchmark: birth dates as integers (1924..1992, ~3% NULL) and names drawn
+// skewed from fixed pools, duplicating heavily like TPC-DS's name columns.
+func Customer(n int, seed uint64) *vector.Table {
+	rng := NewRNG(seed)
+	sk := int32(0)
+	t := vector.NewTable(CustomerSchema)
+	appendRows(t, n, func(c *vector.Chunk) {
+		sk++
+		c.Vectors[0].AppendInt32(sk)
+		if rng.Float64() < 0.03 {
+			c.Vectors[1].AppendNull()
+			c.Vectors[2].AppendNull()
+			c.Vectors[3].AppendNull()
+		} else {
+			c.Vectors[1].AppendInt32(int32(1924 + rng.Intn(69)))
+			c.Vectors[2].AppendInt32(int32(1 + rng.Intn(12)))
+			c.Vectors[3].AppendInt32(int32(1 + rng.Intn(28)))
+		}
+		if rng.Float64() < 0.03 {
+			c.Vectors[4].AppendNull()
+		} else {
+			c.Vectors[4].AppendString(lastNames[pickSkewed(rng, len(lastNames))])
+		}
+		if rng.Float64() < 0.03 {
+			c.Vectors[5].AppendNull()
+		} else {
+			c.Vectors[5].AppendString(firstNames[pickSkewed(rng, len(firstNames))])
+		}
+	})
+	return t
+}
+
+// appendRows fills the table with n rows, vector.DefaultVectorSize rows per
+// chunk, calling appendRow once per row on the current chunk.
+func appendRows(t *vector.Table, n int, appendRow func(c *vector.Chunk)) {
+	for done := 0; done < n; {
+		count := min(vector.DefaultVectorSize, n-done)
+		c := vector.NewChunk(t.Schema, count)
+		for r := 0; r < count; r++ {
+			appendRow(c)
+		}
+		// The chunk is built by our own appender; a schema mismatch here is
+		// a bug, so the error is impossible by construction.
+		if err := t.AppendChunk(c); err != nil {
+			panic(err)
+		}
+		done += count
+	}
+}
+
+// UintColumnsTable wraps micro-benchmark key columns as a chunked table of
+// UINTEGER columns named k0..k{cols-1}.
+func UintColumnsTable(cols [][]uint32) *vector.Table {
+	schema := make(vector.Schema, len(cols))
+	for i := range schema {
+		schema[i] = vector.Column{Name: keyName(i), Type: vector.Uint32}
+	}
+	t := vector.NewTable(schema)
+	n := len(cols[0])
+	for start := 0; start < n; start += vector.DefaultVectorSize {
+		count := min(vector.DefaultVectorSize, n-start)
+		c := vector.NewChunk(schema, count)
+		for ci, col := range cols {
+			for r := 0; r < count; r++ {
+				c.Vectors[ci].AppendUint32(col[start+r])
+			}
+		}
+		if err := t.AppendChunk(c); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+func keyName(i int) string { return "k" + string(rune('0'+i)) }
+
+func ilog10(x int) int {
+	n := 0
+	for x >= 10 {
+		x /= 10
+		n++
+	}
+	return n
+}

@@ -1,0 +1,313 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"rowsort/internal/vector"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed must give same stream")
+		}
+	}
+	c := NewRNG(43)
+	same := true
+	a = NewRNG(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestRNGRanges(t *testing.T) {
+	rng := NewRNG(7)
+	for i := 0; i < 1000; i++ {
+		if v := rng.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		if f := rng.Float64(); f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %f", f)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	rng.Intn(0)
+}
+
+func TestRNGShuffleIsPermutation(t *testing.T) {
+	rng := NewRNG(9)
+	vals := make([]int, 100)
+	for i := range vals {
+		vals[i] = i
+	}
+	rng.Shuffle(len(vals), func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+	seen := make([]bool, 100)
+	for _, v := range vals {
+		if seen[v] {
+			t.Fatal("shuffle duplicated a value")
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandomDistribution(t *testing.T) {
+	d := Dist{Name: "Random", Random: true}
+	cols := d.Generate(10000, 2, 1)
+	if len(cols) != 2 || len(cols[0]) != 10000 {
+		t.Fatal("shape wrong")
+	}
+	// Virtually no duplicates.
+	seen := map[uint32]bool{}
+	dups := 0
+	for _, v := range cols[0] {
+		if seen[v] {
+			dups++
+		}
+		seen[v] = true
+	}
+	if dups > 10 {
+		t.Fatalf("Random distribution has %d duplicates", dups)
+	}
+}
+
+func TestCorrelatedCardinality(t *testing.T) {
+	d := Dist{P: 0.5}
+	cols := d.Generate(20000, 3, 2)
+	for c, col := range cols {
+		seen := map[uint32]bool{}
+		for _, v := range col {
+			if v >= CorrelatedCardinality {
+				t.Fatalf("col %d value %d out of domain", c, v)
+			}
+			seen[v] = true
+		}
+		if len(seen) < CorrelatedCardinality/2 {
+			t.Fatalf("col %d has only %d unique values", c, len(seen))
+		}
+	}
+}
+
+// TestCorrelationMonotonicity checks that the conditional probability of
+// equality in column c+1 given equality in column c increases with P.
+func TestCorrelationMonotonicity(t *testing.T) {
+	probEqual := func(p float64) float64 {
+		cols := Dist{P: p}.Generate(30000, 2, 3)
+		// Bucket rows by column-0 value, then measure column-1 agreement
+		// between consecutive rows in the same bucket.
+		byV0 := map[uint32][]uint32{}
+		for i, v := range cols[0] {
+			byV0[v] = append(byV0[v], cols[1][i])
+		}
+		eq, tot := 0, 0
+		for _, vs := range byV0 {
+			for i := 1; i < len(vs); i++ {
+				tot++
+				if vs[i] == vs[i-1] {
+					eq++
+				}
+			}
+		}
+		return float64(eq) / float64(tot)
+	}
+	p0, p5, p1 := probEqual(0), probEqual(0.5), probEqual(1)
+	if !(p0 < p5 && p5 < p1) {
+		t.Fatalf("correlation not monotone: %f %f %f", p0, p5, p1)
+	}
+	if p1 < 0.99 {
+		t.Fatalf("P=1 should give (nearly) always-equal ties, got %f", p1)
+	}
+	if p0 > 0.05 {
+		t.Fatalf("P=0 should give ~1/128 equality, got %f", p0)
+	}
+}
+
+func TestStandardDists(t *testing.T) {
+	ds := StandardDists()
+	if len(ds) != 6 || !ds[0].Random || ds[5].P != 1 {
+		t.Fatalf("unexpected standard distributions: %+v", ds)
+	}
+	if ds[3].String() != "Correlated0.50" {
+		t.Fatalf("String = %q", ds[3].String())
+	}
+	if (Dist{Random: true}).String() != "Random" {
+		t.Fatal("unnamed Random String broken")
+	}
+	if (Dist{P: 0.25}).String() != "Correlated0.25" {
+		t.Fatal("unnamed Correlated String broken")
+	}
+}
+
+func TestShuffledInt32s(t *testing.T) {
+	vals := ShuffledInt32s(5000, 4)
+	seen := make([]bool, 5000)
+	for _, v := range vals {
+		if v < 0 || int(v) >= 5000 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	// Should not be sorted.
+	sorted := true
+	for i := 1; i < len(vals); i++ {
+		if vals[i] < vals[i-1] {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		t.Fatal("shuffle left data sorted")
+	}
+}
+
+func TestUniformFloat32s(t *testing.T) {
+	vals := UniformFloat32s(10000, 5)
+	var minV, maxV float32 = math.MaxFloat32, -math.MaxFloat32
+	for _, v := range vals {
+		if v < -1e9 || v > 1e9 {
+			t.Fatalf("out of range: %f", v)
+		}
+		minV = min(minV, v)
+		maxV = max(maxV, v)
+	}
+	if minV > -1e8 || maxV < 1e8 {
+		t.Fatalf("suspiciously narrow range: [%f, %f]", minV, maxV)
+	}
+}
+
+func TestTableIVCardinalities(t *testing.T) {
+	if CatalogSalesRows(10) != 14_401_261 {
+		t.Fatal("catalog_sales SF10 wrong")
+	}
+	if CatalogSalesRows(100) != 143_997_065 {
+		t.Fatal("catalog_sales SF100 wrong")
+	}
+	if CustomerRows(100) != 2_000_000 || CustomerRows(300) != 5_000_000 {
+		t.Fatal("customer cardinalities wrong")
+	}
+	if CatalogSalesRows(2) != 2*1_441_548 {
+		t.Fatal("catalog_sales fallback wrong")
+	}
+	if CustomerRows(25) >= CustomerRows(100) {
+		t.Fatal("customer fallback should be sublinear")
+	}
+}
+
+func TestCatalogSalesGenerator(t *testing.T) {
+	tbl := CatalogSales(5000, 10, 6)
+	if tbl.NumRows() != 5000 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	if len(tbl.Schema) != 5 || tbl.Schema.IndexOf("cs_quantity") != 3 {
+		t.Fatal("schema wrong")
+	}
+	// Domains: quantity 1..100, ship mode 1..20; FK columns have some NULLs.
+	qty := tbl.Column(3)
+	nulls := 0
+	for i := 0; i < qty.Len(); i++ {
+		v := qty.Value(i)
+		if v == nil {
+			t.Fatal("quantity should not be NULL")
+		}
+		if x := v.(int32); x < 1 || x > 100 {
+			t.Fatalf("quantity out of domain: %d", x)
+		}
+	}
+	wh := tbl.Column(0)
+	for i := 0; i < wh.Len(); i++ {
+		v := wh.Value(i)
+		if v == nil {
+			nulls++
+			continue
+		}
+		if x := v.(int32); x < 1 || x > 10 {
+			t.Fatalf("warehouse_sk out of domain at SF10: %d", x)
+		}
+	}
+	if nulls == 0 || nulls > 5000/5 {
+		t.Fatalf("unexpected FK null count: %d", nulls)
+	}
+	// Deterministic in seed.
+	tbl2 := CatalogSales(5000, 10, 6)
+	for i := 0; i < 100; i++ {
+		if tbl.Column(2).Value(i) != tbl2.Column(2).Value(i) {
+			t.Fatal("generator not deterministic")
+		}
+	}
+}
+
+func TestCustomerGenerator(t *testing.T) {
+	tbl := Customer(4000, 8)
+	if tbl.NumRows() != 4000 {
+		t.Fatalf("rows = %d", tbl.NumRows())
+	}
+	sk := tbl.Column(0)
+	for i := 0; i < 100; i++ {
+		if sk.Value(i).(int32) != int32(i+1) {
+			t.Fatal("c_customer_sk should be sequential")
+		}
+	}
+	year := tbl.Column(1)
+	last := tbl.Column(4)
+	lastSeen := map[string]int{}
+	for i := 0; i < 4000; i++ {
+		if v := year.Value(i); v != nil {
+			if y := v.(int32); y < 1924 || y > 1992 {
+				t.Fatalf("birth year out of range: %d", y)
+			}
+		}
+		if v := last.Value(i); v != nil {
+			lastSeen[v.(string)]++
+		}
+	}
+	if len(lastSeen) < 20 {
+		t.Fatalf("too few distinct last names: %d", len(lastSeen))
+	}
+	// Skew: the most common name should be much more frequent than uniform.
+	maxCount := 0
+	for _, c := range lastSeen {
+		maxCount = max(maxCount, c)
+	}
+	if maxCount < 2*4000/len(lastNames) {
+		t.Fatalf("name selection does not look skewed: max %d", maxCount)
+	}
+}
+
+func TestUintColumnsTable(t *testing.T) {
+	cols := Dist{Random: true}.Generate(3000, 3, 9)
+	tbl := UintColumnsTable(cols)
+	if tbl.NumRows() != 3000 || len(tbl.Schema) != 3 {
+		t.Fatal("shape wrong")
+	}
+	if tbl.Schema[1].Name != "k1" || tbl.Schema[1].Type != vector.Uint32 {
+		t.Fatal("schema wrong")
+	}
+	if len(tbl.Chunks) != 2 {
+		t.Fatalf("expected 2 chunks of 2048, got %d", len(tbl.Chunks))
+	}
+	got := tbl.Column(2)
+	for i := 0; i < 3000; i += 97 {
+		if got.Value(i).(uint32) != cols[2][i] {
+			t.Fatal("values wrong")
+		}
+	}
+}
+
+func TestGeneratePanicsOnNoCols(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Dist{Random: true}.Generate(10, 0, 1)
+}
