@@ -187,6 +187,48 @@ func BenchmarkAblationAlignment(b *testing.B) {
 	}
 }
 
+// BenchmarkAblationGather isolates the Result scan — the sorted rows are
+// already materialized, so the benchmark measures only the NSM→DSM gather:
+// the scalar value-at-a-time reference, the typed vectorized kernels on one
+// thread, and the parallel chunk-partitioned scan.
+func BenchmarkAblationGather(b *testing.B) {
+	tbl := workload.Customer(1<<16, 9)
+	keys := []core.SortColumn{{Column: 4}, {Column: 5}}
+	s, err := core.NewSorter(tbl.Schema, keys, core.Options{Threads: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := s.NewSink()
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s.Finalize(); err != nil {
+		b.Fatal(err)
+	}
+	for _, v := range []struct {
+		name string
+		run  func() (*vector.Table, error)
+	}{
+		{"scalar", s.ResultScalar},
+		{"vectorized", func() (*vector.Table, error) { return s.ResultThreads(1) }},
+		{"parallel", func() (*vector.Table, error) { return s.ResultThreads(4) }},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := v.run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkAblationRunSize sweeps the thread-local run size: the
 // run-generation vs merge trade-off of the Section II model.
 func BenchmarkAblationRunSize(b *testing.B) {

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"rowsort/internal/core"
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func init() {
+	register("gather", "Ablation: Result materialization — scalar vs vectorized vs parallel",
+		runGatherAblation)
+}
+
+// runGatherAblation isolates the final pipeline stage (scanning the sorted
+// rows back into vectors) and compares the value-at-a-time scalar reference
+// against the typed gather kernels, single-threaded and parallel. The
+// customer workload includes string keys and payload, so the varchar heap
+// compaction path is exercised alongside the fixed-width kernels.
+func runGatherAblation(w io.Writer, cfg Config) error {
+	if err := cfg.valid(); err != nil {
+		return err
+	}
+	for _, wl := range []struct {
+		name string
+		tbl  *vector.Table
+		keys []core.SortColumn
+	}{
+		{
+			name: "catalog_sales (integers, 4 keys)",
+			tbl:  workload.CatalogSales(cfg.counterRows(), 10, cfg.seed()),
+			keys: []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}},
+		},
+		{
+			name: "customer (strings, 2 keys)",
+			tbl:  workload.Customer(cfg.counterRows(), cfg.seed()),
+			keys: []core.SortColumn{{Column: 4}, {Column: 5}},
+		},
+	} {
+		s, err := core.NewSorter(wl.tbl.Schema, wl.keys, core.Options{Threads: cfg.threads()})
+		if err != nil {
+			return err
+		}
+		sink := s.NewSink()
+		for _, c := range wl.tbl.Chunks {
+			if err := sink.Append(c); err != nil {
+				return err
+			}
+		}
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		if err := s.Finalize(); err != nil {
+			return err
+		}
+
+		// Result does not consume the sorted rows, so each variant can be
+		// re-measured on the same finalized sorter.
+		t := &Table{
+			Title:  fmt.Sprintf("%s, %s rows", wl.name, Count(uint64(wl.tbl.NumRows()))),
+			Header: []string{"variant", "time"},
+		}
+		for _, v := range []struct {
+			name string
+			run  func() (*vector.Table, error)
+		}{
+			{"scalar (value-at-a-time)", s.ResultScalar},
+			{"vectorized, 1 thread", func() (*vector.Table, error) { return s.ResultThreads(1) }},
+			{fmt.Sprintf("vectorized, parallel (threads=%d)", cfg.threads()),
+				func() (*vector.Table, error) { return s.ResultThreads(cfg.threads()) }},
+		} {
+			d := MedianTime(cfg.reps(), func() {
+				if _, err := v.run(); err != nil {
+					panic(err)
+				}
+			})
+			t.AddRow(v.name, Seconds(d))
+		}
+		t.Render(w)
+	}
+	return nil
+}

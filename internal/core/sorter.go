@@ -38,6 +38,46 @@ type Sorter struct {
 	runs      []*sortedRun
 	finalized bool
 	finalKeys []byte
+
+	// Buffer recycling for run generation: key buffers and payload row
+	// sets released by flushed/spilled/merged runs are pooled so steady
+	// ingestion stops allocating once the first runs have been cut.
+	keyPool sync.Pool // *[]byte, length 0
+	rsPool  sync.Pool // *row.RowSet, empty, this sorter's layout
+}
+
+// getKeyBuf returns an empty key buffer, recycled when available.
+func (s *Sorter) getKeyBuf() []byte {
+	if b, ok := s.keyPool.Get().(*[]byte); ok {
+		return (*b)[:0]
+	}
+	return nil
+}
+
+// putKeyBuf recycles a key buffer whose contents are dead.
+func (s *Sorter) putKeyBuf(b []byte) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	s.keyPool.Put(&b)
+}
+
+// getRowSet returns an empty payload row set, recycled when available.
+func (s *Sorter) getRowSet() *row.RowSet {
+	if rs, ok := s.rsPool.Get().(*row.RowSet); ok {
+		return rs
+	}
+	return row.NewRowSet(s.layout)
+}
+
+// putRowSet recycles a payload row set whose contents are dead.
+func (s *Sorter) putRowSet(rs *row.RowSet) {
+	if rs == nil {
+		return
+	}
+	rs.Reset()
+	s.rsPool.Put(rs)
 }
 
 // sortedRun is one thread-local sorted run: sorted key rows plus the
@@ -122,7 +162,38 @@ type Sink struct {
 
 // NewSink registers and returns a new ingestion sink.
 func (s *Sorter) NewSink() *Sink {
-	return &Sink{s: s, payload: row.NewRowSet(s.layout)}
+	return &Sink{s: s, keys: s.getKeyBuf(), payload: s.getRowSet()}
+}
+
+// growKeys extends the sink's key buffer by n rows and returns the byte
+// offset of the new region. Capacity grows by doubling, amortized to the
+// run size — the previous append(make([]byte, n*rowWidth)...) allocated
+// (and zeroed) a throwaway slice on every chunk.
+func (k *Sink) growKeys(n int) int {
+	rw := k.s.rowWidth
+	need := len(k.keys) + n*rw
+	if cap(k.keys) < need {
+		target := k.s.opt.runSize() * rw
+		newCap := 2 * cap(k.keys)
+		if newCap == 0 {
+			newCap = 64 * rw
+		}
+		if newCap > target {
+			newCap = target
+		}
+		if newCap < need {
+			newCap = need
+		}
+		nb := make([]byte, len(k.keys), newCap)
+		copy(nb, k.keys)
+		k.keys = nb
+	}
+	start := len(k.keys)
+	k.keys = k.keys[:need]
+	// Zero the extension: recycled buffers carry stale bytes, and the
+	// alignment padding past each row's payload ref is never written.
+	clear(k.keys[start:])
+	return start
 }
 
 // Append converts one chunk into the sink's pending run: payload columns
@@ -149,8 +220,7 @@ func (k *Sink) Append(c *vector.Chunk) error {
 	for i, kc := range s.keys {
 		keyCols[i] = c.Vectors[kc.Column]
 	}
-	start := len(k.keys)
-	k.keys = append(k.keys, make([]byte, n*s.rowWidth)...)
+	start := k.growKeys(n)
 	if err := s.enc.Encode(keyCols, k.keys[start:], s.rowWidth, 0); err != nil {
 		return err
 	}
@@ -204,23 +274,28 @@ func hasNUL(s string) bool {
 	return false
 }
 
-// Close flushes the sink's remaining rows as a final (possibly short) run.
+// Close flushes the sink's remaining rows as a final (possibly short) run
+// and returns the sink's buffers to the sorter's pools.
 func (k *Sink) Close() error {
 	if k.closed {
 		return nil
 	}
 	k.closed = true
-	if k.n == 0 {
-		return nil
+	var err error
+	if k.n > 0 {
+		err = k.flush()
 	}
-	return k.flush()
+	k.s.putKeyBuf(k.keys)
+	k.s.putRowSet(k.payload)
+	k.keys, k.payload = nil, nil
+	return err
 }
 
 // flush sorts the pending rows into a run and registers it globally.
 func (k *Sink) flush() error {
 	s := k.s
 	keys, payload, n := k.keys, k.payload, k.n
-	k.keys, k.payload, k.n = nil, row.NewRowSet(s.layout), 0
+	k.keys, k.payload, k.n = s.getKeyBuf(), s.getRowSet(), 0
 	tb := k.tieBreak
 	k.tieBreak = false
 
@@ -249,14 +324,16 @@ func (k *Sink) flush() error {
 	s.runs = append(s.runs, run)
 	s.mu.Unlock()
 
-	sorted := row.NewRowSet(s.layout)
-	sorted.Reserve(n)
+	idxs := make([]uint32, n)
 	for i := 0; i < n; i++ {
 		keyRow := keys[i*s.rowWidth : (i+1)*s.rowWidth]
-		_, idx := s.getRef(keyRow)
-		sorted.AppendRowFrom(payload, int(idx))
+		_, idxs[i] = s.getRef(keyRow)
 		s.putRef(keyRow, runID, uint32(i))
 	}
+	sorted := s.getRowSet()
+	sorted.Reserve(n)
+	sorted.AppendRowsFrom(payload, idxs)
+	s.putRowSet(payload)
 	run.keys = keys
 	run.payload = sorted
 
@@ -383,8 +460,70 @@ func (s *Sorter) NumRows() int {
 }
 
 // Result gathers the sorted payload back into a columnar table (the final
-// conversion of Figure 11), in chunks of vector.DefaultVectorSize.
+// conversion of Figure 11), in chunks of vector.DefaultVectorSize. The
+// gather is vectorized (one typed kernel pass per column, see package row)
+// and parallel: output chunks are independent, so they are distributed
+// over Options.Threads workers and the result is byte-identical at any
+// thread count.
 func (s *Sorter) Result() (*vector.Table, error) {
+	return s.ResultThreads(s.opt.threads())
+}
+
+// ResultThreads is Result with an explicit worker count, for the gather
+// ablation and for callers that want to bound materialization parallelism
+// separately from the sort.
+func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
+	if !s.finalized {
+		return nil, fmt.Errorf("core: Result before Finalize")
+	}
+	out := vector.NewTable(s.schema)
+	n := s.NumRows()
+	if n == 0 {
+		return out, nil
+	}
+	payloads := make([]*row.RowSet, len(s.runs))
+	for i, r := range s.runs {
+		payloads[i] = r.payload
+	}
+	numChunks := (n + vector.DefaultVectorSize - 1) / vector.DefaultVectorSize
+	chunks := make([]*vector.Chunk, numChunks)
+	threads = min(max(threads, 1), numChunks)
+
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-worker reusable reference buffers.
+			which := make([]uint32, vector.DefaultVectorSize)
+			idxs := make([]uint32, vector.DefaultVectorSize)
+			for ci := w; ci < numChunks; ci += threads {
+				start := ci * vector.DefaultVectorSize
+				count := min(vector.DefaultVectorSize, n-start)
+				refW, refI := which[:count], idxs[:count]
+				for r := 0; r < count; r++ {
+					keyRow := s.finalKeys[(start+r)*s.rowWidth:]
+					refW[r], refI[r] = s.getRef(keyRow)
+				}
+				chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(s.schema))}
+				for c := range s.schema {
+					v := vector.NewDense(s.schema[c].Type, count)
+					row.GatherRefsColumn(payloads, refW, refI, c, v)
+					chunk.Vectors[c] = v
+				}
+				chunks[ci] = chunk
+			}
+		}(w)
+	}
+	wg.Wait()
+	out.Chunks = chunks
+	return out, nil
+}
+
+// ResultScalar is the value-at-a-time reference gather Result replaced: it
+// re-dispatches the column type switch once per value. It is kept for the
+// equivalence tests and the gather ablation benchmark.
+func (s *Sorter) ResultScalar() (*vector.Table, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Result before Finalize")
 	}

@@ -54,6 +54,10 @@ func (r *sortedRun) spillTo(s *Sorter) error {
 		return err
 	}
 	r.spill = &spillFile{path: path}
+	// The in-memory buffers are dead once the run is on disk: recycle them
+	// for the next pending run.
+	s.putKeyBuf(r.keys)
+	s.putRowSet(r.payload)
 	r.keys = nil
 	r.payload = nil
 	return nil
@@ -158,19 +162,32 @@ func (s *Sorter) mergeRunPair(a, b *sortedRun) (*sortedRun, error) {
 	merged := &sortedRun{id: uint32(len(s.runs)), tieBreak: a.tieBreak || b.tieBreak}
 	s.runs = append(s.runs, merged)
 
+	// Reorder both payloads into the merged run with the batched permute:
+	// decode every reference once, rewrite it to the merged run, then move
+	// the rows (and compact the string heaps) with the typed kernels.
 	n := len(mergedKeys) / s.rowWidth
-	payload := row.NewRowSet(s.layout)
-	payload.Reserve(n)
+	payloads := make([]*row.RowSet, len(s.runs))
+	for i, r := range s.runs {
+		payloads[i] = r.payload
+	}
+	which := make([]uint32, n)
+	idxs := make([]uint32, n)
 	for i := 0; i < n; i++ {
 		keyRow := mergedKeys[i*s.rowWidth : (i+1)*s.rowWidth]
-		runID, idx := s.getRef(keyRow)
-		payload.AppendRowFrom(s.runs[runID].payload, int(idx))
+		which[i], idxs[i] = s.getRef(keyRow)
 		s.putRef(keyRow, merged.id, uint32(i))
 	}
+	payload := s.getRowSet()
+	payload.Reserve(n)
+	payload.AppendRowsGather(payloads, which, idxs)
 	merged.keys = mergedKeys
 	merged.payload = payload
 
-	// Release the inputs.
+	// Release the inputs into the pools.
+	s.putKeyBuf(a.keys)
+	s.putKeyBuf(b.keys)
+	s.putRowSet(a.payload)
+	s.putRowSet(b.payload)
 	a.keys, a.payload = nil, nil
 	b.keys, b.payload = nil, nil
 	return merged, nil

@@ -114,14 +114,18 @@ func (t *TopN) Result() (*vector.Table, error) {
 		ordered[i] = heap.Pop(t.h).([]byte)
 	}
 	out := vector.NewTable(s.schema)
+	idxs := make([]uint32, vector.DefaultVectorSize)
 	for start := 0; start < len(ordered); start += vector.DefaultVectorSize {
 		count := min(vector.DefaultVectorSize, len(ordered)-start)
-		chunk := vector.NewChunk(s.schema, count)
+		refs := idxs[:count]
+		for r := 0; r < count; r++ {
+			_, refs[r] = s.getRef(ordered[start+r])
+		}
+		chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(s.schema))}
 		for c := range s.schema {
-			for r := start; r < start+count; r++ {
-				_, idx := s.getRef(ordered[r])
-				t.payload.AppendTo(chunk.Vectors[c], int(idx), c)
-			}
+			v := vector.NewDense(s.schema[c].Type, count)
+			t.payload.GatherColumn(c, refs, v)
+			chunk.Vectors[c] = v
 		}
 		if err := out.AppendChunk(chunk); err != nil {
 			return nil, err

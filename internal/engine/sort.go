@@ -27,7 +27,10 @@ func Sort(child Operator, keys []core.SortColumn, opt core.Options) *SortOp {
 func (s *SortOp) Schema() vector.Schema { return s.child.Schema() }
 
 // Open implements Operator: it drains the child into the sorter, runs the
-// parallel merge, and readies the sorted scan.
+// parallel merge, and readies the sorted scan. The final materialization
+// (core.Sorter.Result) gathers the payload with the typed vectorized
+// kernels across Options.Threads workers, so the pipeline breaker's output
+// side is parallel as well.
 func (s *SortOp) Open() error {
 	if err := s.child.Open(); err != nil {
 		return err

@@ -65,3 +65,67 @@ func BenchmarkAppendRowFrom(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkGatherIndexed compares the value-at-a-time AppendTo loop with the
+// typed indexed kernels on a reversed permutation — the per-value vs
+// per-vector type-dispatch difference in isolation.
+func BenchmarkGatherIndexed(b *testing.B) {
+	types, vecs := benchChunk(1 << 14)
+	rs := NewRowSet(NewLayout(types))
+	if err := rs.AppendChunk(vecs); err != nil {
+		b.Fatal(err)
+	}
+	idxs := make([]uint32, rs.Len())
+	for i := range idxs {
+		idxs[i] = uint32(rs.Len() - 1 - i)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for c, t := range types {
+				v := vector.New(t, len(idxs))
+				for _, x := range idxs {
+					rs.AppendTo(v, int(x), c)
+				}
+			}
+		}
+	})
+	b.Run("vectorized", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rs.GatherRows(idxs)
+		}
+	})
+}
+
+// BenchmarkAppendRowsFrom compares the per-row payload permute with the
+// batched one (one row-copy loop plus a single heap-compaction pass).
+func BenchmarkAppendRowsFrom(b *testing.B) {
+	types, vecs := benchChunk(1 << 14)
+	src := NewRowSet(NewLayout(types))
+	if err := src.AppendChunk(vecs); err != nil {
+		b.Fatal(err)
+	}
+	idxs := make([]uint32, src.Len())
+	for i := range idxs {
+		idxs[i] = uint32(src.Len() - 1 - i)
+	}
+	b.Run("scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst := NewRowSet(src.Layout())
+			dst.Reserve(src.Len())
+			for _, x := range idxs {
+				dst.AppendRowFrom(src, int(x))
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			dst := NewRowSet(src.Layout())
+			dst.Reserve(src.Len())
+			dst.AppendRowsFrom(src, idxs)
+		}
+	})
+}

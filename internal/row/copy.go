@@ -8,8 +8,10 @@ import (
 )
 
 // AppendTo appends column c of row i to v, which must match the column's
-// type. It is the single-value gather used when output rows are scattered
-// across sorted runs.
+// type. It is the single-value gather: the type switch re-dispatches per
+// value, so hot paths use the vectorized kernels in gather.go instead.
+// It remains the reference implementation they are tested (and the
+// scalar-vs-vectorized ablation is measured) against.
 func (rs *RowSet) AppendTo(v *vector.Vector, i, c int) {
 	l := rs.layout
 	rowb := rs.Row(i)
@@ -47,8 +49,9 @@ func (rs *RowSet) AppendTo(v *vector.Vector, i, c int) {
 }
 
 // AppendRowFrom appends row i of src, which must share the layout, copying
-// any string data into this set's heap. It is how sorted runs physically
-// reorder their payload after the keys are sorted.
+// any string data into this set's heap. It is the single-row form of the
+// payload reorder; run generation uses the batched AppendRowsFrom, which
+// hoists the varchar column scan out of the row loop.
 func (rs *RowSet) AppendRowFrom(src *RowSet, i int) {
 	rs.data = append(rs.data, src.Row(i)...)
 	rs.n++

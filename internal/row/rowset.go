@@ -273,32 +273,22 @@ func (rs *RowSet) Value(i, c int) any {
 }
 
 // GatherChunk converts rows [start, start+count) back to vectors (NSM to
-// DSM), returning one vector per column.
+// DSM), returning one vector per column. It takes the sequential fast path:
+// the typed range kernels walk the row buffer directly, with no index list
+// materialized.
 func (rs *RowSet) GatherChunk(start, count int) []*vector.Vector {
-	idx := make([]int, count)
-	for i := range idx {
-		idx[i] = start + i
-	}
-	return rs.GatherIndexed(idx)
+	return rs.GatherRange(start, count)
 }
 
 // GatherIndexed converts the rows named by indices back to vectors, in
 // index order. This is how payload is retrieved in sorted order after the
 // keys have been sorted: the sorted keys carry row indices, and the payload
-// rows are gathered through them.
+// rows are gathered through them. Hot paths that already hold uint32
+// indices should call GatherRows directly.
 func (rs *RowSet) GatherIndexed(indices []int) []*vector.Vector {
-	l := rs.layout
-	out := make([]*vector.Vector, len(l.types))
-	for c, t := range l.types {
-		v := vector.New(t, len(indices))
-		out[c] = v
-		rs.gatherColumn(c, indices, v)
+	idxs := make([]uint32, len(indices))
+	for i, x := range indices {
+		idxs[i] = uint32(x)
 	}
-	return out
-}
-
-func (rs *RowSet) gatherColumn(c int, indices []int, v *vector.Vector) {
-	for _, i := range indices {
-		rs.AppendTo(v, i, c)
-	}
+	return rs.GatherRows(idxs)
 }

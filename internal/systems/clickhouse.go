@@ -81,7 +81,7 @@ func (c *ClickHouse) Sort(t *vector.Table, keys []core.SortColumn) (*vector.Tabl
 	// access into the columns).
 	cmp := jitComparator(nkeys, kcols)
 	order := kwayMergeIndices(runs, cmp)
-	return gather(t.Schema, cols, order), nil
+	return gather(t.Schema, cols, order, c.numThreads()), nil
 }
 
 // singleIntKey reports whether the spec is one integer-typed key — the case

@@ -113,12 +113,13 @@ func (h *compiled) Sort(t *vector.Table, keys []core.SortColumn) (*vector.Table,
 	// Parallel k-way merge on the tuples (payload untouched).
 	merged := parallelKWayCrows(runs, meta, numKeys, h.numThreads())
 
-	// Payload is physically collected only now, when the output is read.
+	// Payload is physically collected only now, when the output is read —
+	// with the shared vectorized gather kernels, in parallel.
 	order := make([]uint32, n)
 	for i := range merged {
 		order[i] = merged[i].id
 	}
-	return gather(t.Schema, cols, order), nil
+	return gather(t.Schema, cols, order, h.numThreads()), nil
 }
 
 // buildCrows materializes the generated tuples, one key column at a time.

@@ -35,7 +35,8 @@ func (m *MonetDB) Sort(t *vector.Table, keys []core.SortColumn) (*vector.Table, 
 		idx[i] = uint32(i)
 	}
 	subsortIndices(idx, nkeys, kcols, 0)
-	return gather(t.Schema, cols, idx), nil
+	// MonetDB is modeled single-threaded end to end, including the gather.
+	return gather(t.Schema, cols, idx, 1), nil
 }
 
 // subsortIndices sorts idx by key column c with a single-column comparator,

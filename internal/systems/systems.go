@@ -23,6 +23,7 @@ package systems
 
 import (
 	"fmt"
+	"sync"
 
 	"rowsort/internal/core"
 	"rowsort/internal/normkey"
@@ -110,22 +111,39 @@ func keyColumns(cols []*vector.Vector, keys []core.SortColumn) []*vector.Vector 
 
 // gather builds the sorted output table by fetching every payload column
 // through the sorted row indices — the columnar payload retrieval step.
-func gather(schema vector.Schema, cols []*vector.Vector, order []uint32) *vector.Table {
+// The copy runs vector at a time (one typed kernel pass per column, see
+// vector.GatherInto) and output chunks are distributed over threads
+// workers; chunks are independent, so the output is identical at any
+// thread count. Single-threaded models pass threads=1.
+func gather(schema vector.Schema, cols []*vector.Vector, order []uint32, threads int) *vector.Table {
 	out := vector.NewTable(schema)
 	n := len(order)
-	for start := 0; start < n; start += vector.DefaultVectorSize {
-		count := min(vector.DefaultVectorSize, n-start)
-		chunk := vector.NewChunk(schema, count)
-		for c := range schema {
-			for r := start; r < start+count; r++ {
-				vector.AppendValue(chunk.Vectors[c], cols[c], int(order[r]))
-			}
-		}
-		// Chunks built here match the schema by construction.
-		if err := out.AppendChunk(chunk); err != nil {
-			panic(err)
-		}
+	if n == 0 {
+		return out
 	}
+	numChunks := (n + vector.DefaultVectorSize - 1) / vector.DefaultVectorSize
+	chunks := make([]*vector.Chunk, numChunks)
+	threads = min(max(threads, 1), numChunks)
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for ci := w; ci < numChunks; ci += threads {
+				start := ci * vector.DefaultVectorSize
+				count := min(vector.DefaultVectorSize, n-start)
+				chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(schema))}
+				for c := range schema {
+					v := vector.NewDense(schema[c].Type, count)
+					vector.GatherInto(v, cols[c], order[start:start+count])
+					chunk.Vectors[c] = v
+				}
+				chunks[ci] = chunk
+			}
+		}(w)
+	}
+	wg.Wait()
+	out.Chunks = chunks
 	return out
 }
 

@@ -1,0 +1,96 @@
+package vector
+
+// NewDense returns a vector of type t with n rows already present, all
+// valid and zero-valued. It is the destination shape the typed gather
+// kernels write into: values are assigned through the backing slice instead
+// of appended one call at a time, so a kernel's inner loop carries no
+// per-value dispatch or growth checks.
+func NewDense(t Type, n int) *Vector {
+	v := &Vector{typ: t, n: n}
+	switch t {
+	case Bool:
+		v.b = make([]bool, n)
+	case Int8:
+		v.i8 = make([]int8, n)
+	case Int16:
+		v.i16 = make([]int16, n)
+	case Int32:
+		v.i32 = make([]int32, n)
+	case Int64:
+		v.i64 = make([]int64, n)
+	case Uint8:
+		v.u8 = make([]uint8, n)
+	case Uint16:
+		v.u16 = make([]uint16, n)
+	case Uint32:
+		v.u32 = make([]uint32, n)
+	case Uint64:
+		v.u64 = make([]uint64, n)
+	case Float32:
+		v.f32 = make([]float32, n)
+	case Float64:
+		v.f64 = make([]float64, n)
+	case Varchar:
+		v.str = make([]string, n)
+	default:
+		panic("vector.NewDense: invalid type")
+	}
+	return v
+}
+
+// GatherInto fills dst (a dense vector of len(order) rows, same type as
+// src) with src's rows in order order. The type switch runs once per call,
+// not once per value — the vector-at-a-time payload gather used by the
+// columnar system models. Indices may repeat and appear in any order.
+func GatherInto(dst, src *Vector, order []uint32) {
+	if dst.typ != src.typ {
+		panic("vector.GatherInto: type mismatch")
+	}
+	if dst.n != len(order) {
+		panic("vector.GatherInto: dst length does not match order")
+	}
+	switch src.typ {
+	case Bool:
+		gatherSlice(dst, dst.b, src.b, src.valid, order)
+	case Int8:
+		gatherSlice(dst, dst.i8, src.i8, src.valid, order)
+	case Int16:
+		gatherSlice(dst, dst.i16, src.i16, src.valid, order)
+	case Int32:
+		gatherSlice(dst, dst.i32, src.i32, src.valid, order)
+	case Int64:
+		gatherSlice(dst, dst.i64, src.i64, src.valid, order)
+	case Uint8:
+		gatherSlice(dst, dst.u8, src.u8, src.valid, order)
+	case Uint16:
+		gatherSlice(dst, dst.u16, src.u16, src.valid, order)
+	case Uint32:
+		gatherSlice(dst, dst.u32, src.u32, src.valid, order)
+	case Uint64:
+		gatherSlice(dst, dst.u64, src.u64, src.valid, order)
+	case Float32:
+		gatherSlice(dst, dst.f32, src.f32, src.valid, order)
+	case Float64:
+		gatherSlice(dst, dst.f64, src.f64, src.valid, order)
+	case Varchar:
+		gatherSlice(dst, dst.str, src.str, src.valid, order)
+	}
+}
+
+// gatherSlice is the typed inner loop: a tight permuted copy when the
+// source has no NULLs, otherwise the same loop with a validity check.
+func gatherSlice[T any](dstVec *Vector, dst, src []T, valid *Bitmap, order []uint32) {
+	if valid == nil || len(valid.words) == 0 {
+		for o, i := range order {
+			dst[o] = src[i]
+		}
+		return
+	}
+	for o, i := range order {
+		if !valid.Valid(int(i)) {
+			dstVec.SetNull(o)
+			continue
+		}
+		dst[o] = src[i]
+	}
+}
