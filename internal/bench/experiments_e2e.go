@@ -75,7 +75,7 @@ func runFig7(w io.Writer, _ Config) error {
 
 // runFig11 traces the DuckDB pipeline on a representative workload and
 // reports per-stage times: vectorized conversion + thread-local run
-// generation, cascaded Merge Path merge, and the columnar scan.
+// generation, the k-way loser-tree merge, and the columnar scan.
 func runFig11(w io.Writer, cfg Config) error {
 	if err := cfg.valid(); err != nil {
 		return err
@@ -118,7 +118,7 @@ func runFig11(w io.Writer, cfg Config) error {
 		Header: []string{"stage", "time"},
 	}
 	t.AddRow("convert to rows + normalize keys + run generation", Seconds(sinkTime))
-	t.AddRow("cascaded Merge Path merge", Seconds(mergeTime))
+	t.AddRow("k-way loser-tree merge", Seconds(mergeTime))
 	t.AddRow("scan back to vectors", Seconds(scanTime))
 	t.Render(w)
 	return nil

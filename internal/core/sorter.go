@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"rowsort/internal/mergepath"
 	"rowsort/internal/normkey"
@@ -38,6 +39,16 @@ type Sorter struct {
 	runs      []*sortedRun
 	finalized bool
 	finalKeys []byte
+
+	mergeStats mergepath.Stats
+
+	// Spill bookkeeping: every file created under SpillDir is tracked until
+	// it is removed, so Close can clean up after aborted sorts; the byte
+	// counters verify the streaming merge's single read pass.
+	spillMu      sync.Mutex
+	spillPaths   map[string]struct{}
+	spillWritten atomic.Int64
+	spillRead    atomic.Int64
 
 	// Buffer recycling for run generation: key buffers and payload row
 	// sets released by flushed/spilled/merged runs are pooled so steady
@@ -310,7 +321,7 @@ func (k *Sink) flush() error {
 	}
 	if usePdq {
 		r := sortalgo.NewRows(keys, s.rowWidth)
-		r.Compare = s.comparator(func(runID, idx uint32) *row.RowSet { return payload })
+		r.Compare = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return payload, int(idx) })
 		r.Pdqsort()
 	} else {
 		radix.Sort(keys, s.rowWidth, s.keyWidth)
@@ -346,8 +357,10 @@ func (k *Sink) flush() error {
 // comparator returns the key-row comparator: a single bytes.Compare when no
 // tie-break is needed, otherwise a segment-wise compare that resolves tied
 // string prefixes against the full strings fetched through the payload
-// reference. lookup maps a payload reference to its RowSet.
-func (s *Sorter) comparator(lookup func(runID, idx uint32) *row.RowSet) func(a, b []byte) int {
+// reference. lookup maps a payload reference to the RowSet holding it and
+// the row's index there (the streaming external merge keeps only one block
+// of each run resident, so the index is block-local).
+func (s *Sorter) comparator(lookup func(runID, idx uint32) (*row.RowSet, int)) func(a, b []byte) int {
 	keys := s.enc.Keys()
 	type seg struct {
 		off, end  int
@@ -384,14 +397,15 @@ func (s *Sorter) comparator(lookup func(runID, idx uint32) *row.RowSet) func(a, 
 			// may differ beyond the prefix.
 			ra, ia := s.getRef(a)
 			rb, ib := s.getRef(b)
-			pa, pb := lookup(ra, ia), lookup(rb, ib)
-			va := pa.Valid(int(ia), sg.varcharAt)
-			vb := pb.Valid(int(ib), sg.varcharAt)
+			pa, la := lookup(ra, ia)
+			pb, lb := lookup(rb, ib)
+			va := pa.Valid(la, sg.varcharAt)
+			vb := pb.Valid(lb, sg.varcharAt)
 			if !va || !vb {
 				continue // both NULL (validity bytes matched)
 			}
-			sa := sg.coll.Apply(pa.String(int(ia), sg.varcharAt))
-			sb := sg.coll.Apply(pb.String(int(ib), sg.varcharAt))
+			sa := sg.coll.Apply(pa.String(la, sg.varcharAt))
+			sb := sg.coll.Apply(pb.String(lb, sg.varcharAt))
 			c = compareStrings(sa, sb)
 			if sg.desc {
 				c = -c
@@ -406,6 +420,28 @@ func (s *Sorter) comparator(lookup func(runID, idx uint32) *row.RowSet) func(a, 
 
 func compareBytes(a, b []byte) int { return bytes.Compare(a, b) }
 
+// ovcSafeWidth returns the normalized-key prefix width over which plain
+// byte order is the sort order: the whole key when no string can exceed its
+// prefix, else only up to the end of the first varchar segment. Beyond a
+// tied varchar prefix the full strings decide before any later segment's
+// bytes, so byte (and offset-value-code) comparisons must stop there and
+// byte-equal rows fall to the segment-wise tie comparator.
+func (s *Sorter) ovcSafeWidth(anyTieBreak bool) int {
+	if !anyTieBreak {
+		return s.keyWidth
+	}
+	keys := s.enc.Keys()
+	for i, nk := range keys {
+		if nk.Type == vector.Varchar {
+			if i+1 < len(keys) {
+				return s.enc.Offset(i + 1)
+			}
+			break
+		}
+	}
+	return s.keyWidth
+}
+
 func compareStrings(a, b string) int {
 	switch {
 	case a < b:
@@ -417,9 +453,12 @@ func compareStrings(a, b string) int {
 	}
 }
 
-// Finalize merges all sorted runs into one with a cascaded parallel merge
-// (Merge Path partitions keep all threads busy on the last merges). It must
-// be called after every sink is closed.
+// Finalize merges all sorted runs into one. The default is a single-pass
+// k-way loser-tree merge with offset-value coding, partitioned across
+// Options.Threads workers with k-way Merge Path (each worker emits a
+// disjoint slice of the output, byte-identical to the scalar merge);
+// Options.Merge selects the ablation arms. It must be called after every
+// sink is closed.
 func (s *Sorter) Finalize() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -429,26 +468,69 @@ func (s *Sorter) Finalize() error {
 	s.finalized = true
 
 	if s.opt.SpillDir != "" {
+		if s.opt.Merge == MergeCascade {
+			return s.externalFinalizeCascade()
+		}
 		return s.externalFinalize()
+	}
+
+	if len(s.runs) == 0 {
+		return nil
+	}
+	if len(s.runs) == 1 {
+		s.finalKeys = s.runs[0].keys
+		return nil
 	}
 
 	anyTieBreak := false
 	runs := make([]mergepath.Run, len(s.runs))
+	total := 0
 	for i, r := range s.runs {
 		runs[i] = mergepath.Run{Data: r.keys, Width: s.rowWidth}
 		anyTieBreak = anyTieBreak || r.tieBreak
+		total += runs[i].Len()
 	}
-	var cmp mergepath.CompareFunc
+	inMemLookup := func(runID, idx uint32) (*row.RowSet, int) {
+		return s.runs[runID].payload, int(idx)
+	}
+
+	if s.opt.Merge == MergeCascade {
+		var cmp mergepath.CompareFunc
+		if anyTieBreak {
+			cmp = s.comparator(inMemLookup)
+		} else {
+			kw := s.keyWidth
+			cmp = func(a, b []byte) int { return compareBytes(a[:kw], b[:kw]) }
+		}
+		merged := mergepath.CascadeMerge(runs, cmp, s.opt.threads())
+		s.finalKeys = merged.Data
+		s.mergeStats.BytesMoved = uint64(len(merged.Data))
+		return nil
+	}
+
+	var tie mergepath.CompareFunc
 	if anyTieBreak {
-		full := s.comparator(func(runID, idx uint32) *row.RowSet { return s.runs[runID].payload })
-		cmp = full
-	} else {
-		kw := s.keyWidth
-		cmp = func(a, b []byte) int { return compareBytes(a[:kw], b[:kw]) }
+		tie = s.comparator(inMemLookup)
 	}
-	merged := mergepath.CascadeMerge(runs, cmp, s.opt.threads())
-	s.finalKeys = merged.Data
+	dst := make([]byte, total*s.rowWidth)
+	s.mergeStats = mergepath.ParallelKWayMerge(dst, runs, s.ovcSafeWidth(anyTieBreak), tie,
+		s.opt.threads(), s.opt.Merge != MergeLoserTreeNoOVC)
+	s.finalKeys = dst
 	return nil
+}
+
+// MergeStats returns the merge-phase counters of the last Finalize:
+// comparisons played, how many resolved on offset-value codes alone, full
+// key compares, tie-break calls, and output bytes written. CascadeMerge
+// reports only BytesMoved.
+func (s *Sorter) MergeStats() mergepath.Stats { return s.mergeStats }
+
+// SpillStats returns the bytes written to and read from spill files so far.
+// The streaming external merge reads every spilled byte exactly once, so
+// after Finalize read equals written; the cascaded external merge re-spills
+// intermediates and reads a multiple of it.
+func (s *Sorter) SpillStats() (written, read int64) {
+	return s.spillWritten.Load(), s.spillRead.Load()
 }
 
 // NumRows returns the number of sorted rows; valid after Finalize.
@@ -555,6 +637,8 @@ func SortTable(t *vector.Table, keys []SortColumn, opt Options) (*vector.Table, 
 	if err != nil {
 		return nil, err
 	}
+	// Whatever happens below, no spill files survive this call.
+	defer s.Close()
 	threads := min(s.opt.threads(), max(1, len(t.Chunks)))
 	errs := make([]error, threads)
 	var wg sync.WaitGroup

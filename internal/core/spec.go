@@ -5,7 +5,8 @@
 //
 //	input chunks → per-thread sinks → normalized keys + payload row format
 //	→ thread-local run generation (radix sort, or pdqsort when string
-//	prefixes may tie) → cascaded parallel merge with Merge Path
+//	prefixes may tie) → single-pass k-way loser-tree merge with
+//	offset-value coding, partitioned across threads with k-way Merge Path
 //	→ columnar scan of the result
 //
 // Keys are compared as plain bytes (one dynamic bytes.Compare per
@@ -37,6 +38,28 @@ type SortColumn struct {
 	CaseInsensitive bool
 }
 
+// MergeAlgo selects the merge-phase algorithm.
+type MergeAlgo int
+
+// The available merge algorithms.
+const (
+	// MergeLoserTree is the default: a single-pass k-way tournament (loser
+	// tree) over all runs with offset-value coding, so most comparisons
+	// resolve on cached (offset, value) integers instead of full-width key
+	// memcmp. In memory the output is partitioned across threads with k-way
+	// Merge Path; with SpillDir set, spilled runs are streamed through
+	// fixed-size blocks in one read pass.
+	MergeLoserTree MergeAlgo = iota
+	// MergeLoserTreeNoOVC is the loser tree with offset-value coding
+	// disabled: every match compares key bytes (the ablation arm isolating
+	// the coding from the tree shape).
+	MergeLoserTreeNoOVC
+	// MergeCascade is the cascaded pairwise 2-way merge (the previous
+	// default), kept as the ablation baseline. With SpillDir set it merges
+	// spilled runs pairwise with full unspill/re-spill of intermediates.
+	MergeCascade
+)
+
 // Options tune the sorter; the zero value is a good default.
 type Options struct {
 	// Threads bounds the sorter's parallelism; 0 means GOMAXPROCS.
@@ -55,14 +78,26 @@ type Options struct {
 	// tie-break forces pdqsort anyway.
 	Adaptive bool
 	// SpillDir, when non-empty, writes sorted runs to files in this
-	// directory after run generation and reads them back for the merge —
-	// the unified-row-format offloading sketched in the paper's future
-	// work. It trades memory for disk I/O; the merge itself is unchanged.
+	// directory after run generation and streams them back through
+	// fixed-size blocks for a single-pass k-way merge — the
+	// unified-row-format offloading sketched in the paper's future work.
+	// Merge memory stays bounded at k runs × SpillBlockRows (plus the final
+	// materialization), and each spilled byte is read exactly once.
 	SpillDir string
+	// Merge selects the merge-phase algorithm; the zero value is the
+	// offset-value-coded loser tree. The other values are ablation arms.
+	Merge MergeAlgo
+	// SpillBlockRows is the number of rows per spill-file block (the unit
+	// of streaming-merge I/O and resident memory per run); 0 means
+	// DefaultSpillBlockRows.
+	SpillBlockRows int
 }
 
 // DefaultRunSize is the default thread-local run size in rows.
 const DefaultRunSize = 1 << 17
+
+// DefaultSpillBlockRows is the default spill block granularity.
+const DefaultSpillBlockRows = 1 << 12
 
 func (o Options) threads() int {
 	if o.Threads > 0 {
@@ -76,6 +111,13 @@ func (o Options) runSize() int {
 		return o.RunSize
 	}
 	return DefaultRunSize
+}
+
+func (o Options) spillBlockRows() int {
+	if o.SpillBlockRows > 0 {
+		return o.SpillBlockRows
+	}
+	return DefaultSpillBlockRows
 }
 
 func validateKeys(schema vector.Schema, keys []SortColumn) error {

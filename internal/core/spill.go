@@ -12,47 +12,121 @@ import (
 	"rowsort/internal/row"
 )
 
-// spillFile records where a sorted run's keys and payload live on disk.
-//
 // Spilling demonstrates the paper's future-work direction: because a run is
 // just flat key rows plus a row-format payload, it can be offloaded to
-// secondary storage in one unified format and read back for the merge. The
-// current implementation frees memory between run generation and the merge;
-// the merge itself still runs in memory.
+// secondary storage in one unified format with no conversion. Runs are
+// written as fixed-size blocks (SpillBlockRows key rows followed by their
+// payload rows with a block-local string heap), and the merge streams all k
+// runs back block by block through one offset-value-coded loser tree:
+// resident memory is bounded by k blocks plus the materialized output, and
+// every spilled byte is read exactly once.
+
+// spillMagic heads every spill file ("RSB2": row-sort blocks, format 2).
+const spillMagic = 0x52534232
+
+// spillHeaderLen is the file header: magic, block rows, total rows.
+const spillHeaderLen = 16
+
+// spillFile records where a sorted run lives on disk.
 type spillFile struct {
 	path string
 }
 
-// spillTo writes the run to a file under s.opt.SpillDir and releases its
-// in-memory buffers.
+// trackSpill registers a spill file for cleanup by Close.
+func (s *Sorter) trackSpill(path string) {
+	s.spillMu.Lock()
+	if s.spillPaths == nil {
+		s.spillPaths = make(map[string]struct{})
+	}
+	s.spillPaths[path] = struct{}{}
+	s.spillMu.Unlock()
+}
+
+// untrackSpill forgets a spill file that no longer exists on disk.
+func (s *Sorter) untrackSpill(path string) {
+	s.spillMu.Lock()
+	delete(s.spillPaths, path)
+	s.spillMu.Unlock()
+}
+
+// Close removes any spill files the sorter still has on disk. A completed
+// Finalize removes them as it streams, so this is a no-op on the happy
+// path; aborted sorts (a sink error, a sorter dropped before Finalize) must
+// call it to avoid leaking rowsort-run-*.bin files. It is safe to call
+// multiple times and on sorters that never spilled.
+func (s *Sorter) Close() error {
+	s.spillMu.Lock()
+	defer s.spillMu.Unlock()
+	var first error
+	for path := range s.spillPaths {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			if first == nil {
+				first = err
+			}
+			continue
+		}
+		delete(s.spillPaths, path)
+	}
+	return first
+}
+
+// countingWriter counts the bytes written through it.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// countingReader adds the bytes read through it to the sorter's spill-read
+// counter (the single-read-pass accounting).
+type countingReader struct {
+	r io.Reader
+	s *Sorter
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.s.spillRead.Add(int64(n))
+	return n, err
+}
+
+// spillTo writes the run to a file under s.opt.SpillDir in the blocked
+// format and releases its in-memory buffers. On any error the partial file
+// is removed; nothing is leaked.
 func (r *sortedRun) spillTo(s *Sorter) error {
 	path := filepath.Join(s.opt.SpillDir, fmt.Sprintf("rowsort-run-%d.bin", r.id))
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: creating spill file: %w", err)
 	}
-	w := bufio.NewWriter(f)
-	var hdr [8]byte
-	binary.LittleEndian.PutUint64(hdr[:], uint64(len(r.keys)))
-	if _, err := w.Write(hdr[:]); err != nil {
+	s.trackSpill(path)
+	cleanup := func() {
+		if rmErr := os.Remove(path); rmErr == nil || os.IsNotExist(rmErr) {
+			s.untrackSpill(path)
+		}
+	}
+	bw := bufio.NewWriter(f)
+	cw := &countingWriter{w: bw}
+	if err := r.writeBlocks(s, cw); err != nil {
 		f.Close()
+		cleanup()
 		return err
 	}
-	if _, err := w.Write(r.keys); err != nil {
+	if err := bw.Flush(); err != nil {
 		f.Close()
-		return err
-	}
-	if _, err := r.payload.WriteTo(w); err != nil {
-		f.Close()
-		return err
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
+		cleanup()
 		return err
 	}
 	if err := f.Close(); err != nil {
+		cleanup()
 		return err
 	}
+	s.spillWritten.Add(cw.n)
 	r.spill = &spillFile{path: path}
 	// The in-memory buffers are dead once the run is on disk: recycle them
 	// for the next pending run.
@@ -63,42 +137,370 @@ func (r *sortedRun) spillTo(s *Sorter) error {
 	return nil
 }
 
-// unspill reads the run back into memory and removes its file.
-func (r *sortedRun) unspill(s *Sorter) error {
-	f, err := os.Open(r.spill.path)
-	if err != nil {
-		return fmt.Errorf("core: opening spill file: %w", err)
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	var hdr [8]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+// writeBlocks serializes the run: a header, then per block the raw key rows
+// followed by the block's payload rows (with a block-local string heap, so
+// a reader needs only that block resident to resolve tie-break lookups).
+func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer) error {
+	rw := s.rowWidth
+	n := len(r.keys) / rw
+	blockRows := s.opt.spillBlockRows()
+	var hdr [spillHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockRows))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(n))
+	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
-	keyLen := int(binary.LittleEndian.Uint64(hdr[:]))
-	r.keys = make([]byte, keyLen)
-	if _, err := io.ReadFull(br, r.keys); err != nil {
-		return err
+	blockSet := s.getRowSet()
+	defer s.putRowSet(blockSet)
+	idxs := make([]uint32, 0, blockRows)
+	for start := 0; start < n; start += blockRows {
+		rows := min(blockRows, n-start)
+		if _, err := w.Write(r.keys[start*rw : (start+rows)*rw]); err != nil {
+			return err
+		}
+		blockSet.Reset()
+		idxs = idxs[:0]
+		for i := 0; i < rows; i++ {
+			idxs = append(idxs, uint32(start+i))
+		}
+		blockSet.AppendRowsFrom(r.payload, idxs)
+		if _, err := blockSet.WriteTo(w); err != nil {
+			return err
+		}
 	}
-	payload, err := row.ReadRowSet(br, s.layout)
-	if err != nil {
-		return err
-	}
-	r.payload = payload
-	r.spill = nil
-	return os.Remove(f.Name())
+	return nil
 }
 
-// externalFinalize merges spilled runs with bounded memory: runs are merged
-// pairwise, with only the two inputs and their merged output resident at a
-// time; intermediate results are spilled back until one run remains, whose
-// keys become the final order. This is the graceful-degradation design the
-// paper's future work sketches: because runs are flat normalized-key rows
-// plus the unified row-format payload, offloading and reloading them needs
-// no format conversion at all.
+// runReader streams one run back from its spill file, one block resident at
+// a time. For runs that were never spilled it serves the in-memory buffers
+// as a single block, so the merge handles mixed residency uniformly.
+type runReader struct {
+	s         *Sorter
+	run       *sortedRun
+	f         *os.File
+	br        *bufio.Reader
+	withCodes bool
+	codeWidth int // key prefix width the offset-value codes cover
+
+	blockRows  int
+	numRows    int
+	readRows   int
+	blockStart int // absolute index of the current block's first row
+
+	keys    []byte      // current block's key rows (buffer reused)
+	payload *row.RowSet // current block's payload
+	codes   []uint32    // current block's offset-value codes
+	lastKey []byte      // previous block's final key row (the code carry)
+
+	memory bool
+	served bool
+	err    error
+}
+
+// openRunReader opens r's spill file and reads its header. codeWidth is the
+// byte-decisive key prefix the offset-value codes cover (ignored when
+// withCodes is false).
+func (s *Sorter) openRunReader(r *sortedRun, withCodes bool, codeWidth int) (*runReader, error) {
+	rd := &runReader{s: s, run: r, withCodes: withCodes, codeWidth: codeWidth}
+	if r.spill == nil {
+		rd.memory = true
+		rd.numRows = len(r.keys) / s.rowWidth
+		rd.blockRows = max(1, rd.numRows)
+		return rd, nil
+	}
+	f, err := os.Open(r.spill.path)
+	if err != nil {
+		return nil, fmt.Errorf("core: opening spill file: %w", err)
+	}
+	rd.f = f
+	rd.br = bufio.NewReader(&countingReader{r: f, s: s})
+	var hdr [spillHeaderLen]byte
+	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("core: reading spill header: %w", err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != spillMagic {
+		f.Close()
+		return nil, fmt.Errorf("core: bad spill magic in %s", r.spill.path)
+	}
+	rd.blockRows = int(binary.LittleEndian.Uint32(hdr[4:]))
+	rd.numRows = int(binary.LittleEndian.Uint64(hdr[8:]))
+	if rd.blockRows <= 0 {
+		f.Close()
+		return nil, fmt.Errorf("core: bad spill block size in %s", r.spill.path)
+	}
+	return rd, nil
+}
+
+// next loads the run's next block, overwriting the previous one. It returns
+// false at end of run or on error (check rd.err). The codes carry across
+// blocks: codes[0] of a new block is relative to the previous block's last
+// row, which the merge has always just output when it asks for a refill.
+func (rd *runReader) next() bool {
+	if rd.err != nil {
+		return false
+	}
+	if rd.memory {
+		if rd.served || rd.numRows == 0 {
+			return false
+		}
+		rd.served = true
+		rd.keys = rd.run.keys
+		rd.payload = rd.run.payload
+		if rd.withCodes {
+			rd.codes = mergepath.ComputeOVC(
+				mergepath.Run{Data: rd.keys, Width: rd.s.rowWidth}, rd.codeWidth)
+		}
+		return true
+	}
+	if rd.readRows >= rd.numRows {
+		return false
+	}
+	rw := rd.s.rowWidth
+	rows := min(rd.blockRows, rd.numRows-rd.readRows)
+	if rd.keys != nil {
+		rd.lastKey = append(rd.lastKey[:0], rd.keys[len(rd.keys)-rw:]...)
+	}
+	if cap(rd.keys) < rows*rw {
+		rd.keys = make([]byte, rows*rw)
+	} else {
+		rd.keys = rd.keys[:rows*rw]
+	}
+	if _, err := io.ReadFull(rd.br, rd.keys); err != nil {
+		rd.err = fmt.Errorf("core: reading spill block keys: %w", err)
+		return false
+	}
+	payload, err := row.ReadRowSet(rd.br, rd.s.layout)
+	if err != nil {
+		rd.err = fmt.Errorf("core: reading spill block payload: %w", err)
+		return false
+	}
+	rd.payload = payload
+	rd.blockStart = rd.readRows
+	rd.readRows += rows
+	if rd.withCodes {
+		kw := rd.codeWidth
+		if cap(rd.codes) < rows {
+			rd.codes = make([]uint32, rows)
+		} else {
+			rd.codes = rd.codes[:rows]
+		}
+		blk := mergepath.Run{Data: rd.keys, Width: rw}
+		if rd.blockStart > 0 {
+			rd.codes[0] = mergepath.OVCCode(rd.lastKey, blk.Row(0), kw)
+		} else {
+			rd.codes[0] = 0 // a run's first row: never read by the tree
+		}
+		for i := 1; i < rows; i++ {
+			rd.codes[i] = mergepath.OVCCode(blk.Row(i-1), blk.Row(i), kw)
+		}
+	}
+	return true
+}
+
+// close releases the reader; with remove set the (fully consumed) spill
+// file is deleted.
+func (rd *runReader) close(remove bool) {
+	if rd.f == nil {
+		return
+	}
+	rd.f.Close()
+	rd.f = nil
+	if remove {
+		path := rd.run.spill.path
+		if err := os.Remove(path); err == nil || os.IsNotExist(err) {
+			rd.s.untrackSpill(path)
+		}
+		rd.run.spill = nil
+	}
+}
+
+// externalFinalize merges all spilled runs in a single streaming pass: each
+// run is read through a fixed-size block reader (resident memory = k runs ×
+// SpillBlockRows), the offset-value-coded loser tree interleaves the key
+// rows, and payload rows are gathered into the final run in block-sized
+// batches with the typed AppendRowsGather kernels. Every spilled byte is
+// read exactly once, versus O(n log k) for the cascaded pairwise merge.
 func (s *Sorter) externalFinalize() error {
-	// Work queue of pending run ids (some may be in memory if never spilled,
-	// e.g. when flush spilling failed to engage; handle both).
+	if len(s.runs) == 0 {
+		return nil
+	}
+	useOVC := s.opt.Merge != MergeLoserTreeNoOVC
+	anyTieBreak := false
+	for _, r := range s.runs {
+		anyTieBreak = anyTieBreak || r.tieBreak
+	}
+	// Byte order is only decisive up to the first tied varchar segment; the
+	// codes must cover exactly that prefix so byte-equal rows fall to the
+	// segment-wise comparator.
+	ovcWidth := s.ovcSafeWidth(anyTieBreak)
+
+	readers := make([]*runReader, len(s.runs))
+	defer func() {
+		for _, rd := range readers {
+			if rd != nil {
+				rd.close(true)
+			}
+		}
+	}()
+	total := 0
+	for i, r := range s.runs {
+		rd, err := s.openRunReader(r, useOVC, ovcWidth)
+		if err != nil {
+			return err
+		}
+		readers[i] = rd
+		total += rd.numRows
+	}
+
+	// Prime every run's first block.
+	mruns := make([]mergepath.Run, len(readers))
+	mcodes := make([][]uint32, len(readers))
+	for i, rd := range readers {
+		if rd.next() {
+			mruns[i] = mergepath.Run{Data: rd.keys, Width: s.rowWidth}
+			mcodes[i] = rd.codes
+		} else if rd.err != nil {
+			return rd.err
+		} else {
+			mruns[i] = mergepath.Run{Width: s.rowWidth}
+		}
+	}
+
+	// Tie-break lookups resolve against the resident block: references
+	// store absolute run indexes, the reader knows its block's offset.
+	var tie mergepath.CompareFunc
+	if anyTieBreak {
+		tie = s.comparator(func(runID, idx uint32) (*row.RowSet, int) {
+			rd := readers[runID]
+			return rd.payload, int(idx) - rd.blockStart
+		})
+	}
+	var m *mergepath.Merger
+	if useOVC {
+		m = mergepath.NewMerger(mruns, ovcWidth, mcodes, tie)
+	} else {
+		cmp := tie
+		if cmp == nil {
+			kw := s.keyWidth
+			cmp = func(a, b []byte) int { return compareBytes(a[:kw], b[:kw]) }
+		}
+		m = mergepath.NewMerger(mruns, 0, nil, cmp)
+	}
+
+	finalID := uint32(len(s.runs))
+	out := s.getRowSet()
+	out.Reserve(total)
+	finalKeys := make([]byte, total*s.rowWidth)
+	outPos := 0
+	flushRows := s.opt.spillBlockRows()
+	pendWhich := make([]uint32, 0, flushRows)
+	pendIdxs := make([]uint32, 0, flushRows)
+	srcs := make([]*row.RowSet, len(readers))
+	flush := func() {
+		if len(pendIdxs) == 0 {
+			return
+		}
+		for i, rd := range readers {
+			srcs[i] = rd.payload
+		}
+		out.AppendRowsGather(srcs, pendWhich, pendIdxs)
+		pendWhich = pendWhich[:0]
+		pendIdxs = pendIdxs[:0]
+	}
+	m.SetRefill(func(r int) (mergepath.Run, []uint32, bool) {
+		// Pending gathers may reference the exhausted block; materialize
+		// them before the reader overwrites it. (Only rows already output
+		// can be pending, so everything they reference is still resident.)
+		flush()
+		rd := readers[r]
+		if !rd.next() {
+			return mergepath.Run{}, nil, false
+		}
+		return mergepath.Run{Data: rd.keys, Width: s.rowWidth}, rd.codes, true
+	})
+
+	rw := s.rowWidth
+	for {
+		run, pos, keyRow, ok := m.Next()
+		if !ok {
+			break
+		}
+		dst := finalKeys[outPos*rw : (outPos+1)*rw]
+		copy(dst, keyRow)
+		s.putRef(dst, finalID, uint32(outPos))
+		pendWhich = append(pendWhich, uint32(run))
+		pendIdxs = append(pendIdxs, uint32(pos))
+		outPos++
+		if len(pendIdxs) >= flushRows {
+			flush()
+		}
+	}
+	for _, rd := range readers {
+		if rd.err != nil {
+			return rd.err
+		}
+	}
+	if outPos != total {
+		return fmt.Errorf("core: external merge produced %d of %d rows", outPos, total)
+	}
+	flush()
+
+	st := m.Stats()
+	st.BytesMoved = uint64(len(finalKeys))
+	s.mergeStats = st
+
+	// Register the final run; all references now point at it, so Result
+	// gathers sequentially like the in-memory path.
+	final := &sortedRun{id: finalID, keys: finalKeys, payload: out, tieBreak: anyTieBreak}
+	s.runs = append(s.runs, final)
+	s.finalKeys = finalKeys
+	return nil
+}
+
+// unspill reads the run back into memory (used by the cascaded ablation
+// path) and removes its file.
+func (r *sortedRun) unspill(s *Sorter) error {
+	if r.spill == nil {
+		return nil
+	}
+	rd, err := s.openRunReader(r, false, 0)
+	if err != nil {
+		return err
+	}
+	keys := make([]byte, 0, rd.numRows*s.rowWidth)
+	payload := s.getRowSet()
+	payload.Reserve(rd.numRows)
+	var idxs []uint32
+	for rd.next() {
+		keys = append(keys, rd.keys...)
+		n := rd.payload.Len()
+		if cap(idxs) < n {
+			idxs = make([]uint32, n)
+		}
+		idxs = idxs[:n]
+		for i := range idxs {
+			idxs[i] = uint32(i)
+		}
+		payload.AppendRowsFrom(rd.payload, idxs)
+	}
+	if rd.err != nil {
+		rd.close(false)
+		s.putRowSet(payload)
+		return rd.err
+	}
+	rd.close(true)
+	r.keys = keys
+	r.payload = payload
+	return nil
+}
+
+// externalFinalizeCascade is the ablation baseline (the previous design):
+// spilled runs merged pairwise with full unspill/re-spill of intermediates,
+// so each row's spill I/O is multiplied by the cascade depth. Kept for the
+// -exp merge ablation and as a reference implementation.
+func (s *Sorter) externalFinalizeCascade() error {
 	queue := make([]uint32, len(s.runs))
 	for i := range s.runs {
 		queue[i] = uint32(i)
@@ -128,6 +530,7 @@ func (s *Sorter) externalFinalize() error {
 		}
 	}
 	s.finalKeys = final.keys
+	s.mergeStats.BytesMoved = uint64(len(final.keys))
 	return nil
 }
 
@@ -136,16 +539,16 @@ func (s *Sorter) externalFinalize() error {
 // releases the inputs.
 func (s *Sorter) mergeRunPair(a, b *sortedRun) (*sortedRun, error) {
 	for _, r := range []*sortedRun{a, b} {
-		if r.spill != nil {
-			if err := r.unspill(s); err != nil {
-				return nil, err
-			}
+		if err := r.unspill(s); err != nil {
+			return nil, err
 		}
 	}
 
 	var cmp mergepath.CompareFunc
 	if a.tieBreak || b.tieBreak {
-		cmp = s.comparator(func(runID, idx uint32) *row.RowSet { return s.runs[runID].payload })
+		cmp = s.comparator(func(runID, idx uint32) (*row.RowSet, int) {
+			return s.runs[runID].payload, int(idx)
+		})
 	} else {
 		kw := s.keyWidth
 		cmp = func(x, y []byte) int { return compareBytes(x[:kw], y[:kw]) }

@@ -70,7 +70,7 @@ func (t *TopN) Append(c *vector.Chunk) error {
 		return nil
 	}
 	if t.h.cmp == nil {
-		t.h.cmp = s.comparator(func(_, idx uint32) *row.RowSet { return t.payload })
+		t.h.cmp = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return t.payload, int(idx) })
 	}
 
 	base := t.payload.Len()
@@ -106,7 +106,7 @@ func (t *TopN) Append(c *vector.Chunk) error {
 func (t *TopN) Result() (*vector.Table, error) {
 	s := t.s
 	if t.h.cmp == nil {
-		t.h.cmp = s.comparator(func(_, idx uint32) *row.RowSet { return t.payload })
+		t.h.cmp = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return t.payload, int(idx) })
 	}
 	// Drain the heap: pops come worst-first, so fill backwards.
 	ordered := make([][]byte, t.h.Len())

@@ -1,0 +1,562 @@
+package mergepath
+
+import (
+	"bytes"
+	"sync"
+)
+
+// This file implements the single-pass k-way merge: a tournament (loser)
+// tree over k sorted runs, with offset-value coding (Do & Graefe) so that
+// most tree matches resolve by comparing two integers instead of two
+// full-width normalized keys, and a k-way generalization of Merge Path so
+// the output can be partitioned across threads in one pass.
+//
+// Offset-value coding caches, per candidate row, where that row first
+// differs from the key it most recently lost to (or followed within its
+// run): code = (keyWidth-offset)<<8 | row[offset], and 0 when the rows are
+// byte-equal. For rows that are >= the base in byte order, codes order
+// exactly like the rows, so two candidates whose codes differ compare in
+// O(1). Only equal codes — rows sharing their first difference against the
+// common base — need bytes compared, and then only from that offset on.
+//
+// The loser tree maintains the invariant that makes code comparisons valid:
+// every match compares two rows whose codes are relative to the same base,
+// namely the last winner that passed through that node. When a match is
+// decided by code inequality the loser's code is unchanged relative to the
+// new winner (the first-difference position and byte against the old base
+// still hold against any row between the old base and itself); when rows tie
+// on codes and the bytes decide, the loser's code is recomputed relative to
+// the winner from the deciding byte.
+
+// Stats counts merge work, exported alongside radix.Stats so ablations can
+// attribute time to comparison work.
+type Stats struct {
+	// Comparisons is the number of two-row matches played in the tree.
+	Comparisons uint64
+	// OVCHits is how many matches were decided by offset-value codes alone.
+	OVCHits uint64
+	// FullCompares is how many matches needed row bytes (always, without OVC).
+	FullCompares uint64
+	// TieBreaks is how many matches fell through byte-equal keys into the
+	// tie-break comparator (truncated varchar prefixes).
+	TieBreaks uint64
+	// BytesMoved is the output volume written by the merge.
+	BytesMoved uint64
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Comparisons += o.Comparisons
+	s.OVCHits += o.OVCHits
+	s.FullCompares += o.FullCompares
+	s.TieBreaks += o.TieBreaks
+	s.BytesMoved += o.BytesMoved
+}
+
+// OVCCode returns the offset-value code of row relative to base over the
+// first keyWidth bytes: 0 when they are byte-equal, else
+// (keyWidth-q)<<8 | row[q] where q is the first differing byte. For
+// row >= base the code orders like the row.
+func OVCCode(base, row []byte, keyWidth int) uint32 {
+	for q := 0; q < keyWidth; q++ {
+		if base[q] != row[q] {
+			return uint32(keyWidth-q)<<8 | uint32(row[q])
+		}
+	}
+	return 0
+}
+
+// ComputeOVC returns the within-run codes of r: codes[i] is row i relative
+// to row i-1. codes[0] is left zero — the tree never reads the code of a
+// run's first row (the initial tournament is played with full comparisons);
+// block readers overwrite it with the cross-block carry.
+func ComputeOVC(r Run, keyWidth int) []uint32 {
+	n := r.Len()
+	codes := make([]uint32, n)
+	for i := 1; i < n; i++ {
+		codes[i] = OVCCode(r.Row(i-1), r.Row(i), keyWidth)
+	}
+	return codes
+}
+
+// cursor is one run's read position in the tournament.
+type cursor struct {
+	run   Run
+	codes []uint32
+	pos   int
+	code  uint32 // current row's code relative to this path's last winner
+	done  bool
+}
+
+// Merger is a k-way loser-tree merge over sorted runs. With keyWidth > 0 it
+// compares offset-value codes first and row bytes only on code ties, calling
+// tie for byte-equal keys (nil means byte-equal rows are equal); with
+// keyWidth == 0 it plays every match with tie as the full comparator (nil
+// means bytes.Compare). Ties resolve to the lower run index, so the merge is
+// stable across runs either way.
+//
+// keyWidth must be a byte-decisive prefix: whenever two rows differ within
+// their first keyWidth bytes, that byte order must be the sort order, and
+// tie must totally order byte-equal prefixes. A caller whose byte order
+// stops being decisive mid-key (e.g. a truncated varchar segment followed
+// by more key columns) must pass the width up to that segment's end, not
+// the full key width, with tie as the remaining comparator.
+type Merger struct {
+	cur      []cursor
+	tree     []int32 // tree[1..k-1]: losers; leaf of run r is node r+k
+	k        int
+	keyWidth int // 0 disables offset-value coding
+	tie      CompareFunc
+	refill   func(r int) (Run, []uint32, bool)
+	stats    Stats
+	winner   int
+	started  bool
+}
+
+// NewMerger builds the tournament over runs. codes may be nil when
+// keyWidth == 0; otherwise codes[r] must be ComputeOVC(runs[r], keyWidth)
+// (or a block's codes with the cross-block carry in codes[0]).
+func NewMerger(runs []Run, keyWidth int, codes [][]uint32, tie CompareFunc) *Merger {
+	m := &Merger{k: len(runs), keyWidth: keyWidth, tie: tie, winner: -1}
+	if keyWidth == 0 {
+		m.tie = cmpOrDefault(tie)
+	}
+	m.cur = make([]cursor, m.k)
+	for i := range runs {
+		c := cursor{run: runs[i], done: runs[i].Len() == 0}
+		if codes != nil {
+			c.codes = codes[i]
+		}
+		m.cur[i] = c
+	}
+	if m.k == 0 {
+		return m
+	}
+	m.tree = make([]int32, m.k)
+	m.winner = m.build(1)
+	return m
+}
+
+// SetRefill installs the streaming callback: when run r's current block is
+// exhausted, refill may hand the merger r's next block (with codes[0] set
+// relative to the block's last output row) instead of retiring the run.
+func (m *Merger) SetRefill(f func(r int) (Run, []uint32, bool)) { m.refill = f }
+
+// Stats returns the merge counters accumulated so far.
+func (m *Merger) Stats() Stats { return m.stats }
+
+// build plays the initial tournament under node with full comparisons,
+// storing losers (with codes relative to their defeater) and returning the
+// subtree winner. Leaves are nodes k..2k-1; node i's children are 2i, 2i+1.
+func (m *Merger) build(node int) int {
+	if node >= m.k {
+		return node - m.k
+	}
+	w, l := m.fullMatch(m.build(2*node), m.build(2*node+1))
+	m.tree[node] = int32(l)
+	return w
+}
+
+// Next returns the next output row: its run index, its position within that
+// run's current block, and the row bytes (aliasing the run buffer — consume
+// before the following Next, which may refill the block). The previous
+// winner is advanced lazily here, so a streaming caller can flush work that
+// references the old block from inside its refill callback.
+func (m *Merger) Next() (run, pos int, row []byte, ok bool) {
+	if m.started {
+		m.advance(m.winner)
+	} else {
+		m.started = true
+	}
+	if m.winner < 0 || m.cur[m.winner].done {
+		return 0, 0, nil, false
+	}
+	c := &m.cur[m.winner]
+	return m.winner, c.pos, c.run.Row(c.pos), true
+}
+
+// advance steps run r to its next row (refilling or retiring it at block
+// end) and replays the matches from r's leaf to the root.
+func (m *Merger) advance(r int) {
+	c := &m.cur[r]
+	c.pos++
+	if c.pos >= c.run.Len() {
+		c.done = true
+		if m.refill != nil {
+			if nr, codes, ok := m.refill(r); ok && nr.Len() > 0 {
+				c.run, c.codes, c.pos, c.done = nr, codes, 0, false
+				if m.keyWidth > 0 {
+					c.code = codes[0]
+				}
+			}
+		}
+	} else if m.keyWidth > 0 {
+		c.code = c.codes[c.pos]
+	}
+	x := r
+	for node := (r + m.k) / 2; node >= 1; node /= 2 {
+		w, l := m.match(x, int(m.tree[node]))
+		m.tree[node] = int32(l)
+		x = w
+	}
+	m.winner = x
+}
+
+// match plays candidate a against stored loser b, both codes relative to
+// the same base by the tree invariant. It returns (winner, loser) and
+// updates the loser's code to be relative to the winner when the bytes
+// decided or tied.
+func (m *Merger) match(a, b int) (w, l int) {
+	ca, cb := &m.cur[a], &m.cur[b]
+	if ca.done {
+		return b, a
+	}
+	if cb.done {
+		return a, b
+	}
+	if m.keyWidth == 0 {
+		m.stats.Comparisons++
+		m.stats.FullCompares++
+		c := m.tie(ca.run.Row(ca.pos), cb.run.Row(cb.pos))
+		if c < 0 || (c == 0 && a < b) {
+			return a, b
+		}
+		return b, a
+	}
+	m.stats.Comparisons++
+	if ca.code != cb.code {
+		// Codes relative to a common base order like the rows: the loser
+		// keeps its code, which stays valid relative to the new winner.
+		m.stats.OVCHits++
+		if ca.code < cb.code {
+			return a, b
+		}
+		return b, a
+	}
+	m.stats.FullCompares++
+	ra, rb := ca.run.Row(ca.pos), cb.run.Row(cb.pos)
+	j := m.keyWidth // equal zero codes: both rows equal the base
+	if ca.code != 0 {
+		// Equal nonzero codes: both rows match the base up to and including
+		// the offset byte, so they can first differ just past it.
+		j = m.keyWidth - int(ca.code>>8) + 1
+		for j < m.keyWidth && ra[j] == rb[j] {
+			j++
+		}
+	}
+	if j < m.keyWidth {
+		if ra[j] < rb[j] {
+			cb.code = uint32(m.keyWidth-j)<<8 | uint32(rb[j])
+			return a, b
+		}
+		ca.code = uint32(m.keyWidth-j)<<8 | uint32(ra[j])
+		return b, a
+	}
+	var c int
+	if m.tie != nil {
+		m.stats.TieBreaks++
+		c = m.tie(ra, rb)
+	}
+	if c < 0 || (c == 0 && a < b) {
+		cb.code = 0
+		return a, b
+	}
+	ca.code = 0
+	return b, a
+}
+
+// fullMatch is match with the codes ignored: the initial tournament has no
+// common base yet, so it compares bytes from offset 0 and seeds the losers'
+// codes relative to their defeaters.
+func (m *Merger) fullMatch(a, b int) (w, l int) {
+	ca, cb := &m.cur[a], &m.cur[b]
+	if ca.done {
+		return b, a
+	}
+	if cb.done {
+		return a, b
+	}
+	m.stats.Comparisons++
+	m.stats.FullCompares++
+	if m.keyWidth == 0 {
+		c := m.tie(ca.run.Row(ca.pos), cb.run.Row(cb.pos))
+		if c < 0 || (c == 0 && a < b) {
+			return a, b
+		}
+		return b, a
+	}
+	ra, rb := ca.run.Row(ca.pos), cb.run.Row(cb.pos)
+	j := 0
+	for j < m.keyWidth && ra[j] == rb[j] {
+		j++
+	}
+	if j < m.keyWidth {
+		if ra[j] < rb[j] {
+			cb.code = uint32(m.keyWidth-j)<<8 | uint32(rb[j])
+			return a, b
+		}
+		ca.code = uint32(m.keyWidth-j)<<8 | uint32(ra[j])
+		return b, a
+	}
+	var c int
+	if m.tie != nil {
+		m.stats.TieBreaks++
+		c = m.tie(ra, rb)
+	}
+	if c < 0 || (c == 0 && a < b) {
+		cb.code = 0
+		return a, b
+	}
+	ca.code = 0
+	return b, a
+}
+
+// KWayMergeOVC merges k runs of normalized-key rows into dst with the
+// offset-value-coded loser tree. Rows compare as their first keyWidth bytes;
+// tie (may be nil) breaks byte-equal keys, and remaining ties resolve to the
+// lower run index. dst must hold the total number of rows. codes may be nil,
+// in which case the within-run codes are computed here.
+func KWayMergeOVC(dst []byte, runs []Run, keyWidth int, codes [][]uint32, tie CompareFunc) Stats {
+	if codes == nil {
+		codes = make([][]uint32, len(runs))
+		for r := range runs {
+			codes[r] = ComputeOVC(runs[r], keyWidth)
+		}
+	}
+	m := NewMerger(runs, keyWidth, codes, tie)
+	drainMerger(m, dst, runWidth(runs))
+	return m.stats
+}
+
+func runWidth(runs []Run) int {
+	for _, r := range runs {
+		if r.Width > 0 {
+			return r.Width
+		}
+	}
+	return 0
+}
+
+func drainMerger(m *Merger, dst []byte, w int) {
+	k := 0
+	for {
+		_, _, row, ok := m.Next()
+		if !ok {
+			break
+		}
+		copy(dst[k*w:], row)
+		k++
+	}
+	m.stats.BytesMoved += uint64(k * w)
+}
+
+// lowerBound returns the first index in r whose row is not before e.
+func lowerBound(r Run, e []byte, c CompareFunc) int {
+	lo, hi := 0, r.Len()
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if c(r.Row(m), e) < 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// upperBound returns the first index in r whose row is after e.
+func upperBound(r Run, e []byte, c CompareFunc) int {
+	lo, hi := 0, r.Len()
+	for lo < hi {
+		m := int(uint(lo+hi) >> 1)
+		if c(r.Row(m), e) <= 0 {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo
+}
+
+// KWaySplit generalizes SplitPoint to k runs: it returns s with sum(s) = d
+// such that the stable k-way merge (ties to the lower run index) outputs
+// exactly runs[r][:s[r]] as its first d rows. It runs a multisequence
+// selection: each probe pivots on the middle of the widest undecided run and
+// tightens every run's bounds by the pivot's global rank.
+func KWaySplit(runs []Run, d int, cmp CompareFunc) []int {
+	c := cmpOrDefault(cmp)
+	k := len(runs)
+	lo := make([]int, k)
+	hi := make([]int, k)
+	sumLo, sumHi := 0, 0
+	for r := range runs {
+		hi[r] = runs[r].Len()
+		sumHi += hi[r]
+	}
+	if d <= 0 {
+		return lo
+	}
+	if d >= sumHi {
+		return hi
+	}
+	cnt := make([]int, k)
+	for sumLo != d && sumHi != d {
+		// Pivot on the widest open range; the loop invariant
+		// lo[r] <= s[r] <= hi[r] guarantees one exists while the sums differ.
+		p, width := -1, 0
+		for r := range runs {
+			if hi[r]-lo[r] > width {
+				p, width = r, hi[r]-lo[r]
+			}
+		}
+		mid := int(uint(lo[p]+hi[p]) >> 1)
+		e := runs[p].Row(mid)
+		// rank(e): rows strictly before (p, mid) in the stable merge order.
+		tot := 0
+		for r := range runs {
+			switch {
+			case r < p:
+				cnt[r] = upperBound(runs[r], e, c) // earlier runs win ties
+			case r == p:
+				cnt[r] = mid
+			default:
+				cnt[r] = lowerBound(runs[r], e, c)
+			}
+			tot += cnt[r]
+		}
+		if tot < d {
+			// e is inside the first d rows, and so is everything before it.
+			for r := range runs {
+				if cnt[r] > lo[r] {
+					sumLo += cnt[r] - lo[r]
+					lo[r] = cnt[r]
+				}
+			}
+			if mid+1 > lo[p] {
+				sumLo += mid + 1 - lo[p]
+				lo[p] = mid + 1
+			}
+		} else {
+			// e is outside the first d rows, and so is everything at or
+			// after its rank.
+			for r := range runs {
+				if cnt[r] < hi[r] {
+					sumHi -= hi[r] - cnt[r]
+					hi[r] = cnt[r]
+				}
+			}
+			if mid < hi[p] {
+				sumHi -= hi[p] - mid
+				hi[p] = mid
+			}
+		}
+	}
+	if sumLo == d {
+		return lo
+	}
+	return hi
+}
+
+// ParallelKWayMerge merges k runs into dst in a single pass using up to p
+// goroutines: KWaySplit cuts the output into p near-equal disjoint
+// partitions, each merged independently by a loser tree. With useOVC the
+// trees compare offset-value codes (keyWidth prefix bytes, tie for
+// byte-equal keys); without, every match compares keyWidth bytes and then
+// tie — the two ablation arms. The output is byte-identical to the scalar
+// stable merge at every p. dst must hold the total number of rows.
+func ParallelKWayMerge(dst []byte, runs []Run, keyWidth int, tie CompareFunc, p int, useOVC bool) Stats {
+	total := 0
+	for _, r := range runs {
+		total += r.Len()
+	}
+	if total == 0 {
+		return Stats{}
+	}
+	w := runWidth(runs)
+	// The split and the non-OVC tree compare with the merge's effective
+	// order: prefix bytes, then the tie-break.
+	eff := func(a, b []byte) int {
+		if c := bytes.Compare(a[:keyWidth], b[:keyWidth]); c != 0 {
+			return c
+		}
+		if tie != nil {
+			return tie(a, b)
+		}
+		return 0
+	}
+
+	var codes [][]uint32
+	var wg sync.WaitGroup
+	if useOVC {
+		codes = make([][]uint32, len(runs))
+		for r := range runs {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				codes[r] = ComputeOVC(runs[r], keyWidth)
+			}(r)
+		}
+		wg.Wait()
+	}
+
+	if p < 1 {
+		p = 1
+	}
+	if p > total {
+		p = total
+	}
+	stats := make([]Stats, p)
+	prev := make([]int, len(runs))
+	for part := 1; part <= p; part++ {
+		var cut []int
+		if part == p {
+			cut = make([]int, len(runs))
+			for r := range runs {
+				cut[r] = runs[r].Len()
+			}
+		} else {
+			cut = KWaySplit(runs, part*total/p, eff)
+		}
+		start := 0
+		for _, v := range prev {
+			start += v
+		}
+		end := 0
+		for _, v := range cut {
+			end += v
+		}
+		sub := make([]Run, len(runs))
+		var subCodes [][]uint32
+		if useOVC {
+			subCodes = make([][]uint32, len(runs))
+		}
+		for r := range runs {
+			sub[r] = Run{Data: runs[r].Data[prev[r]*w : cut[r]*w], Width: w}
+			if useOVC {
+				// codes[0] of a sub-run is never read: the initial
+				// tournament replays full comparisons.
+				subCodes[r] = codes[r][prev[r]:cut[r]]
+			}
+		}
+		out := dst[start*w : end*w]
+		wg.Add(1)
+		go func(part int) {
+			defer wg.Done()
+			var m *Merger
+			if useOVC {
+				m = NewMerger(sub, keyWidth, subCodes, tie)
+			} else {
+				m = NewMerger(sub, 0, nil, eff)
+			}
+			drainMerger(m, out, w)
+			stats[part] = m.stats
+		}(part - 1)
+		prev = cut
+	}
+	wg.Wait()
+	var st Stats
+	for _, s := range stats {
+		st.Add(s)
+	}
+	return st
+}

@@ -1,0 +1,318 @@
+package mergepath
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestOVCCode(t *testing.T) {
+	base := []byte{1, 2, 3, 4}
+	if c := OVCCode(base, []byte{1, 2, 3, 4}, 4); c != 0 {
+		t.Fatalf("equal rows: code %d, want 0", c)
+	}
+	// First difference at offset 2, byte 9: (4-2)<<8 | 9.
+	if c := OVCCode(base, []byte{1, 2, 9, 0}, 4); c != 2<<8|9 {
+		t.Fatalf("code %#x, want %#x", c, 2<<8|9)
+	}
+	// Codes of rows >= base order like the rows.
+	rows := [][]byte{
+		{1, 2, 3, 4}, {1, 2, 3, 5}, {1, 2, 4, 0}, {1, 3, 0, 0}, {2, 0, 0, 0},
+	}
+	for i := 1; i < len(rows); i++ {
+		a, b := OVCCode(base, rows[i-1], 4), OVCCode(base, rows[i], 4)
+		if a >= b {
+			t.Fatalf("codes not increasing: %#x >= %#x at %d", a, b, i)
+		}
+	}
+}
+
+func TestComputeOVC(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	r := sortedRun(randVals(500, 40, rng), 8, 0)
+	codes := ComputeOVC(r, 4)
+	for i := 1; i < r.Len(); i++ {
+		if want := OVCCode(r.Row(i-1), r.Row(i), 4); codes[i] != want {
+			t.Fatalf("codes[%d] = %#x, want %#x", i, codes[i], want)
+		}
+	}
+}
+
+func TestKWayMergeOVCMatchesCascade(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for _, numRuns := range []int{1, 2, 3, 8, 13} {
+		var runs []Run
+		total := 0
+		for r := 0; r < numRuns; r++ {
+			n := rng.Intn(400)
+			runs = append(runs, sortedRun(randVals(n, 48, rng), 8, uint32(r)*100000))
+			total += n
+		}
+		want := CascadeMerge(runs, cmpKey, 1)
+		got := make([]byte, total*8)
+		st := KWayMergeOVC(got, runs, 4, nil, nil)
+		if !bytes.Equal(got, want.Data) {
+			t.Fatalf("runs=%d: OVC k-way merge differs from cascade", numRuns)
+		}
+		if st.BytesMoved != uint64(total*8) {
+			t.Fatalf("runs=%d: BytesMoved %d, want %d", numRuns, st.BytesMoved, total*8)
+		}
+		if st.Comparisons != st.OVCHits+st.FullCompares {
+			t.Fatalf("runs=%d: Comparisons %d != OVCHits %d + FullCompares %d",
+				numRuns, st.Comparisons, st.OVCHits, st.FullCompares)
+		}
+	}
+}
+
+// TestKWayMergeOVCTieComparator models truncated varchar prefixes: only the
+// first 4 bytes are "encoded", the tie comparator sees the full 8-byte row.
+// Duplicate-heavy keys force the tie path constantly.
+func TestKWayMergeOVCTieComparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	var runs []Run
+	var rows [][]byte
+	total := 0
+	for r := 0; r < 7; r++ {
+		n := 100 + rng.Intn(200)
+		run := sortedRun(randVals(n, 8, rng), 8, uint32(r)*100000)
+		runs = append(runs, run)
+		for i := 0; i < run.Len(); i++ {
+			rows = append(rows, run.Row(i))
+		}
+		total += n
+	}
+	// Oracle: stable sort by the full row (prefix, then the tie bytes).
+	sort.SliceStable(rows, func(i, j int) bool { return bytes.Compare(rows[i], rows[j]) < 0 })
+	want := bytes.Join(rows, nil)
+
+	got := make([]byte, total*8)
+	st := KWayMergeOVC(got, runs, 4, nil, bytes.Compare)
+	if !bytes.Equal(got, want) {
+		t.Fatal("tie-break merge differs from full-row stable sort")
+	}
+	if st.TieBreaks == 0 {
+		t.Fatal("duplicate-heavy prefixes should exercise the tie comparator")
+	}
+	if st.OVCHits == 0 {
+		t.Fatal("expected some matches to resolve on codes alone")
+	}
+}
+
+func TestKWaySplitPrefixProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	var runs []Run
+	total := 0
+	for r := 0; r < 6; r++ {
+		n := rng.Intn(300)
+		runs = append(runs, sortedRun(randVals(n, 20, rng), 8, uint32(r)*100000))
+		total += n
+	}
+	full := make([]byte, total*8)
+	KWayMerge(full, runs, cmpKey)
+
+	for d := 0; d <= total; d += 13 {
+		s := KWaySplit(runs, d, cmpKey)
+		sum := 0
+		for r := range runs {
+			if s[r] < 0 || s[r] > runs[r].Len() {
+				t.Fatalf("d=%d: split %d out of range for run %d", d, s[r], r)
+			}
+			sum += s[r]
+		}
+		if sum != d {
+			t.Fatalf("d=%d: split sums to %d", d, sum)
+		}
+		// Merging the prefixes must reproduce exactly the first d output rows.
+		prefix := make([]Run, len(runs))
+		for r := range runs {
+			prefix[r] = Run{Data: runs[r].Data[:s[r]*8], Width: 8}
+		}
+		got := make([]byte, d*8)
+		KWayMerge(got, prefix, cmpKey)
+		if !bytes.Equal(got, full[:d*8]) {
+			t.Fatalf("d=%d: prefix merge differs from full merge prefix", d)
+		}
+	}
+}
+
+func TestParallelKWayMergeThreads(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	var runs []Run
+	total := 0
+	for r := 0; r < 10; r++ {
+		n := rng.Intn(500)
+		runs = append(runs, sortedRun(randVals(n, 30, rng), 8, uint32(r)*100000))
+		total += n
+	}
+	want := make([]byte, total*8)
+	KWayMergeOVC(want, runs, 4, nil, bytes.Compare)
+
+	for _, useOVC := range []bool{true, false} {
+		for p := 1; p <= 16; p++ {
+			got := make([]byte, total*8)
+			st := ParallelKWayMerge(got, runs, 4, bytes.Compare, p, useOVC)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("useOVC=%v p=%d: parallel merge differs from scalar", useOVC, p)
+			}
+			if st.BytesMoved != uint64(total*8) {
+				t.Fatalf("useOVC=%v p=%d: BytesMoved %d", useOVC, p, st.BytesMoved)
+			}
+			if useOVC && st.OVCHits == 0 {
+				t.Fatalf("p=%d: no OVC hits in OVC mode", p)
+			}
+			if !useOVC && st.OVCHits != 0 {
+				t.Fatalf("p=%d: OVC hits counted without OVC", p)
+			}
+		}
+	}
+}
+
+// TestMergerRefillBlocks streams each run through fixed-size blocks with the
+// cross-block code carry, as the external merge does, and checks the output
+// matches the whole-run merge.
+func TestMergerRefillBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	const kw, width = 4, 8
+	k := 5
+	full := make([]Run, k)
+	total := 0
+	for r := 0; r < k; r++ {
+		full[r] = sortedRun(randVals(150+rng.Intn(250), 24, rng), width, uint32(r)*100000)
+		total += full[r].Len()
+	}
+	want := make([]byte, total*width)
+	KWayMergeOVC(want, full, kw, nil, bytes.Compare)
+
+	for _, blockRows := range []int{1, 7, 64, 1000} {
+		off := make([]int, k)
+		first := make([]Run, k)
+		codes := make([][]uint32, k)
+		for r := 0; r < k; r++ {
+			rows := min(blockRows, full[r].Len())
+			first[r] = Run{Data: full[r].Data[:rows*width], Width: width}
+			codes[r] = ComputeOVC(first[r], kw)
+			off[r] = rows
+		}
+		m := NewMerger(first, kw, codes, bytes.Compare)
+		m.SetRefill(func(r int) (Run, []uint32, bool) {
+			if off[r] >= full[r].Len() {
+				return Run{}, nil, false
+			}
+			rows := min(blockRows, full[r].Len()-off[r])
+			blk := Run{Data: full[r].Data[off[r]*width : (off[r]+rows)*width], Width: width}
+			c := ComputeOVC(blk, kw)
+			// codes[0] carries across the block boundary: the previous
+			// block's last row was the winner just output.
+			c[0] = OVCCode(full[r].Row(off[r]-1), blk.Row(0), kw)
+			off[r] += rows
+			return blk, c, true
+		})
+		got := make([]byte, 0, total*width)
+		for {
+			_, _, row, ok := m.Next()
+			if !ok {
+				break
+			}
+			got = append(got, row...)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("blockRows=%d: streamed merge differs from whole-run merge", blockRows)
+		}
+	}
+}
+
+// FuzzKWayMerge drives the loser tree against a stable sort oracle with
+// random run counts and sizes, duplicate-heavy keys, and the tie-break
+// comparator both off (run-index stability) and on (full-row order).
+func FuzzKWayMerge(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint16(50), uint8(8))
+	f.Add(uint64(7), uint8(1), uint16(0), uint8(1))
+	f.Add(uint64(42), uint8(16), uint16(300), uint8(2))
+	f.Add(uint64(99), uint8(9), uint16(77), uint8(255))
+	f.Fuzz(func(t *testing.T, seed uint64, k uint8, maxRun uint16, mod uint8) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		numRuns := int(k)%12 + 1
+		m := uint32(mod)%64 + 1
+		runs := make([]Run, numRuns)
+		total := 0
+		for r := 0; r < numRuns; r++ {
+			n := 0
+			if maxRun > 0 {
+				n = rng.Intn(int(maxRun)%400 + 1)
+			}
+			runs[r] = sortedRun(randVals(n, m, rng), 8, uint32(r)*100000)
+			total += n
+		}
+		var rows [][]byte
+		for r := range runs {
+			for i := 0; i < runs[r].Len(); i++ {
+				rows = append(rows, runs[r].Row(i))
+			}
+		}
+
+		// No tie comparator: stable by run index, which a stable sort over
+		// run-major row order reproduces.
+		byPrefix := append([][]byte(nil), rows...)
+		sort.SliceStable(byPrefix, func(i, j int) bool {
+			return bytes.Compare(byPrefix[i][:4], byPrefix[j][:4]) < 0
+		})
+		want := bytes.Join(byPrefix, nil)
+		got := make([]byte, total*8)
+		st := KWayMergeOVC(got, runs, 4, nil, nil)
+		if !bytes.Equal(got, want) {
+			t.Fatal("OVC k-way merge differs from stable sort oracle")
+		}
+		if st.Comparisons != st.OVCHits+st.FullCompares {
+			t.Fatalf("stats inconsistent: %+v", st)
+		}
+
+		// With the tie comparator: full-row order (tags make rows unique).
+		byFull := append([][]byte(nil), rows...)
+		sort.SliceStable(byFull, func(i, j int) bool {
+			return bytes.Compare(byFull[i], byFull[j]) < 0
+		})
+		wantFull := bytes.Join(byFull, nil)
+		gotFull := make([]byte, total*8)
+		KWayMergeOVC(gotFull, runs, 4, nil, bytes.Compare)
+		if !bytes.Equal(gotFull, wantFull) {
+			t.Fatal("tie-break k-way merge differs from full-row oracle")
+		}
+
+		// Parallel partitioning must be byte-identical to the scalar merge.
+		gotPar := make([]byte, total*8)
+		ParallelKWayMerge(gotPar, runs, 4, nil, 3, true)
+		if !bytes.Equal(gotPar, want) {
+			t.Fatal("parallel k-way merge differs from scalar")
+		}
+	})
+}
+
+// TestOVCSkipsSharedPrefixes pins the point of the optimization: on long
+// keys with a constant shared prefix, most matches resolve on codes alone.
+func TestOVCSkipsSharedPrefixes(t *testing.T) {
+	rng := rand.New(rand.NewSource(57))
+	const width, kw = 24, 20
+	var runs []Run
+	total := 0
+	for r := 0; r < 8; r++ {
+		n := 500
+		vals := randVals(n, 1<<16, rng)
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		data := make([]byte, n*width)
+		for i, v := range vals {
+			// 16 shared prefix bytes, then the value, then a tag.
+			binary.BigEndian.PutUint32(data[i*width+16:], v)
+			binary.BigEndian.PutUint32(data[i*width+20:], uint32(r*n+i))
+		}
+		runs = append(runs, Run{Data: data, Width: width})
+		total += n
+	}
+	dst := make([]byte, total*width)
+	st := KWayMergeOVC(dst, runs, kw, nil, nil)
+	checkSortedByKey(t, dst[16:], width, "shared-prefix merge") // keys start at +16
+	if st.OVCHits < st.FullCompares {
+		t.Fatalf("long shared prefixes should be code-dominated: %+v", st)
+	}
+}

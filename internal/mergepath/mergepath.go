@@ -1,13 +1,18 @@
-// Package mergepath implements the merge phase of the sorting pipeline:
-// stable 2-way merges of sorted runs of fixed-width rows, parallelized with
-// the Merge Path algorithm (Green, Odeh and Birk), plus a k-way merge used
-// by some of the modeled systems.
+// Package mergepath implements the merge phase of the sorting pipeline.
 //
-// Merge Path views a 2-way merge as a monotone path through the la×lb grid
-// of the two runs. Cutting the path at evenly spaced cross diagonals yields
-// partitions that can be merged independently — and therefore in parallel —
-// with each cut found by a binary search along its diagonal. This is how the
-// final merges, where runs outnumber threads, keep every thread busy.
+// The primary merge is a single-pass k-way tournament (loser tree) over all
+// sorted runs at once, accelerated with offset-value coding (see kway.go):
+// most tree matches compare two cached integers instead of two full-width
+// normalized keys, and the output is produced in one pass instead of the
+// O(log k) copy passes of a cascaded 2-way merge. Parallelism comes from a
+// k-way generalization of Merge Path (Green, Odeh and Birk): KWaySplit cuts
+// the merged output at evenly spaced ranks with binary searches, so each
+// thread merges a disjoint slice of every run into a disjoint slice of the
+// output, byte-identical to the scalar merge.
+//
+// The 2-way primitives (SplitPoint, MergeInto, ParallelMerge) and the
+// cascaded CascadeMerge are kept as the ablation baseline and for the
+// modeled systems.
 package mergepath
 
 import (
@@ -175,67 +180,13 @@ func CascadeMerge(runs []Run, cmp CompareFunc, p int) Run {
 	return runs[0]
 }
 
-// KWayMerge merges k sorted runs into dst with a tournament over a binary
-// heap, as the modeled ClickHouse/HyPer/Umbra merge phases do. It is stable
-// across runs (ties resolve to the lower run index). dst must hold the total
-// number of rows.
+// KWayMerge merges k sorted runs into dst with a loser-tree tournament, as
+// the modeled ClickHouse/HyPer/Umbra merge phases do. It is stable across
+// runs (ties resolve to the lower run index). dst must hold the total number
+// of rows. Each output row costs one leaf-to-root replay of ceil(log2 k)
+// matches; see KWayMergeOVC for the offset-value-coded variant that avoids
+// the full-width comparison in most matches.
 func KWayMerge(dst []byte, runs []Run, cmp CompareFunc) {
-	c := cmpOrDefault(cmp)
-	type cursor struct {
-		run int
-		pos int
-	}
-	// Filter empty runs.
-	var heap []cursor
-	for r := range runs {
-		if runs[r].Len() > 0 {
-			heap = append(heap, cursor{run: r})
-		}
-	}
-	lessCur := func(x, y cursor) bool {
-		cc := c(runs[x.run].Row(x.pos), runs[y.run].Row(y.pos))
-		if cc != 0 {
-			return cc < 0
-		}
-		return x.run < y.run
-	}
-	down := func(i int) {
-		for {
-			l := 2*i + 1
-			if l >= len(heap) {
-				return
-			}
-			m := l
-			if r := l + 1; r < len(heap) && lessCur(heap[r], heap[l]) {
-				m = r
-			}
-			if !lessCur(heap[m], heap[i]) {
-				return
-			}
-			heap[i], heap[m] = heap[m], heap[i]
-			i = m
-		}
-	}
-	for i := len(heap)/2 - 1; i >= 0; i-- {
-		down(i)
-	}
-
-	w := 0
-	if len(runs) > 0 {
-		w = runs[0].Width
-	}
-	k := 0
-	for len(heap) > 0 {
-		top := heap[0]
-		copy(dst[k*w:], runs[top.run].Row(top.pos))
-		k++
-		top.pos++
-		if top.pos < runs[top.run].Len() {
-			heap[0] = top
-		} else {
-			heap[0] = heap[len(heap)-1]
-			heap = heap[:len(heap)-1]
-		}
-		down(0)
-	}
+	m := NewMerger(runs, 0, nil, cmp)
+	drainMerger(m, dst, runWidth(runs))
 }
