@@ -10,6 +10,10 @@
 // line must be a header. Column types are inferred: a column whose non-empty
 // values all parse as integers becomes BIGINT, else DOUBLE if they parse as
 // floats, else VARCHAR. Empty fields are NULL.
+//
+// The -trace flag writes the sort's phase timeline as Chrome trace_event
+// JSON (open in chrome://tracing or Perfetto); -metrics dumps the sort's
+// counters in Prometheus text format ("-" for stderr).
 package main
 
 import (
@@ -22,25 +26,28 @@ import (
 	"strings"
 
 	"rowsort/internal/core"
+	"rowsort/internal/obs"
 	"rowsort/internal/vector"
 )
 
 func main() {
 	by := flag.String("by", "", "comma-separated sort keys: col[:asc|:desc][:nullsfirst|:nullslast]")
 	threads := flag.Int("threads", 0, "sort threads (0 = GOMAXPROCS)")
+	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	metrics := flag.String("metrics", "", "write Prometheus-text sort metrics to this file (\"-\" = stderr)")
 	flag.Parse()
 
 	if *by == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: csvsort -by \"col[:desc][:nullslast],...\" input.csv")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *by, *threads, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), *by, *threads, *traceFile, *metrics, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "csvsort: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, by string, threads int, out io.Writer) error {
+func run(path, by string, threads int, traceFile, metrics string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -59,11 +66,41 @@ func run(path, by string, threads int, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sorted, err := core.SortTable(table, keys, core.Options{Threads: threads})
+	opt := core.Options{Threads: threads}
+	if traceFile != "" || metrics != "" {
+		opt.Telemetry = obs.NewRecorder()
+	}
+	sorted, stats, err := core.SortTableStats(table, keys, opt)
 	if err != nil {
 		return err
 	}
+	if traceFile != "" {
+		if err := writeFile(traceFile, opt.Telemetry.WriteTrace); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+	}
+	if metrics != "" {
+		if metrics == "-" {
+			if err := stats.WritePrometheus(os.Stderr); err != nil {
+				return err
+			}
+		} else if err := writeFile(metrics, stats.WritePrometheus); err != nil {
+			return fmt.Errorf("writing metrics: %w", err)
+		}
+	}
 	return writeCSV(out, header, sorted)
+}
+
+func writeFile(path string, emit func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := emit(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func readCSV(r io.Reader) (header []string, records [][]string, err error) {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -21,7 +22,7 @@ func writeTemp(t *testing.T, content string) string {
 func TestRunSortsByStringAndNumber(t *testing.T) {
 	path := writeTemp(t, "name,score\nbob,3\nalice,10\ncarol,3\n")
 	var sb strings.Builder
-	if err := run(path, "score:desc,name", 1, &sb); err != nil {
+	if err := run(path, "score:desc,name", 1, "", "", &sb); err != nil {
 		t.Fatal(err)
 	}
 	want := "name,score\nalice,10\nbob,3\ncarol,3\n"
@@ -35,12 +36,43 @@ func TestRunNullsAndFloats(t *testing.T) {
 	// blank lines, so a single empty column cannot express one.
 	path := writeTemp(t, "id,v\nx,2.5\ny,\nz,-1\n")
 	var sb strings.Builder
-	if err := run(path, "v:nullslast", 1, &sb); err != nil {
+	if err := run(path, "v:nullslast", 1, "", "", &sb); err != nil {
 		t.Fatal(err)
 	}
 	want := "id,v\nz,-1\nx,2.5\ny,\n"
 	if sb.String() != want {
 		t.Fatalf("got:\n%q", sb.String())
+	}
+}
+
+func TestRunWritesTraceAndMetrics(t *testing.T) {
+	path := writeTemp(t, "name,score\nbob,3\nalice,10\ncarol,3\n")
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	metricsPath := filepath.Join(dir, "metrics.txt")
+	var sb strings.Builder
+	if err := run(path, "score:desc", 1, tracePath, metricsPath, &sb); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	prom, err := os.ReadFile(metricsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), "rowsort_rows_ingested_total 3") {
+		t.Fatalf("metrics missing row count:\n%s", prom)
 	}
 }
 
@@ -80,15 +112,15 @@ func TestParseKeys(t *testing.T) {
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.csv", "a", 1, &strings.Builder{}); err == nil {
+	if err := run("/nonexistent.csv", "a", 1, "", "", &strings.Builder{}); err == nil {
 		t.Fatal("missing file should error")
 	}
 	ragged := writeTemp(t, "a,b\n1\n")
-	if err := run(ragged, "a", 1, &strings.Builder{}); err == nil {
+	if err := run(ragged, "a", 1, "", "", &strings.Builder{}); err == nil {
 		t.Fatal("ragged rows should error")
 	}
 	ok := writeTemp(t, "a\n1\n")
-	if err := run(ok, "nope", 1, &strings.Builder{}); err == nil {
+	if err := run(ok, "nope", 1, "", "", &strings.Builder{}); err == nil {
 		t.Fatal("unknown key column should error")
 	}
 }

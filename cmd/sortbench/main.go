@@ -7,6 +7,7 @@
 //	sortbench -exp fig9
 //	sortbench -exp all -scale paper -threads 16
 //	sortbench -exp fig12 -cpuprofile cpu.out -memprofile mem.out
+//	sortbench -exp phases -trace trace.json -metrics -
 //
 // Each experiment prints the paper-style rows or relative-runtime grids to
 // stdout. The -scale flag trades fidelity for runtime: "tiny" finishes in
@@ -14,6 +15,13 @@
 // paper's input sizes where memory allows. The -cpuprofile and -memprofile
 // flags write pprof profiles for `go tool pprof`, so hot-path work (run
 // generation, merge, the gather kernels) is directly measurable.
+//
+// The -trace flag records phase spans of every instrumented sort and writes
+// them as Chrome trace_event JSON — open the file in chrome://tracing or
+// https://ui.perfetto.dev to see run generation, spill, merge and gather
+// workers on a timeline. The -metrics flag dumps the same run's counters in
+// Prometheus text format to a file ("-" for stderr), and -phases appends a
+// per-phase span table to experiments that sort end to end.
 package main
 
 import (
@@ -24,6 +32,7 @@ import (
 	"runtime/pprof"
 
 	"rowsort/internal/bench"
+	"rowsort/internal/obs"
 )
 
 func main() {
@@ -40,6 +49,9 @@ func run() int {
 		list       = flag.Bool("list", false, "list experiments and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+		metrics    = flag.String("metrics", "", "write Prometheus-text phase metrics to this file (\"-\" = stderr)")
+		phases     = flag.Bool("phases", false, "print per-phase span tables after end-to-end experiments")
 	)
 	flag.Parse()
 
@@ -85,10 +97,15 @@ func run() int {
 	}()
 
 	cfg := bench.Config{
-		Scale:   bench.Scale(*scale),
-		Threads: *threads,
-		Reps:    *reps,
-		Seed:    *seed,
+		Scale:          bench.Scale(*scale),
+		Threads:        *threads,
+		Reps:           *reps,
+		Seed:           *seed,
+		PhaseBreakdown: *phases,
+	}
+	if *traceFile != "" || *metrics != "" {
+		cfg.Telemetry = obs.NewRecorder()
+		cfg.Telemetry.PublishExpvar("rowsort")
 	}
 
 	var err error
@@ -107,5 +124,45 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
 		return 1
 	}
+
+	if *traceFile != "" {
+		if err := writeTrace(cfg.Telemetry, *traceFile); err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+			return 1
+		}
+	}
+	if *metrics != "" {
+		if err := writeMetrics(cfg.Telemetry, *metrics); err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+			return 1
+		}
+	}
 	return 0
+}
+
+func writeTrace(rec *obs.Recorder, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating trace file: %w", err)
+	}
+	if err := rec.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	return f.Close()
+}
+
+func writeMetrics(rec *obs.Recorder, path string) error {
+	if path == "-" {
+		return rec.WritePrometheus(os.Stderr)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("creating metrics file: %w", err)
+	}
+	if err := rec.WritePrometheus(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing metrics: %w", err)
+	}
+	return f.Close()
 }

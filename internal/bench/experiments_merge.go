@@ -91,7 +91,8 @@ func runMergeAblation(w io.Writer, cfg Config) error {
 			var last *core.Sorter
 			d := MedianTimePrep(cfg.reps(), func() *core.Sorter {
 				return finalizeReady(wl.tbl, wl.keys,
-					core.Options{Threads: cfg.threads(), RunSize: runSize, Merge: v.algo})
+					core.Options{Threads: cfg.threads(), RunSize: runSize, Merge: v.algo,
+						Telemetry: cfg.Telemetry})
 			}, func(s *core.Sorter) {
 				if err := s.Finalize(); err != nil {
 					panic(err)
@@ -130,7 +131,8 @@ func runMergeAblation(w io.Writer, cfg Config) error {
 			var written, read int64
 			d := MedianTimePrep(cfg.reps(), func() *core.Sorter {
 				return finalizeReady(wl.tbl, wl.keys,
-					core.Options{Threads: cfg.threads(), RunSize: runSize, Merge: v.algo, SpillDir: dir})
+					core.Options{Threads: cfg.threads(), RunSize: runSize, Merge: v.algo, SpillDir: dir,
+						Telemetry: cfg.Telemetry})
 			}, func(s *core.Sorter) {
 				if err := s.Finalize(); err != nil {
 					panic(err)
@@ -146,6 +148,10 @@ func runMergeAblation(w io.Writer, cfg Config) error {
 		}
 		te.Render(w)
 		os.RemoveAll(dir)
+
+		if cfg.PhaseBreakdown && cfg.Telemetry != nil {
+			emitPhaseBreakdown(w, wl.name, cfg.Telemetry.Summary())
+		}
 	}
 	return nil
 }

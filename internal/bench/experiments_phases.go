@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"rowsort/internal/core"
+	"rowsort/internal/obs"
+	"rowsort/internal/workload"
+)
+
+func init() {
+	register("phases", "Telemetry: per-phase breakdown of a spilling end-to-end sort",
+		runPhaseBreakdown)
+}
+
+// emitPhaseBreakdown prints the per-phase span table of a finished sort.
+// Experiments call it after their result rows when cfg.PhaseBreakdown is set.
+func emitPhaseBreakdown(w io.Writer, label string, sum obs.Summary) {
+	if sum.Workers == 0 {
+		return
+	}
+	fmt.Fprintf(w, "phase breakdown: %s\n%s\n", label, sum.String())
+}
+
+// runPhaseBreakdown instruments one spilling multi-run sort end to end and
+// reports what the telemetry layer sees: the unified counters, the stage
+// durations against total wall time, and the per-phase span table. With
+// sortbench's -trace flag the same run also lands in the Chrome trace.
+func runPhaseBreakdown(w io.Writer, cfg Config) error {
+	if err := cfg.valid(); err != nil {
+		return err
+	}
+	rec := cfg.Telemetry
+	if rec == nil {
+		rec = obs.NewRecorder()
+	}
+	rows := cfg.counterRows()
+	tbl := workload.CatalogSales(rows, 10, cfg.seed())
+	keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
+
+	dir, err := os.MkdirTemp("", "rowsort-phases-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	_, st, err := core.SortTableStats(tbl, keys, core.Options{
+		Threads:   cfg.threads(),
+		RunSize:   max(1, rows/16),
+		SpillDir:  dir,
+		Telemetry: rec,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "catalog_sales, %s rows, ~16 runs spilled (threads=%d)\n\n",
+		Count(uint64(rows)), cfg.threads())
+	fmt.Fprintln(w, st.String())
+
+	stages := st.DurRunGen + st.DurMerge + st.DurGather
+	fmt.Fprintf(w, "stage durations cover %.1f%% of total wall time\n",
+		100*float64(stages)/float64(st.DurTotal))
+	return nil
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"rowsort/internal/obs"
 	"rowsort/internal/workload"
 )
 
@@ -84,6 +85,33 @@ func BenchmarkWindowRank(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkTelemetryOverhead measures what the telemetry layer costs on a
+// 1M-row multi-key sort: "disabled" is the nil-recorder fast path every
+// untraced sort takes, "enabled" records full phase spans into a fresh
+// Recorder per iteration. EXPERIMENTS.md documents the budget (<2%).
+func BenchmarkTelemetryOverhead(b *testing.B) {
+	const rows = 1 << 20
+	cols := workload.Dist{Random: true}.Generate(rows, 2, 11)
+	tbl := workload.UintColumnsTable(cols)
+	keys := []SortColumn{{Column: 0}, {Column: 1}}
+	b.Run("disabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := SortTable(tbl, keys, Options{Threads: 4}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SortTableStats(tbl, keys, Options{Threads: 4, Telemetry: obs.NewRecorder()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkSpillOverhead(b *testing.B) {

@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rowsort/internal/mergepath"
 	"rowsort/internal/normkey"
+	"rowsort/internal/obs"
 	"rowsort/internal/radix"
 	"rowsort/internal/row"
 	"rowsort/internal/sortalgo"
@@ -47,6 +49,8 @@ type Sorter struct {
 	// counters verify the streaming merge's single read pass.
 	spillMu      sync.Mutex
 	spillPaths   map[string]struct{}
+	closed       bool  // Close has run (guarded by spillMu)
+	closeErr     error // the last Close's result (guarded by spillMu)
 	spillWritten atomic.Int64
 	spillRead    atomic.Int64
 
@@ -55,6 +59,48 @@ type Sorter struct {
 	// ingestion stops allocating once the first runs have been cut.
 	keyPool sync.Pool // *[]byte, length 0
 	rsPool  sync.Pool // *row.RowSet, empty, this sorter's layout
+
+	// Telemetry: rec records phase spans when Options.Telemetry is set (nil
+	// disables span recording at zero cost); the counters below feed
+	// SortStats and are maintained unconditionally. Lifecycle timestamps
+	// are nanoseconds since epoch, stored +1 so zero means "not reached".
+	rec             *obs.Recorder
+	epoch           time.Time
+	rowsIn          atomic.Int64
+	runsGen         atomic.Int64
+	normKeyBytes    atomic.Int64
+	gatherBytes     atomic.Int64
+	durGather       atomic.Int64
+	residentRun     atomic.Int64
+	peakResident    atomic.Int64
+	spillRemoved    atomic.Int64
+	spillRemoveErrs atomic.Int64
+	tFirstAppend    atomic.Int64
+	tFinalizeStart  atomic.Int64
+	tFinalizeEnd    atomic.Int64
+	tResultEnd      atomic.Int64
+}
+
+// sinceEpoch returns the sorter's monotonic clock reading in nanoseconds.
+func (s *Sorter) sinceEpoch() int64 { return int64(time.Since(s.epoch)) }
+
+// markStart records the first Append's timestamp (the start of the
+// run-generation stage). One relaxed load per chunk on the steady path.
+func (s *Sorter) markStart() {
+	if s.tFirstAppend.Load() == 0 {
+		s.tFirstAppend.CompareAndSwap(0, s.sinceEpoch()+1)
+	}
+}
+
+// residentAdd adjusts the resident run-byte gauge and tracks its peak.
+func (s *Sorter) residentAdd(n int64) {
+	cur := s.residentRun.Add(n)
+	for {
+		peak := s.peakResident.Load()
+		if cur <= peak || s.peakResident.CompareAndSwap(peak, cur) {
+			return
+		}
+	}
 }
 
 // getKeyBuf returns an empty key buffer, recycled when available.
@@ -140,6 +186,8 @@ func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, e
 		enc:      enc,
 		layout:   row.NewLayout(schema.Types()),
 		keyWidth: enc.Width(),
+		rec:      opt.Telemetry,
+		epoch:    time.Now(),
 	}
 	s.rowWidth = (s.keyWidth + refBytes + 7) &^ 7
 	return s, nil
@@ -164,6 +212,7 @@ func (s *Sorter) getRef(keyRow []byte) (runID, idx uint32) {
 // for concurrent use; create one per producing goroutine.
 type Sink struct {
 	s        *Sorter
+	ow       *obs.Worker // this sink's trace lane (nil without telemetry)
 	keys     []byte
 	payload  *row.RowSet
 	n        int
@@ -173,7 +222,7 @@ type Sink struct {
 
 // NewSink registers and returns a new ingestion sink.
 func (s *Sorter) NewSink() *Sink {
-	return &Sink{s: s, keys: s.getKeyBuf(), payload: s.getRowSet()}
+	return &Sink{s: s, ow: s.rec.Worker("sink"), keys: s.getKeyBuf(), payload: s.getRowSet()}
 }
 
 // growKeys extends the sink's key buffer by n rows and returns the byte
@@ -222,8 +271,11 @@ func (k *Sink) Append(c *vector.Chunk) error {
 	if n == 0 {
 		return nil
 	}
+	s.markStart()
+	sp := k.ow.Begin(obs.PhaseIngest)
 	base := k.payload.Len()
 	if err := k.payload.AppendChunk(c.Vectors); err != nil {
+		sp.End()
 		return err
 	}
 
@@ -233,16 +285,19 @@ func (k *Sink) Append(c *vector.Chunk) error {
 	}
 	start := k.growKeys(n)
 	if err := s.enc.Encode(keyCols, k.keys[start:], s.rowWidth, 0); err != nil {
+		sp.End()
 		return err
 	}
 	for r := 0; r < n; r++ {
 		s.putRef(k.keys[start+r*s.rowWidth:start+(r+1)*s.rowWidth], 0, uint32(base+r))
 	}
 	k.n += n
+	s.rowsIn.Add(int64(n))
 
 	if s.enc.TiesPossible() && !k.tieBreak {
 		k.tieBreak = stringTiesPossible(s, keyCols)
 	}
+	sp.End()
 
 	if k.n >= s.opt.runSize() {
 		return k.flush()
@@ -309,6 +364,7 @@ func (k *Sink) flush() error {
 	k.keys, k.payload, k.n = s.getKeyBuf(), s.getRowSet(), 0
 	tb := k.tieBreak
 	k.tieBreak = false
+	sp := k.ow.Begin(obs.PhaseRunSort)
 
 	// Sort the normalized keys: radix sort when plain byte order is the
 	// tuple order; pdqsort with a tie-breaking comparator when truncated
@@ -347,9 +403,14 @@ func (k *Sink) flush() error {
 	s.putRowSet(payload)
 	run.keys = keys
 	run.payload = sorted
+	sp.End()
+
+	s.runsGen.Add(1)
+	s.normKeyBytes.Add(int64(n * s.keyWidth))
+	s.residentAdd(int64(len(keys)) + int64(sorted.MemSize()))
 
 	if s.opt.SpillDir != "" {
-		return run.spillTo(s)
+		return run.spillTo(s, k.ow)
 	}
 	return nil
 }
@@ -466,7 +527,16 @@ func (s *Sorter) Finalize() error {
 		return fmt.Errorf("core: Finalize called twice")
 	}
 	s.finalized = true
+	s.tFinalizeStart.Store(s.sinceEpoch() + 1)
+	defer func() { s.tFinalizeEnd.Store(s.sinceEpoch() + 1) }()
+	var err error
+	s.rec.Do("merge", func() { err = s.finalizeLocked() })
+	return err
+}
 
+// finalizeLocked is Finalize's body, run under s.mu and the merge pprof
+// label.
+func (s *Sorter) finalizeLocked() error {
 	if s.opt.SpillDir != "" {
 		if s.opt.Merge == MergeCascade {
 			return s.externalFinalizeCascade()
@@ -481,6 +551,10 @@ func (s *Sorter) Finalize() error {
 		s.finalKeys = s.runs[0].keys
 		return nil
 	}
+
+	fw := s.rec.Worker("finalize")
+	sp := fw.Begin(obs.PhaseMerge)
+	defer sp.End()
 
 	anyTieBreak := false
 	runs := make([]mergepath.Run, len(s.runs))
@@ -512,9 +586,16 @@ func (s *Sorter) Finalize() error {
 	if anyTieBreak {
 		tie = s.comparator(inMemLookup)
 	}
+	// With telemetry on, each merge partition gets its own trace lane.
+	var onWorker func(part int) func()
+	if s.rec != nil {
+		onWorker = func(int) func() {
+			return s.rec.Worker("merge").Begin(obs.PhaseMerge).End
+		}
+	}
 	dst := make([]byte, total*s.rowWidth)
-	s.mergeStats = mergepath.ParallelKWayMerge(dst, runs, s.ovcSafeWidth(anyTieBreak), tie,
-		s.opt.threads(), s.opt.Merge != MergeLoserTreeNoOVC)
+	s.mergeStats = mergepath.ParallelKWayMergeSpans(dst, runs, s.ovcSafeWidth(anyTieBreak), tie,
+		s.opt.threads(), s.opt.Merge != MergeLoserTreeNoOVC, onWorker)
 	s.finalKeys = dst
 	return nil
 }
@@ -523,14 +604,21 @@ func (s *Sorter) Finalize() error {
 // comparisons played, how many resolved on offset-value codes alone, full
 // key compares, tie-break calls, and output bytes written. CascadeMerge
 // reports only BytesMoved.
-func (s *Sorter) MergeStats() mergepath.Stats { return s.mergeStats }
+//
+// Deprecated: it is a view over Stats().Merge, kept so existing callers
+// don't break; use Stats for the full picture.
+func (s *Sorter) MergeStats() mergepath.Stats { return s.Stats().Merge }
 
 // SpillStats returns the bytes written to and read from spill files so far.
 // The streaming external merge reads every spilled byte exactly once, so
 // after Finalize read equals written; the cascaded external merge re-spills
 // intermediates and reads a multiple of it.
+//
+// Deprecated: it is a view over Stats().SpillBytesWritten/SpillBytesRead,
+// kept so existing callers don't break; use Stats for the full picture.
 func (s *Sorter) SpillStats() (written, read int64) {
-	return s.spillWritten.Load(), s.spillRead.Load()
+	st := s.Stats()
+	return st.SpillBytesWritten, st.SpillBytesRead
 }
 
 // NumRows returns the number of sorted rows; valid after Finalize.
@@ -558,6 +646,12 @@ func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Result before Finalize")
 	}
+	gatherStart := s.sinceEpoch()
+	defer func() {
+		end := s.sinceEpoch()
+		s.durGather.Add(end - gatherStart)
+		s.tResultEnd.Store(end + 1)
+	}()
 	out := vector.NewTable(s.schema)
 	n := s.NumRows()
 	if n == 0 {
@@ -570,31 +664,37 @@ func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 	numChunks := (n + vector.DefaultVectorSize - 1) / vector.DefaultVectorSize
 	chunks := make([]*vector.Chunk, numChunks)
 	threads = min(max(threads, 1), numChunks)
+	s.gatherBytes.Add(int64(n) * int64(s.layout.Width()))
 
 	var wg sync.WaitGroup
 	for w := 0; w < threads; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			// Per-worker reusable reference buffers.
-			which := make([]uint32, vector.DefaultVectorSize)
-			idxs := make([]uint32, vector.DefaultVectorSize)
-			for ci := w; ci < numChunks; ci += threads {
-				start := ci * vector.DefaultVectorSize
-				count := min(vector.DefaultVectorSize, n-start)
-				refW, refI := which[:count], idxs[:count]
-				for r := 0; r < count; r++ {
-					keyRow := s.finalKeys[(start+r)*s.rowWidth:]
-					refW[r], refI[r] = s.getRef(keyRow)
+			gw := s.rec.Worker("gather")
+			sp := gw.Begin(obs.PhaseGather)
+			defer sp.End()
+			s.rec.Do("gather", func() {
+				// Per-worker reusable reference buffers.
+				which := make([]uint32, vector.DefaultVectorSize)
+				idxs := make([]uint32, vector.DefaultVectorSize)
+				for ci := w; ci < numChunks; ci += threads {
+					start := ci * vector.DefaultVectorSize
+					count := min(vector.DefaultVectorSize, n-start)
+					refW, refI := which[:count], idxs[:count]
+					for r := 0; r < count; r++ {
+						keyRow := s.finalKeys[(start+r)*s.rowWidth:]
+						refW[r], refI[r] = s.getRef(keyRow)
+					}
+					chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(s.schema))}
+					for c := range s.schema {
+						v := vector.NewDense(s.schema[c].Type, count)
+						row.GatherRefsColumn(payloads, refW, refI, c, v)
+						chunk.Vectors[c] = v
+					}
+					chunks[ci] = chunk
 				}
-				chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(s.schema))}
-				for c := range s.schema {
-					v := vector.NewDense(s.schema[c].Type, count)
-					row.GatherRefsColumn(payloads, refW, refI, c, v)
-					chunk.Vectors[c] = v
-				}
-				chunks[ci] = chunk
-			}
+			})
 		}(w)
 	}
 	wg.Wait()
@@ -609,8 +709,15 @@ func (s *Sorter) ResultScalar() (*vector.Table, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Result before Finalize")
 	}
+	gatherStart := s.sinceEpoch()
+	defer func() {
+		end := s.sinceEpoch()
+		s.durGather.Add(end - gatherStart)
+		s.tResultEnd.Store(end + 1)
+	}()
 	out := vector.NewTable(s.schema)
 	n := s.NumRows()
+	s.gatherBytes.Add(int64(n) * int64(s.layout.Width()))
 	for start := 0; start < n; start += vector.DefaultVectorSize {
 		count := min(vector.DefaultVectorSize, n-start)
 		chunk := vector.NewChunk(s.schema, count)
@@ -633,12 +740,37 @@ func (s *Sorter) ResultScalar() (*vector.Table, error) {
 // goroutines morsel-style, each feeding its own sink, then runs are merged
 // in parallel and the result gathered.
 func SortTable(t *vector.Table, keys []SortColumn, opt Options) (*vector.Table, error) {
+	out, _, err := SortTableStats(t, keys, opt)
+	return out, err
+}
+
+// SortTableStats is SortTable returning the sort's telemetry snapshot
+// alongside the result (taken after cleanup, so spill accounting is final).
+// With Options.Telemetry set, the recorder holds the full span timeline.
+func SortTableStats(t *vector.Table, keys []SortColumn, opt Options) (*vector.Table, SortStats, error) {
 	s, err := NewSorter(t.Schema, keys, opt)
 	if err != nil {
-		return nil, err
+		return nil, SortStats{}, err
 	}
-	// Whatever happens below, no spill files survive this call.
-	defer s.Close()
+	out, err := sortTable(s, t)
+	// Whatever happened above, no spill files survive this call; removal
+	// failures surface as the call's error (and in the stats).
+	closeErr := s.Close()
+	if err == nil {
+		err = closeErr
+	}
+	st := s.Stats()
+	if err != nil {
+		return nil, st, err
+	}
+	return out, st, nil
+}
+
+// sortTable runs the sort pipeline over t's chunks.
+func sortTable(s *Sorter, t *vector.Table) (*vector.Table, error) {
+	root := s.rec.Worker("main")
+	sp := root.Begin(obs.PhaseSort)
+	defer sp.End()
 	threads := min(s.opt.threads(), max(1, len(t.Chunks)))
 	errs := make([]error, threads)
 	var wg sync.WaitGroup
@@ -646,14 +778,16 @@ func SortTable(t *vector.Table, keys []SortColumn, opt Options) (*vector.Table, 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			sink := s.NewSink()
-			for i := w; i < len(t.Chunks); i += threads {
-				if err := sink.Append(t.Chunks[i]); err != nil {
-					errs[w] = err
-					return
+			s.rec.Do("run-generation", func() {
+				sink := s.NewSink()
+				for i := w; i < len(t.Chunks); i += threads {
+					if err := sink.Append(t.Chunks[i]); err != nil {
+						errs[w] = err
+						return
+					}
 				}
-			}
-			errs[w] = sink.Close()
+				errs[w] = sink.Close()
+			})
 		}(w)
 	}
 	wg.Wait()

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"rowsort/internal/obs"
 	"rowsort/internal/vector"
 )
 
@@ -91,6 +92,13 @@ type Options struct {
 	// of streaming-merge I/O and resident memory per run); 0 means
 	// DefaultSpillBlockRows.
 	SpillBlockRows int
+	// Telemetry, when non-nil, records phase spans (ingest, run sort, spill
+	// I/O, merge, gather) and per-thread timelines into the recorder,
+	// exportable as Chrome trace_event JSON and Prometheus text; it also
+	// labels worker goroutines for pprof. SortStats counters and stage
+	// durations are collected either way; nil only disables span recording
+	// (the zero-allocation fast path).
+	Telemetry *obs.Recorder
 }
 
 // DefaultRunSize is the default thread-local run size in rows.

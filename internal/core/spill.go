@@ -3,12 +3,14 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
 	"rowsort/internal/mergepath"
+	"rowsort/internal/obs"
 	"rowsort/internal/row"
 )
 
@@ -49,25 +51,49 @@ func (s *Sorter) untrackSpill(path string) {
 	s.spillMu.Unlock()
 }
 
+// removeSpillFile deletes a tracked spill file, keeping the removal
+// counters in SortStats current. On failure the file stays tracked so a
+// later Close retries it, and the error is returned (callers on the
+// streaming path may defer it to Close rather than fail the merge).
+func (s *Sorter) removeSpillFile(path string) error {
+	if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+		s.spillRemoveErrs.Add(1)
+		return err
+	}
+	s.untrackSpill(path)
+	s.spillRemoved.Add(1)
+	return nil
+}
+
 // Close removes any spill files the sorter still has on disk. A completed
 // Finalize removes them as it streams, so this is a no-op on the happy
 // path; aborted sorts (a sink error, a sorter dropped before Finalize) must
-// call it to avoid leaking rowsort-run-*.bin files. It is safe to call
-// multiple times and on sorters that never spilled.
+// call it to avoid leaking rowsort-run-*.bin files.
+//
+// Close is safe to call multiple times (including on sorters that never
+// spilled): a second Close after a clean one is a no-op returning the first
+// call's result, while files whose removal failed stay tracked and are
+// retried. Removal errors are not swallowed — every failed removal is
+// joined into the returned error and counted in Stats().SpillRemoveErrors.
 func (s *Sorter) Close() error {
 	s.spillMu.Lock()
 	defer s.spillMu.Unlock()
-	var first error
+	if s.closed && len(s.spillPaths) == 0 {
+		return s.closeErr
+	}
+	s.closed = true
+	var errs []error
 	for path := range s.spillPaths {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
-			if first == nil {
-				first = err
-			}
+			s.spillRemoveErrs.Add(1)
+			errs = append(errs, fmt.Errorf("core: removing spill file: %w", err))
 			continue
 		}
 		delete(s.spillPaths, path)
+		s.spillRemoved.Add(1)
 	}
-	return first
+	s.closeErr = errors.Join(errs...)
+	return s.closeErr
 }
 
 // countingWriter counts the bytes written through it.
@@ -97,19 +123,17 @@ func (c *countingReader) Read(p []byte) (int, error) {
 
 // spillTo writes the run to a file under s.opt.SpillDir in the blocked
 // format and releases its in-memory buffers. On any error the partial file
-// is removed; nothing is leaked.
-func (r *sortedRun) spillTo(s *Sorter) error {
+// is removed; nothing is leaked. ow is the calling worker's trace lane.
+func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
+	sp := ow.Begin(obs.PhaseSpillWrite)
+	defer sp.End()
 	path := filepath.Join(s.opt.SpillDir, fmt.Sprintf("rowsort-run-%d.bin", r.id))
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: creating spill file: %w", err)
 	}
 	s.trackSpill(path)
-	cleanup := func() {
-		if rmErr := os.Remove(path); rmErr == nil || os.IsNotExist(rmErr) {
-			s.untrackSpill(path)
-		}
-	}
+	cleanup := func() { s.removeSpillFile(path) }
 	bw := bufio.NewWriter(f)
 	cw := &countingWriter{w: bw}
 	if err := r.writeBlocks(s, cw); err != nil {
@@ -130,6 +154,7 @@ func (r *sortedRun) spillTo(s *Sorter) error {
 	r.spill = &spillFile{path: path}
 	// The in-memory buffers are dead once the run is on disk: recycle them
 	// for the next pending run.
+	s.residentAdd(-(int64(len(r.keys)) + int64(r.payload.MemSize())))
 	s.putKeyBuf(r.keys)
 	s.putRowSet(r.payload)
 	r.keys = nil
@@ -178,6 +203,7 @@ func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer) error {
 type runReader struct {
 	s         *Sorter
 	run       *sortedRun
+	ow        *obs.Worker // trace lane block reads are recorded on
 	f         *os.File
 	br        *bufio.Reader
 	withCodes bool
@@ -200,9 +226,9 @@ type runReader struct {
 
 // openRunReader opens r's spill file and reads its header. codeWidth is the
 // byte-decisive key prefix the offset-value codes cover (ignored when
-// withCodes is false).
-func (s *Sorter) openRunReader(r *sortedRun, withCodes bool, codeWidth int) (*runReader, error) {
-	rd := &runReader{s: s, run: r, withCodes: withCodes, codeWidth: codeWidth}
+// withCodes is false); ow is the trace lane block reads are recorded on.
+func (s *Sorter) openRunReader(r *sortedRun, withCodes bool, codeWidth int, ow *obs.Worker) (*runReader, error) {
+	rd := &runReader{s: s, run: r, ow: ow, withCodes: withCodes, codeWidth: codeWidth}
 	if r.spill == nil {
 		rd.memory = true
 		rd.numRows = len(r.keys) / s.rowWidth
@@ -257,6 +283,8 @@ func (rd *runReader) next() bool {
 	if rd.readRows >= rd.numRows {
 		return false
 	}
+	sp := rd.ow.Begin(obs.PhaseSpillRead)
+	defer sp.End()
 	rw := rd.s.rowWidth
 	rows := min(rd.blockRows, rd.numRows-rd.readRows)
 	if rd.keys != nil {
@@ -300,7 +328,8 @@ func (rd *runReader) next() bool {
 }
 
 // close releases the reader; with remove set the (fully consumed) spill
-// file is deleted.
+// file is deleted. A failed removal keeps the file tracked, so Close
+// retries it and reports the error.
 func (rd *runReader) close(remove bool) {
 	if rd.f == nil {
 		return
@@ -308,10 +337,7 @@ func (rd *runReader) close(remove bool) {
 	rd.f.Close()
 	rd.f = nil
 	if remove {
-		path := rd.run.spill.path
-		if err := os.Remove(path); err == nil || os.IsNotExist(err) {
-			rd.s.untrackSpill(path)
-		}
+		rd.s.removeSpillFile(rd.run.spill.path)
 		rd.run.spill = nil
 	}
 }
@@ -326,6 +352,9 @@ func (s *Sorter) externalFinalize() error {
 	if len(s.runs) == 0 {
 		return nil
 	}
+	mw := s.rec.Worker("merge")
+	msp := mw.Begin(obs.PhaseMerge)
+	defer msp.End()
 	useOVC := s.opt.Merge != MergeLoserTreeNoOVC
 	anyTieBreak := false
 	for _, r := range s.runs {
@@ -346,7 +375,7 @@ func (s *Sorter) externalFinalize() error {
 	}()
 	total := 0
 	for i, r := range s.runs {
-		rd, err := s.openRunReader(r, useOVC, ovcWidth)
+		rd, err := s.openRunReader(r, useOVC, ovcWidth, mw)
 		if err != nil {
 			return err
 		}
@@ -456,16 +485,17 @@ func (s *Sorter) externalFinalize() error {
 	final := &sortedRun{id: finalID, keys: finalKeys, payload: out, tieBreak: anyTieBreak}
 	s.runs = append(s.runs, final)
 	s.finalKeys = finalKeys
+	s.residentAdd(int64(len(finalKeys)) + int64(out.MemSize()))
 	return nil
 }
 
 // unspill reads the run back into memory (used by the cascaded ablation
-// path) and removes its file.
-func (r *sortedRun) unspill(s *Sorter) error {
+// path) and removes its file. ow is the calling worker's trace lane.
+func (r *sortedRun) unspill(s *Sorter, ow *obs.Worker) error {
 	if r.spill == nil {
 		return nil
 	}
-	rd, err := s.openRunReader(r, false, 0)
+	rd, err := s.openRunReader(r, false, 0, ow)
 	if err != nil {
 		return err
 	}
@@ -493,6 +523,7 @@ func (r *sortedRun) unspill(s *Sorter) error {
 	rd.close(true)
 	r.keys = keys
 	r.payload = payload
+	s.residentAdd(int64(len(keys)) + int64(payload.MemSize()))
 	return nil
 }
 
@@ -508,24 +539,27 @@ func (s *Sorter) externalFinalizeCascade() error {
 	if len(queue) == 0 {
 		return nil
 	}
+	mw := s.rec.Worker("merge")
+	msp := mw.Begin(obs.PhaseMerge)
+	defer msp.End()
 	for len(queue) > 1 {
 		a, b := s.runs[queue[0]], s.runs[queue[1]]
 		queue = queue[2:]
-		merged, err := s.mergeRunPair(a, b)
+		merged, err := s.mergeRunPair(a, b, mw)
 		if err != nil {
 			return err
 		}
 		queue = append(queue, merged.id)
 		if len(queue) > 1 {
 			// More merging ahead: push the result out of memory again.
-			if err := merged.spillTo(s); err != nil {
+			if err := merged.spillTo(s, mw); err != nil {
 				return err
 			}
 		}
 	}
 	final := s.runs[queue[0]]
 	if final.spill != nil {
-		if err := final.unspill(s); err != nil {
+		if err := final.unspill(s, mw); err != nil {
 			return err
 		}
 	}
@@ -536,10 +570,10 @@ func (s *Sorter) externalFinalizeCascade() error {
 
 // mergeRunPair loads two runs, merges their keys and payloads into a new
 // run (payload physically reordered, refs rewritten), registers it, and
-// releases the inputs.
-func (s *Sorter) mergeRunPair(a, b *sortedRun) (*sortedRun, error) {
+// releases the inputs. ow is the calling worker's trace lane.
+func (s *Sorter) mergeRunPair(a, b *sortedRun, ow *obs.Worker) (*sortedRun, error) {
 	for _, r := range []*sortedRun{a, b} {
-		if err := r.unspill(s); err != nil {
+		if err := r.unspill(s, ow); err != nil {
 			return nil, err
 		}
 	}
@@ -585,8 +619,11 @@ func (s *Sorter) mergeRunPair(a, b *sortedRun) (*sortedRun, error) {
 	payload.AppendRowsGather(payloads, which, idxs)
 	merged.keys = mergedKeys
 	merged.payload = payload
+	s.residentAdd(int64(len(mergedKeys)) + int64(payload.MemSize()))
 
 	// Release the inputs into the pools.
+	s.residentAdd(-(int64(len(a.keys)) + int64(a.payload.MemSize()) +
+		int64(len(b.keys)) + int64(b.payload.MemSize())))
 	s.putKeyBuf(a.keys)
 	s.putKeyBuf(b.keys)
 	s.putRowSet(a.payload)

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"rowsort/internal/mergepath"
+	"rowsort/internal/obs"
+)
+
+// SortStats is the unified telemetry snapshot of one sorter: ingestion and
+// run-generation counters, spill I/O accounting, merge-phase counters,
+// materialization volume, memory high-water mark, and wall-clock durations
+// of the three sequential pipeline stages. It supersedes the MergeStats and
+// SpillStats accessors, which are now views over it. Counters and stage
+// durations are always collected; the per-phase span breakdown in Phases is
+// populated only when Options.Telemetry is set.
+type SortStats struct {
+	// RowsIngested is the number of rows appended through sinks (or TopN).
+	RowsIngested int64
+	// RunsGenerated is the number of thread-local sorted runs cut.
+	RunsGenerated int64
+	// NormKeyBytes is the volume of normalized key bytes produced during
+	// run generation (keyWidth bytes per row; excludes payload refs and
+	// alignment padding).
+	NormKeyBytes int64
+	// SpillBytesWritten and SpillBytesRead account spill-file I/O. The
+	// streaming merge reads every spilled byte exactly once, so after
+	// Finalize read equals written; the cascaded ablation re-spills
+	// intermediates and reads a multiple.
+	SpillBytesWritten int64
+	SpillBytesRead    int64
+	// SpillFilesRemoved counts spill files successfully deleted (during the
+	// streaming merge and by Close); SpillRemoveErrors counts failed
+	// removal attempts, whose errors Close also returns.
+	SpillFilesRemoved int64
+	SpillRemoveErrors int64
+	// GatherBytesMoved is the fixed-width payload row bytes moved by result
+	// materialization (rows gathered × payload row width).
+	GatherBytesMoved int64
+	// PeakResidentRunBytes is the high-water mark of in-memory run bytes
+	// (sorted key rows plus payload rows and string heaps) held at once.
+	PeakResidentRunBytes int64
+	// Merge is the merge phase's comparison counters (see mergepath.Stats).
+	Merge mergepath.Stats
+	// DurRunGen, DurMerge and DurGather are the wall-clock durations of the
+	// three sequential pipeline stages: first Append to Finalize (run
+	// generation, including spill writes), Finalize itself (merge, including
+	// spill reads), and Result (materialization). DurTotal spans first
+	// Append to the end of Result, so the three stages sum to DurTotal up to
+	// the caller's time between stages.
+	DurRunGen time.Duration
+	DurMerge  time.Duration
+	DurGather time.Duration
+	DurTotal  time.Duration
+	// Phases is the span-level breakdown (per-phase busy time, wall window
+	// and span count across all workers); zero unless Options.Telemetry was
+	// set.
+	Phases obs.Summary
+}
+
+// Stats snapshots the sorter's telemetry. It is safe to call at any point
+// in the sorter's life, including concurrently with ingestion.
+func (s *Sorter) Stats() SortStats {
+	st := SortStats{
+		RowsIngested:         s.rowsIn.Load(),
+		RunsGenerated:        s.runsGen.Load(),
+		NormKeyBytes:         s.normKeyBytes.Load(),
+		SpillBytesWritten:    s.spillWritten.Load(),
+		SpillBytesRead:       s.spillRead.Load(),
+		SpillFilesRemoved:    s.spillRemoved.Load(),
+		SpillRemoveErrors:    s.spillRemoveErrs.Load(),
+		GatherBytesMoved:     s.gatherBytes.Load(),
+		PeakResidentRunBytes: s.peakResident.Load(),
+		DurGather:            time.Duration(s.durGather.Load()),
+		Phases:               s.rec.Summary(),
+	}
+	s.mu.Lock()
+	st.Merge = s.mergeStats
+	s.mu.Unlock()
+
+	// Stage durations from the lifecycle timestamps (ns since s.epoch,
+	// stored +1 so zero means "not reached"). Stages still in progress
+	// report their elapsed time so far.
+	now := s.sinceEpoch()
+	first := s.tFirstAppend.Load()
+	finStart := s.tFinalizeStart.Load()
+	finEnd := s.tFinalizeEnd.Load()
+	if first > 0 {
+		end := now
+		if finStart > 0 {
+			end = finStart - 1
+		}
+		st.DurRunGen = time.Duration(end - (first - 1))
+	}
+	if finStart > 0 {
+		end := now
+		if finEnd > 0 {
+			end = finEnd - 1
+		}
+		st.DurMerge = time.Duration(end - (finStart - 1))
+	}
+	if first > 0 {
+		end := now
+		if last := s.tResultEnd.Load(); last > 0 {
+			end = last - 1
+		}
+		st.DurTotal = time.Duration(end - (first - 1))
+	}
+	return st
+}
+
+// String renders the stats as an aligned multi-line report.
+func (st SortStats) String() string {
+	var b strings.Builder
+	row := func(name, val string) { fmt.Fprintf(&b, "%-24s %s\n", name, val) }
+	row("rows ingested", fmt.Sprintf("%d", st.RowsIngested))
+	row("runs generated", fmt.Sprintf("%d", st.RunsGenerated))
+	row("normalized key bytes", fmt.Sprintf("%d", st.NormKeyBytes))
+	row("spill written / read", fmt.Sprintf("%d / %d bytes", st.SpillBytesWritten, st.SpillBytesRead))
+	row("spill files removed", fmt.Sprintf("%d (%d errors)", st.SpillFilesRemoved, st.SpillRemoveErrors))
+	row("gather bytes moved", fmt.Sprintf("%d", st.GatherBytesMoved))
+	row("peak resident run bytes", fmt.Sprintf("%d", st.PeakResidentRunBytes))
+	row("merge comparisons", fmt.Sprintf("%d (%d ovc hits, %d full, %d tie-breaks)",
+		st.Merge.Comparisons, st.Merge.OVCHits, st.Merge.FullCompares, st.Merge.TieBreaks))
+	row("run generation", st.DurRunGen.Round(time.Microsecond).String())
+	row("merge", st.DurMerge.Round(time.Microsecond).String())
+	row("gather", st.DurGather.Round(time.Microsecond).String())
+	row("total", st.DurTotal.Round(time.Microsecond).String())
+	if phases := st.Phases.String(); st.Phases.Workers > 0 {
+		b.WriteString(phases)
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the stats in Prometheus text exposition format
+// (rowsort_* metrics), including the per-phase busy times when telemetry
+// was enabled.
+func (st SortStats) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	counter := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter("rowsort_rows_ingested_total", "Rows appended through sinks.", float64(st.RowsIngested))
+	counter("rowsort_runs_generated_total", "Thread-local sorted runs cut.", float64(st.RunsGenerated))
+	counter("rowsort_normalized_key_bytes_total", "Normalized key bytes produced.", float64(st.NormKeyBytes))
+	counter("rowsort_spill_written_bytes_total", "Bytes written to spill files.", float64(st.SpillBytesWritten))
+	counter("rowsort_spill_read_bytes_total", "Bytes read back from spill files.", float64(st.SpillBytesRead))
+	counter("rowsort_spill_files_removed_total", "Spill files deleted.", float64(st.SpillFilesRemoved))
+	counter("rowsort_spill_remove_errors_total", "Failed spill-file removals.", float64(st.SpillRemoveErrors))
+	counter("rowsort_gather_bytes_total", "Payload row bytes moved by materialization.", float64(st.GatherBytesMoved))
+	gauge("rowsort_peak_resident_run_bytes", "High-water mark of resident run bytes.", float64(st.PeakResidentRunBytes))
+	counter("rowsort_merge_comparisons_total", "Two-row matches played in the merge.", float64(st.Merge.Comparisons))
+	counter("rowsort_merge_ovc_hits_total", "Matches decided by offset-value codes alone.", float64(st.Merge.OVCHits))
+	counter("rowsort_merge_tie_breaks_total", "Matches resolved by the tie-break comparator.", float64(st.Merge.TieBreaks))
+	gauge("rowsort_stage_run_generation_seconds", "Wall time of the run-generation stage.", st.DurRunGen.Seconds())
+	gauge("rowsort_stage_merge_seconds", "Wall time of the merge stage.", st.DurMerge.Seconds())
+	gauge("rowsort_stage_gather_seconds", "Wall time of the materialization stage.", st.DurGather.Seconds())
+	gauge("rowsort_stage_total_seconds", "Wall time first Append to end of Result.", st.DurTotal.Seconds())
+	if st.Phases.Workers > 0 {
+		b.WriteString("# HELP rowsort_phase_busy_seconds Summed span time per phase across workers.\n")
+		b.WriteString("# TYPE rowsort_phase_busy_seconds counter\n")
+		for p := 0; p < obs.NumPhases; p++ {
+			fmt.Fprintf(&b, "rowsort_phase_busy_seconds{phase=%q} %g\n",
+				obs.Phase(p).String(), st.Phases.Phases[p].Busy.Seconds())
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

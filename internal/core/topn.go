@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"rowsort/internal/obs"
 	"rowsort/internal/row"
 	"rowsort/internal/vector"
 )
@@ -16,6 +17,7 @@ import (
 // one key comparison plus a possible heap update.
 type TopN struct {
 	s     *Sorter
+	ow    *obs.Worker // the operator's trace lane (nil without telemetry)
 	limit int
 
 	h       *keyHeap
@@ -32,10 +34,15 @@ func NewTopN(schema vector.Schema, keys []SortColumn, limit int, opt Options) (*
 	if err != nil {
 		return nil, err
 	}
-	t := &TopN{s: s, limit: limit, payload: row.NewRowSet(s.layout)}
+	t := &TopN{s: s, ow: s.rec.Worker("topn"), limit: limit, payload: row.NewRowSet(s.layout)}
 	t.h = &keyHeap{}
 	return t, nil
 }
+
+// Stats snapshots the operator's telemetry: rows ingested, ingest spans and
+// stage durations (merge and spill counters stay zero — Top-N never runs
+// those phases).
+func (t *TopN) Stats() SortStats { return t.s.Stats() }
 
 // keyHeap is a max-heap of key rows: the root is the current worst of the
 // best n, so a new row only enters if it beats the root.
@@ -69,6 +76,10 @@ func (t *TopN) Append(c *vector.Chunk) error {
 	if n == 0 || t.limit == 0 {
 		return nil
 	}
+	s.markStart()
+	sp := t.ow.Begin(obs.PhaseIngest)
+	defer sp.End()
+	s.rowsIn.Add(int64(n))
 	if t.h.cmp == nil {
 		t.h.cmp = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return t.payload, int(idx) })
 	}
@@ -105,6 +116,8 @@ func (t *TopN) Append(c *vector.Chunk) error {
 // operator is exhausted afterwards.
 func (t *TopN) Result() (*vector.Table, error) {
 	s := t.s
+	sp := t.ow.Begin(obs.PhaseGather)
+	defer sp.End()
 	if t.h.cmp == nil {
 		t.h.cmp = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return t.payload, int(idx) })
 	}

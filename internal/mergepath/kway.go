@@ -465,6 +465,15 @@ func KWaySplit(runs []Run, d int, cmp CompareFunc) []int {
 // tie — the two ablation arms. The output is byte-identical to the scalar
 // stable merge at every p. dst must hold the total number of rows.
 func ParallelKWayMerge(dst []byte, runs []Run, keyWidth int, tie CompareFunc, p int, useOVC bool) Stats {
+	return ParallelKWayMergeSpans(dst, runs, keyWidth, tie, p, useOVC, nil)
+}
+
+// ParallelKWayMergeSpans is ParallelKWayMerge with a per-worker telemetry
+// hook: when onWorker is non-nil it runs on each partition's goroutine
+// before that partition merges, and the function it returns runs when the
+// partition finishes — the telemetry layer uses the pair to give every
+// merge worker its own trace lane.
+func ParallelKWayMergeSpans(dst []byte, runs []Run, keyWidth int, tie CompareFunc, p int, useOVC bool, onWorker func(part int) func()) Stats {
 	total := 0
 	for _, r := range runs {
 		total += r.Len()
@@ -542,6 +551,9 @@ func ParallelKWayMerge(dst []byte, runs []Run, keyWidth int, tie CompareFunc, p 
 		wg.Add(1)
 		go func(part int) {
 			defer wg.Done()
+			if onWorker != nil {
+				defer onWorker(part)()
+			}
 			var m *Merger
 			if useOVC {
 				m = NewMerger(sub, keyWidth, subCodes, tie)

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+)
+
+// PhaseStat is one phase's aggregate across all workers.
+type PhaseStat struct {
+	// Busy is the summed duration of the phase's spans over all workers
+	// (inclusive of nested child spans), so with p parallel workers it can
+	// exceed the phase's wall time by up to a factor of p.
+	Busy time.Duration `json:"busy_ns"`
+	// Wall is the span from the phase's earliest Begin to its latest End.
+	Wall time.Duration `json:"wall_ns"`
+	// Count is the number of spans recorded for the phase.
+	Count int64 `json:"spans"`
+}
+
+// Summary is a point-in-time aggregate of the recorder's counters. It is
+// safe to take while recording is still in progress.
+type Summary struct {
+	Phases  [NumPhases]PhaseStat `json:"phases"`
+	Workers int                  `json:"workers"`
+}
+
+// Summary aggregates the per-phase counters. On a nil recorder it returns
+// the zero Summary.
+func (r *Recorder) Summary() Summary {
+	var s Summary
+	if r == nil {
+		return s
+	}
+	for p := 0; p < NumPhases; p++ {
+		first, last := r.first[p].Load(), r.last[p].Load()
+		var wall time.Duration
+		if last >= 0 && first != math.MaxInt64 && last >= first {
+			wall = time.Duration(last - first)
+		}
+		s.Phases[p] = PhaseStat{
+			Busy:  time.Duration(r.busy[p].Load()),
+			Wall:  wall,
+			Count: r.count[p].Load(),
+		}
+	}
+	r.mu.Lock()
+	s.Workers = len(r.workers)
+	r.mu.Unlock()
+	return s
+}
+
+// Get returns the aggregate for one phase.
+func (s Summary) Get(p Phase) PhaseStat { return s.Phases[p] }
+
+// String renders the per-phase aggregates as an aligned table, omitting
+// phases with no spans.
+func (s Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %12s %8s\n", "phase", "busy", "wall", "spans")
+	for p := 0; p < NumPhases; p++ {
+		st := s.Phases[p]
+		if st.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "%-12s %12s %12s %8d\n",
+			Phase(p).String(), st.Busy.Round(time.Microsecond), st.Wall.Round(time.Microsecond), st.Count)
+	}
+	return b.String()
+}
+
+// WritePrometheus writes the recorder's phase counters in Prometheus text
+// exposition format. On a nil recorder it writes nothing.
+func (r *Recorder) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	s := r.Summary()
+	var b strings.Builder
+	b.WriteString("# HELP rowsort_phase_busy_seconds Summed span time per sort phase across workers.\n")
+	b.WriteString("# TYPE rowsort_phase_busy_seconds counter\n")
+	for p := 0; p < NumPhases; p++ {
+		fmt.Fprintf(&b, "rowsort_phase_busy_seconds{phase=%q} %g\n", Phase(p).String(), s.Phases[p].Busy.Seconds())
+	}
+	b.WriteString("# HELP rowsort_phase_wall_seconds Earliest-begin to latest-end wall time per sort phase.\n")
+	b.WriteString("# TYPE rowsort_phase_wall_seconds gauge\n")
+	for p := 0; p < NumPhases; p++ {
+		fmt.Fprintf(&b, "rowsort_phase_wall_seconds{phase=%q} %g\n", Phase(p).String(), s.Phases[p].Wall.Seconds())
+	}
+	b.WriteString("# HELP rowsort_phase_spans_total Spans recorded per sort phase.\n")
+	b.WriteString("# TYPE rowsort_phase_spans_total counter\n")
+	for p := 0; p < NumPhases; p++ {
+		fmt.Fprintf(&b, "rowsort_phase_spans_total{phase=%q} %d\n", Phase(p).String(), s.Phases[p].Count)
+	}
+	fmt.Fprintf(&b, "# HELP rowsort_trace_workers Trace lanes registered.\n")
+	fmt.Fprintf(&b, "# TYPE rowsort_trace_workers gauge\n")
+	fmt.Fprintf(&b, "rowsort_trace_workers %d\n", s.Workers)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// PublishExpvar registers the recorder's live Summary under name in the
+// process-wide expvar registry (readable at /debug/vars when net/http/pprof
+// or expvar's handler is mounted). Like expvar.Publish it panics if name is
+// already registered; publish each recorder once. No-op on a nil recorder.
+func (r *Recorder) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Summary() }))
+}

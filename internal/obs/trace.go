@@ -1,0 +1,56 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteTrace writes the recorded spans as Chrome trace_event JSON (the
+// object format with a traceEvents array), loadable by chrome://tracing and
+// Perfetto. Each Worker is one thread lane (its tid), named by a thread_name
+// metadata event; spans are complete ("X") events with microsecond
+// timestamps relative to the recorder's epoch, so nesting renders from
+// containment. Call it only after the recorded work has finished: span
+// buffers are read without synchronization. A nil recorder writes an empty
+// trace.
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	bw.WriteString(`{"traceEvents":[`)
+	if r != nil {
+		first := true
+		sep := func() {
+			if !first {
+				bw.WriteByte(',')
+			}
+			first = false
+		}
+		workers := r.snapshotWorkers()
+		for _, wk := range workers {
+			name, err := json.Marshal(wk.name)
+			if err != nil {
+				return err
+			}
+			sep()
+			fmt.Fprintf(bw, `{"ph":"M","pid":1,"tid":%d,"name":"thread_name","args":{"name":%s}}`,
+				wk.tid, name)
+		}
+		for _, wk := range workers {
+			for _, sp := range wk.spans {
+				sep()
+				fmt.Fprintf(bw, `{"ph":"X","pid":1,"tid":%d,"name":%q,"cat":"rowsort","ts":%s,"dur":%s}`,
+					wk.tid, sp.phase.String(), micros(sp.start), micros(sp.dur))
+			}
+		}
+	}
+	bw.WriteString(`],"displayTimeUnit":"ms"}`)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// micros formats ns as a decimal microsecond count with nanosecond
+// precision, without float rounding (trace_event timestamps are in us).
+func micros(ns int64) string {
+	return fmt.Sprintf("%d.%03d", ns/1000, ns%1000)
+}

@@ -32,6 +32,16 @@ func (rs *RowSet) Len() int { return rs.n }
 // Bytes returns the flat row buffer (rows of Layout().Width() bytes).
 func (rs *RowSet) Bytes() []byte { return rs.data }
 
+// MemSize returns the bytes live in the set's buffers (fixed-width rows
+// plus the string heap), the unit of the sorter's resident-memory
+// accounting. Nil-safe.
+func (rs *RowSet) MemSize() int {
+	if rs == nil {
+		return 0
+	}
+	return len(rs.data) + len(rs.heap)
+}
+
 // Row returns row i's bytes, aliasing the underlying buffer.
 func (rs *RowSet) Row(i int) []byte {
 	w := rs.layout.width
