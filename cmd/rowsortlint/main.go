@@ -1,0 +1,104 @@
+// Command rowsortlint runs the module's static-analysis suite: the
+// analyzers under internal/analysis/analyzers, which machine-check the
+// sort pipeline's un-typeable invariants (byte-comparable key encodings,
+// pure comparators, allocation-free hot loops, atomic stats access, and
+// tracked spill-file removal). See DESIGN.md's "Static analysis" section
+// for what each analyzer enforces and how to suppress a finding with
+// //rowsort:allow.
+//
+// Usage:
+//
+//	rowsortlint [-json] [-only names] [packages]
+//
+// Packages default to ./... relative to the current directory. Exit code 0
+// means no findings, 1 means findings, 2 means the load itself failed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"rowsort/internal/analysis"
+	"rowsort/internal/analysis/analyzers/atomicfield"
+	"rowsort/internal/analysis/analyzers/deprecated"
+	"rowsort/internal/analysis/analyzers/hotpathalloc"
+	"rowsort/internal/analysis/analyzers/keyorder"
+	"rowsort/internal/analysis/analyzers/purecmp"
+	"rowsort/internal/analysis/analyzers/spillclose"
+)
+
+// suite is every analyzer rowsortlint knows, in reporting order.
+var suite = []*analysis.Analyzer{
+	atomicfield.Analyzer,
+	deprecated.Analyzer,
+	hotpathalloc.Analyzer,
+	keyorder.Analyzer,
+	purecmp.Analyzer,
+	spillclose.Analyzer,
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array")
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowsortlint: %v\n", err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	u, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowsortlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(u, analyzers)
+	if *jsonOut {
+		err = analysis.WriteJSON(os.Stdout, diags)
+	} else {
+		err = analysis.WriteText(os.Stdout, diags)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rowsortlint: %v\n", err)
+		os.Exit(2)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -only flag against the suite.
+func selectAnalyzers(only string) ([]*analysis.Analyzer, error) {
+	if only == "" {
+		return suite, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(suite))
+	for _, a := range suite {
+		byName[a.Name] = a
+	}
+	var picked []*analysis.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (see -list)", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}

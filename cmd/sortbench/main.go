@@ -73,12 +73,17 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "sortbench: creating CPU profile: %v\n", err)
 			return 1
 		}
-		defer f.Close()
 		if err := pprof.StartCPUProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "sortbench: starting CPU profile: %v\n", err)
+			f.Close()
 			return 1
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sortbench: closing CPU profile: %v\n", err)
+			}
+		}()
 	}
 	defer func() {
 		if *memprofile == "" {
@@ -89,10 +94,12 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "sortbench: creating heap profile: %v\n", err)
 			return
 		}
-		defer f.Close()
 		runtime.GC() // up-to-date allocation statistics
 		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintf(os.Stderr, "sortbench: writing heap profile: %v\n", err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: closing heap profile: %v\n", err)
 		}
 	}()
 

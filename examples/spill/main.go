@@ -32,7 +32,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			log.Printf("removing spill dir: %v", err)
+		}
+	}()
 
 	start := time.Now()
 	inMem, err := core.SortTable(table, keys, core.Options{RunSize: 64 << 10})

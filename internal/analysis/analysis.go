@@ -1,0 +1,102 @@
+// Package analysis is rowsort's in-tree static-analysis framework: a
+// stdlib-only loader (go list + go/parser + go/types, no golang.org/x/tools
+// dependency), an annotation convention that marks the functions carrying
+// the paper's un-typeable invariants, and a driver that runs a suite of
+// analyzers over the module and reports file:line diagnostics.
+//
+// The sort pipeline's correctness rests on properties the Go type system
+// cannot express: normalized keys must be byte-comparable after encoding
+// (sign-flipped integers, order-preserving floats, big-endian layout),
+// comparators must be pure so radix sort, pdqsort and the Merge Path
+// partitioning agree on one order, hot loops must stay allocation- and
+// lock-free for the paper's performance figures to hold, and every spill
+// file must flow through the sorter's tracked-removal path. Each analyzer
+// in the analyzers/ subdirectories machine-checks one of those contracts;
+// cmd/rowsortlint runs the suite in CI.
+//
+// # Annotations
+//
+// Invariants attach to functions through doc-comment directives:
+//
+//	//rowsort:hotpath    — the function and everything it statically calls
+//	                       inside the module must not allocate, call fmt,
+//	                       box values into interfaces, take locks, or leak
+//	                       capturing closures (analyzer hotpathalloc).
+//	//rowsort:pure       — the function (and any comparator closures it
+//	                       returns) must not write captured or global
+//	                       state (analyzer purecmp).
+//	//rowsort:keyencoder — the function writes normalized key bytes and
+//	                       must use order-preserving encodings only
+//	                       (analyzer keyorder).
+//
+// A finding that is intentional is suppressed in place, with a mandatory
+// justification:
+//
+//	//rowsort:allow <analyzer> <why this is safe>
+//
+// The directive suppresses that analyzer's diagnostics on its own line and
+// the line below it. A suppression without a justification is itself a
+// diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// Diagnostic is one analyzer finding at a source position.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// Pos locates the finding.
+	Pos token.Position `json:"-"`
+	// Message states the violated invariant and the offending construct.
+	Message string `json:"message"`
+
+	// Flattened position for the JSON output.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Analyzer is one invariant checker. Run is invoked once per analyzed
+// package with a Pass scoped to it; diagnostics may land in any file of the
+// universe (interprocedural analyzers follow calls across packages).
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //rowsort:allow.
+	Name string
+	// Doc is the one-line description shown by rowsortlint -list.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass)
+}
+
+// Pass is the per-package unit of work handed to an analyzer.
+type Pass struct {
+	// Pkg is the package under analysis.
+	Pkg *Package
+	// U is the loaded universe: every analyzable module package plus the
+	// shared indexes (declarations, annotations, suppressions).
+	U *Universe
+
+	analyzer *Analyzer
+	sink     func(Diagnostic)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.U.Fset.Position(pos)
+	p.sink(Diagnostic{
+		Analyzer: p.analyzer.Name,
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+	})
+}

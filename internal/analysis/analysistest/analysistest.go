@@ -1,0 +1,124 @@
+// Package analysistest runs a single analyzer over a testdata fixture
+// directory and checks its diagnostics against // want expectations, in the
+// style of golang.org/x/tools/go/analysis/analysistest but built on the
+// in-tree stdlib-only framework.
+//
+// A fixture is one standalone package (stdlib imports only) whose files
+// mark expected findings with trailing comments:
+//
+//	s += fmt.Sprintf("%d", x) // want "calls fmt"
+//
+// Each quoted string is an anchored-nowhere regexp that must match the
+// message of a diagnostic reported on that line. Every expectation must be
+// matched and every diagnostic must be expected; anything else fails the
+// test.
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"rowsort/internal/analysis"
+)
+
+// wantRE matches a // want comment and captures its quoted patterns.
+var wantRE = regexp.MustCompile(`//\s*want((?:\s+"(?:[^"\\]|\\.)*")+)\s*$`)
+
+// quotedRE pulls the individual quoted patterns out of wantRE's capture.
+var quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture directory as one package, runs the analyzer, and
+// reports every mismatch between diagnostics and // want expectations.
+func Run(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := analysis.LoadDir(abs)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	expects, err := parseExpectations(abs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diags := analysis.Run(u, []*analysis.Analyzer{a})
+	for _, d := range diags {
+		if d.Analyzer != a.Name && d.Analyzer != "directive" {
+			t.Errorf("unexpected analyzer %q in diagnostic %s", d.Analyzer, d)
+			continue
+		}
+		if !consume(expects, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, e := range expects {
+		if !e.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", e.file, e.line, e.pattern)
+		}
+	}
+}
+
+// consume marks the first unmatched expectation that covers d.
+func consume(expects []*expectation, d analysis.Diagnostic) bool {
+	for _, e := range expects {
+		if !e.matched && e.file == d.File && e.line == d.Line && e.pattern.MatchString(d.Message) {
+			e.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// parseExpectations scans the fixture's Go files for // want comments.
+func parseExpectations(dir string) ([]*expectation, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var expects []*expectation
+	for _, entry := range entries {
+		name := entry.Name()
+		if entry.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		for i, lineText := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(lineText)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want pattern %s: %v", path, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					return nil, fmt.Errorf("%s:%d: bad want regexp %q: %v", path, i+1, pat, err)
+				}
+				expects = append(expects, &expectation{file: path, line: i + 1, pattern: re})
+			}
+		}
+	}
+	return expects, nil
+}

@@ -1,0 +1,101 @@
+// Package atomicfield checks that any variable or struct field touched
+// through sync/atomic anywhere in the module is touched atomically
+// everywhere. The telemetry layer (internal/obs) and the sort counters
+// (core.SortStats) are updated concurrently by merge and gather workers; a
+// single plain read or write mixed in with the atomic ones is a data race
+// the race detector only catches if a test happens to hit the interleaving.
+// The analyzer makes the property structural: it collects every address
+// passed to a sync/atomic call, then flags every other plain access to the
+// same variable or field.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags plain accesses to atomically-accessed variables.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  run,
+}
+
+// atomicFacts is the universe-wide collection result: the variables with at
+// least one sync/atomic access, and the positions of the identifiers that
+// appear inside those atomic calls (so the checking sweep can skip them).
+type atomicFacts struct {
+	vars    map[*types.Var]bool
+	allowed map[token.Pos]bool
+}
+
+func run(pass *analysis.Pass) {
+	facts := pass.U.Memo("atomicfield.facts", func() any {
+		return collect(pass.U)
+	}).(*atomicFacts)
+	if len(facts.vars) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				v, ok := pass.Pkg.Info.Uses[n.Sel].(*types.Var)
+				if ok && v.IsField() && facts.vars[v] && !facts.allowed[n.Sel.Pos()] {
+					pass.Reportf(n.Sel.Pos(), "plain access to %s races with its sync/atomic use; access it atomically everywhere", v.Name())
+				}
+			case *ast.Ident:
+				v, ok := pass.Pkg.Info.Uses[n].(*types.Var)
+				if ok && !v.IsField() && facts.vars[v] && !facts.allowed[n.Pos()] {
+					pass.Reportf(n.Pos(), "plain access to %s races with its sync/atomic use; access it atomically everywhere", v.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collect sweeps the whole universe for &target arguments of sync/atomic
+// calls.
+func collect(u *analysis.Universe) *atomicFacts {
+	facts := &atomicFacts{vars: make(map[*types.Var]bool), allowed: make(map[token.Pos]bool)}
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || len(call.Args) == 0 {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+				if !ok || addr.Op != token.AND {
+					return true
+				}
+				switch target := ast.Unparen(addr.X).(type) {
+				case *ast.SelectorExpr:
+					if v, ok := pkg.Info.Uses[target.Sel].(*types.Var); ok {
+						facts.vars[v] = true
+						facts.allowed[target.Sel.Pos()] = true
+					}
+				case *ast.Ident:
+					if v, ok := pkg.Info.Uses[target].(*types.Var); ok {
+						facts.vars[v] = true
+						facts.allowed[target.Pos()] = true
+					}
+				}
+				return true
+			})
+		}
+	}
+	return facts
+}

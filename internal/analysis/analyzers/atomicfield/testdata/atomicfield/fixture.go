@@ -1,0 +1,40 @@
+// Package fixture exercises the atomicfield analyzer.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	reads int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.hits, 1)
+}
+
+func (c *counters) report() int64 {
+	return c.hits // want "plain access to hits races"
+}
+
+var ops int64
+
+func addOp() {
+	atomic.AddInt64(&ops, 1)
+}
+
+func readOps() int64 {
+	return ops // want "plain access to ops races"
+}
+
+// readsAtomic touches reads atomically at every site: clean.
+func (c *counters) readsAtomic() int64 {
+	atomic.AddInt64(&c.reads, 1)
+	return atomic.LoadInt64(&c.reads)
+}
+
+// plainOnly is never touched atomically, so plain access is fine.
+type plainOnly struct{ n int64 }
+
+func (p *plainOnly) inc() { p.n++ }
+
+func (p *plainOnly) get() int64 { return p.n }

@@ -1,0 +1,118 @@
+// Package deprecated flags cross-package uses of module declarations whose
+// doc comment carries a standard "Deprecated:" paragraph. The module keeps
+// superseded accessors (MergeStats, SpillStats) alive as thin views so old
+// callers compile, but nothing inside the module may still use them — this
+// analyzer is what lets a later PR delete them with confidence that the
+// tree is already clean. Every use is flagged, same-package callers
+// included; only the shim's own declaration is exempt (a declaration is a
+// definition, not a use).
+package deprecated
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags in-module uses of deprecated module APIs.
+var Analyzer = &analysis.Analyzer{
+	Name: "deprecated",
+	Doc:  "module code must not use deprecated module APIs",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	marked := pass.U.Memo("deprecated.objects", func() any {
+		return collect(pass.U)
+	}).(map[types.Object]string)
+	if len(marked) == 0 {
+		return
+	}
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.Pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if note, ok := marked[origin(obj)]; ok {
+				pass.Reportf(id.Pos(), "uses deprecated %s: %s", id.Name, note)
+			}
+			return true
+		})
+	}
+}
+
+// origin normalizes generic instantiations back to their declaration.
+func origin(obj types.Object) types.Object {
+	if fn, ok := obj.(*types.Func); ok {
+		return fn.Origin()
+	}
+	return obj
+}
+
+// collect finds every module declaration documented as Deprecated.
+func collect(u *analysis.Universe) map[types.Object]string {
+	marked := make(map[types.Object]string)
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if note, ok := deprecationNote(d.Doc); ok {
+						if obj := pkg.Info.Defs[d.Name]; obj != nil {
+							marked[obj] = note
+						}
+					}
+				case *ast.GenDecl:
+					note, declOK := deprecationNote(d.Doc)
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							specNote, ok := note, declOK
+							if n, o := deprecationNote(s.Doc); o {
+								specNote, ok = n, true
+							}
+							if ok {
+								if obj := pkg.Info.Defs[s.Name]; obj != nil {
+									marked[obj] = specNote
+								}
+							}
+						case *ast.ValueSpec:
+							specNote, ok := note, declOK
+							if n, o := deprecationNote(s.Doc); o {
+								specNote, ok = n, true
+							}
+							if ok {
+								for _, name := range s.Names {
+									if obj := pkg.Info.Defs[name]; obj != nil {
+										marked[obj] = specNote
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return marked
+}
+
+// deprecationNote extracts the first line of a "Deprecated:" paragraph.
+func deprecationNote(doc *ast.CommentGroup) (string, bool) {
+	if doc == nil {
+		return "", false
+	}
+	for _, line := range strings.Split(doc.Text(), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "Deprecated:"); ok {
+			return strings.TrimSpace(rest), true
+		}
+	}
+	return "", false
+}

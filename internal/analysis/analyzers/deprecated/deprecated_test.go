@@ -1,0 +1,12 @@
+package deprecated_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/deprecated"
+)
+
+func TestDeprecated(t *testing.T) {
+	analysistest.Run(t, "testdata/deprecated", deprecated.Analyzer)
+}

@@ -1,0 +1,38 @@
+// Package fixture exercises the deprecated analyzer.
+package fixture
+
+type engine struct {
+	total int64
+	moved int64
+}
+
+// stats is the consolidated accessor new code should use.
+func (e *engine) stats() (int64, int64) {
+	return e.total, e.moved
+}
+
+// oldTotal returns the total counter.
+//
+// Deprecated: use stats instead.
+func (e *engine) oldTotal() int64 {
+	t, _ := e.stats()
+	return t
+}
+
+// oldLimit is a superseded tuning knob.
+//
+// Deprecated: the engine sizes itself now.
+var oldLimit = 128
+
+func consume(e *engine) int64 {
+	return e.oldTotal() // want "uses deprecated oldTotal: use stats instead"
+}
+
+func window() int {
+	return oldLimit // want "uses deprecated oldLimit: the engine sizes itself now"
+}
+
+// fresh uses only current APIs: clean.
+func fresh(e *engine) (int64, int64) {
+	return e.stats()
+}

@@ -1,0 +1,389 @@
+// Package hotpathalloc checks that //rowsort:hotpath functions — the run
+// sort inner loops, k-way merge advance, gather kernels, and telemetry
+// recording — stay allocation- and lock-free. The paper's throughput
+// figures assume these loops never touch the allocator or block: a single
+// heap allocation per row turns an O(n) scan into GC pressure, and a lock
+// in span recording serializes the workers the Merge Path partitioning just
+// made independent.
+//
+// The analyzer walks each annotated function and everything it statically
+// calls inside the module, flagging: fmt calls, make/new/append, composite
+// literals that allocate, string↔[]byte/[]rune conversions, concrete
+// values boxed into interface arguments, capturing closures that escape,
+// lock acquisition, channel operations, select, and goroutine spawns.
+// Arguments of panic(...) are exempt — the panic path is cold by
+// definition. Dynamic calls (func values, interface methods) and calls out
+// of the module are not followed.
+package hotpathalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags allocations, locking, and blocking in hot-path functions.
+var Analyzer = &analysis.Analyzer{
+	Name: "hotpathalloc",
+	Doc:  "hot-path functions must not allocate, lock, or block",
+	Run:  run,
+}
+
+// visit is one function to scan, attributed to the hot root that reached it.
+type visit struct {
+	node analysis.FuncNode
+	root string
+}
+
+func run(pass *analysis.Pass) {
+	// The walk is universe-wide (roots in one package pull in callees from
+	// others), so only the elected reporting pass runs it.
+	if pass.Pkg != pass.U.FirstTarget() {
+		return
+	}
+	roots := pass.U.AnnotatedFuncs(analysis.AnnotHotpath)
+	seen := make(map[*ast.FuncDecl]bool)
+	var queue []visit
+	for _, n := range roots {
+		if !seen[n.Decl] {
+			seen[n.Decl] = true
+			queue = append(queue, visit{node: n, root: n.Decl.Name.Name})
+		}
+	}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		c := &checker{pass: pass, pkg: v.node.Pkg, root: v.root}
+		c.check(v.node.Decl)
+		for _, callee := range c.callees {
+			if n, ok := pass.U.FuncDecl(callee); ok && !seen[n.Decl] {
+				seen[n.Decl] = true
+				queue = append(queue, visit{node: n, root: v.root})
+			}
+		}
+	}
+}
+
+// checker scans one function body, collecting static callees as it goes.
+type checker struct {
+	pass    *analysis.Pass
+	pkg     *analysis.Package
+	root    string
+	callees []*types.Func
+}
+
+func (c *checker) reportf(pos ast.Node, format string, args ...any) {
+	c.pass.Reportf(pos.Pos(), "hot path (via %s): "+format, append([]any{c.root}, args...)...)
+}
+
+func (c *checker) check(decl *ast.FuncDecl) {
+	if decl.Body == nil {
+		return
+	}
+	c.walk(decl.Body, decl)
+}
+
+// walk inspects one node and recurses, pruning panic(...) subtrees.
+func (c *checker) walk(n ast.Node, encl *ast.FuncDecl) {
+	if n == nil {
+		return
+	}
+	info := c.pkg.Info
+	switch n := n.(type) {
+	case *ast.CallExpr:
+		if isPanic(info, n) {
+			return // cold path: panic arguments may format freely
+		}
+		c.checkCall(n)
+	case *ast.CompositeLit:
+		if allocatingLit(info, n) {
+			c.reportf(n, "allocates a composite literal of type %s", typeString(info, n))
+		}
+	case *ast.UnaryExpr:
+		if n.Op.String() == "&" {
+			if _, ok := n.X.(*ast.CompositeLit); ok {
+				c.reportf(n, "allocates a composite literal on the heap")
+			}
+		}
+		if n.Op.String() == "<-" {
+			c.reportf(n, "receives from a channel")
+		}
+	case *ast.SendStmt:
+		c.reportf(n, "sends on a channel")
+	case *ast.SelectStmt:
+		c.reportf(n, "blocks in a select")
+	case *ast.GoStmt:
+		c.reportf(n, "spawns a goroutine")
+	case *ast.FuncLit:
+		if c.capturing(n) && c.escapes(n, encl) {
+			c.reportf(n, "capturing closure escapes (allocates)")
+		}
+	}
+	ast.Inspect(n, func(child ast.Node) bool {
+		if child == n {
+			return true
+		}
+		if child != nil {
+			c.walk(child, encl)
+		}
+		return false
+	})
+}
+
+// checkCall flags allocating builtins, fmt, locks, and interface boxing at
+// one call site, and records static in-module callees for the BFS.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	info := c.pkg.Info
+	if b := builtinName(info, call); b != "" {
+		switch b {
+		case "make":
+			c.reportf(call, "allocates with make")
+		case "new":
+			c.reportf(call, "allocates with new")
+		case "append":
+			c.reportf(call, "grows a slice with append")
+		}
+		return
+	}
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return
+	}
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return // dynamic call through a func value: not followed
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "fmt":
+			c.reportf(call, "calls fmt.%s", fn.Name())
+		case "sync":
+			if fn.Name() == "Lock" || fn.Name() == "RLock" {
+				c.reportf(call, "takes a %s lock", recvTypeName(fn))
+			}
+		}
+	}
+	c.checkBoxing(call, fn)
+	c.callees = append(c.callees, fn)
+}
+
+// checkConversion flags string↔[]byte/[]rune conversions, which copy.
+func (c *checker) checkConversion(call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src, ok := c.pkg.Info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	from, to := src.Type, target
+	if (isString(from) && (isByteSlice(to) || isRuneSlice(to))) ||
+		(isString(to) && (isByteSlice(from) || isRuneSlice(from))) {
+		c.reportf(call, "converts %s to %s (allocates a copy)", from, to)
+	}
+}
+
+// checkBoxing flags concrete values passed where the callee takes an
+// interface: the argument is boxed, which may allocate.
+func (c *checker) checkBoxing(call *ast.CallExpr, fn *types.Func) {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (i == params.Len()-1 && !sig.Variadic()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && params.Len() > 0:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no boxing
+			}
+			s, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue
+			}
+			pt = s.Elem()
+		default:
+			continue
+		}
+		at, ok := c.pkg.Info.Types[arg]
+		if !ok || at.IsNil() {
+			continue
+		}
+		if types.IsInterface(pt) && !types.IsInterface(at.Type) {
+			c.reportf(arg, "boxes %s into interface argument of %s", at.Type, fn.Name())
+		}
+	}
+}
+
+// capturing reports whether the literal references variables declared
+// outside itself in an enclosing function (package-level state is fine:
+// reading it does not allocate).
+func (c *checker) capturing(lit *ast.FuncLit) bool {
+	info := c.pkg.Info
+	captures := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || captures {
+			return !captures
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		if v.Parent() == nil || v.Parent() == v.Pkg().Scope() {
+			return true // package-level
+		}
+		if v.Pos() < lit.Pos() || v.Pos() > lit.End() {
+			captures = true
+		}
+		return true
+	})
+	return captures
+}
+
+// escapes reports whether the literal leaves its declaration site: passed
+// as a call argument, returned, or assigned to anything but a fresh local.
+// A literal assigned to a local and only ever called in place stays on the
+// stack.
+func (c *checker) escapes(lit *ast.FuncLit, encl *ast.FuncDecl) bool {
+	escapes := false
+	ast.Inspect(encl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if n.Fun == lit {
+				return true // invoked directly: no escape
+			}
+			for _, arg := range n.Args {
+				if arg == lit {
+					escapes = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if r == lit {
+					escapes = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Assignment to a fresh local (:=) is the allowed pattern —
+			// the literal is only ever called in place. Anything else
+			// (field, global, element, reassignment) lets it escape.
+			for _, rhs := range n.Rhs {
+				if rhs == lit && n.Tok != token.DEFINE {
+					escapes = true
+				}
+			}
+		}
+		return true
+	})
+	return escapes
+}
+
+// --- small type helpers ---
+
+func isPanic(info *types.Info, call *ast.CallExpr) bool {
+	return builtinName(info, call) == "panic"
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// calleeFunc resolves the static callee of a call, or nil for dynamic
+// calls through func values.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				return fn.Origin()
+			}
+			return nil
+		}
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin() // package-qualified call
+		}
+	case *ast.IndexExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			if fn, ok := info.Uses[id].(*types.Func); ok {
+				return fn.Origin() // generic instantiation
+			}
+		}
+	}
+	return nil
+}
+
+// allocatingLit reports whether a composite literal allocates backing
+// store: slice and map literals do, plain struct/array values do not.
+func allocatingLit(info *types.Info, lit *ast.CompositeLit) bool {
+	tv, ok := info.Types[lit]
+	if !ok {
+		return false
+	}
+	switch tv.Type.Underlying().(type) {
+	case *types.Slice, *types.Map:
+		return true
+	}
+	return false
+}
+
+func typeString(info *types.Info, e ast.Expr) string {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type.String()
+	}
+	return "?"
+}
+
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return "sync"
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return "sync." + n.Obj().Name()
+	}
+	return t.String()
+}
+
+func isString(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Byte
+}
+
+func isRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && b.Kind() == types.Rune
+}

@@ -1,0 +1,106 @@
+// Package fixture exercises the hotpathalloc analyzer: each // want line is
+// a violation the analyzer must flag; functions without wants are the clean
+// cases it must stay silent on.
+package fixture
+
+import (
+	"fmt"
+	"sync"
+)
+
+var mu sync.Mutex
+
+//rowsort:hotpath
+func hotFmt(x int) string {
+	return fmt.Sprintf("%d", x) // want "calls fmt.Sprintf" "boxes int into interface argument of Sprintf"
+}
+
+//rowsort:hotpath
+func hotAlloc(n int) []int {
+	s := make([]int, n) // want "allocates with make"
+	s = append(s, 1)    // want "grows a slice with append"
+	return s
+}
+
+//rowsort:hotpath
+func hotLit() []int {
+	return []int{1, 2, 3} // want "allocates a composite literal"
+}
+
+//rowsort:hotpath
+func hotNew() *int {
+	return new(int) // want "allocates with new"
+}
+
+// hotCallee is clean itself; the violation sits in a helper it statically
+// calls, which the analyzer must follow.
+//
+//rowsort:hotpath
+func hotCallee(b []byte) string {
+	return helper(b)
+}
+
+func helper(b []byte) string {
+	return string(b) // want "converts ..byte to string"
+}
+
+//rowsort:hotpath
+func hotLock() {
+	mu.Lock() // want "takes a sync.Mutex lock"
+	defer mu.Unlock()
+}
+
+//rowsort:hotpath
+func hotChan(ch chan int) int {
+	ch <- 1     // want "sends on a channel"
+	return <-ch // want "receives from a channel"
+}
+
+//rowsort:hotpath
+func hotGo(f func()) {
+	go f() // want "spawns a goroutine"
+}
+
+func sink(v any) { _ = v }
+
+//rowsort:hotpath
+func hotBox(x int) {
+	sink(x) // want "boxes int into interface argument of sink"
+}
+
+//rowsort:hotpath
+func hotClosure(xs []int) func() int {
+	total := 0
+	bump := func() { total++ } // clean: fresh local, only called in place
+	bump()
+	return func() int { return total } // want "capturing closure escapes"
+}
+
+// hotClean is the all-clear case: plain arithmetic loops are fine, and the
+// fmt call inside panic(...) is exempt because the panic path is cold.
+//
+//rowsort:hotpath
+func hotClean(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	if t < 0 {
+		panic(fmt.Sprintf("negative sum %d", t))
+	}
+	return t
+}
+
+// hotSuppressed shows a justified in-place suppression: no diagnostic may
+// survive it.
+//
+//rowsort:hotpath
+func hotSuppressed(n int) []byte {
+	//rowsort:allow hotpathalloc scratch buffer is amortized across calls
+	return make([]byte, n)
+}
+
+// cold is not annotated: nothing in it may be flagged.
+func cold() string {
+	return fmt.Sprintf("%d", len(make([]int, 4)))
+}

@@ -1,0 +1,196 @@
+// Package keyorder checks that //rowsort:keyencoder functions emit
+// order-preserving bytes. The whole normalized-key design rests on one
+// identity: memcmp over encoded keys must equal the semantic comparison.
+// Three encoding mistakes silently break it — little-endian writes (low
+// byte first, so 256 sorts before 1), converting a signed value to
+// unsigned without flipping the sign bit (negatives sort after positives),
+// and raw IEEE-754 bit patterns for floats (negative floats sort
+// descending). The analyzer flags all three inside annotated encoders:
+//
+//   - any binary.LittleEndian.PutUint*/AppendUint* call;
+//   - any signed→unsigned integer conversion that is not immediately
+//     XORed with the sign bit of the same width (the `uint64(v) ^ 1<<63`
+//     idiom), or that changes width so the flip lands on the wrong bit;
+//   - any direct math.Float32bits/Float64bits call — float columns must
+//     go through the package's total-order float helpers instead.
+package keyorder
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags order-breaking byte encodings in key encoders.
+var Analyzer = &analysis.Analyzer{
+	Name: "keyorder",
+	Doc:  "key encoders must emit big-endian, sign-flipped, order-preserving bytes",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, n := range pass.U.AnnotatedFuncs(analysis.AnnotKeyEncoder) {
+		if n.Pkg != pass.Pkg || n.Decl.Body == nil {
+			continue
+		}
+		check(pass, n.Decl)
+	}
+}
+
+func check(pass *analysis.Pass, decl *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// First pass: find conversions that ARE correctly sign-flipped — the
+	// direct operand of an XOR against the sign bit of the target width.
+	flipped := make(map[ast.Expr]bool)
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		bin, ok := n.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.XOR {
+			return true
+		}
+		for _, pair := range [2][2]ast.Expr{{bin.X, bin.Y}, {bin.Y, bin.X}} {
+			conv, other := ast.Unparen(pair[0]), pair[1]
+			width, ok := signedConversion(info, conv)
+			if !ok {
+				continue
+			}
+			if tv, ok := info.Types[other]; ok && tv.Value != nil &&
+				constant.Compare(tv.Value, token.EQL, constant.MakeUint64(1<<(width-1))) {
+				flipped[conv] = true
+			}
+		}
+		return true
+	})
+
+	// Second pass: report the violations.
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+			checkSignedConv(pass, info, call, flipped)
+			return true
+		}
+		checkEncodingCall(pass, info, call)
+		return true
+	})
+}
+
+// checkSignedConv flags signed→unsigned conversions that either change
+// width or lack the immediate sign-bit XOR.
+func checkSignedConv(pass *analysis.Pass, info *types.Info, conv *ast.CallExpr, flipped map[ast.Expr]bool) {
+	width, ok := signedConversion(info, conv)
+	if !ok {
+		return
+	}
+	opWidth, ok := intWidth(info.Types[conv.Args[0]].Type)
+	if !ok {
+		return
+	}
+	from := info.Types[conv.Args[0]].Type
+	to := info.Types[conv.Fun].Type
+	if opWidth != width {
+		pass.Reportf(conv.Pos(), "width-changing signed conversion %s to %s puts the sign flip on the wrong bit", from, to)
+		return
+	}
+	if !flipped[conv] {
+		pass.Reportf(conv.Pos(), "converts signed %s to %s without flipping the sign bit", from, to)
+	}
+}
+
+// checkEncodingCall flags little-endian writes and raw float-bit calls.
+func checkEncodingCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "encoding/binary":
+		if recv, ok := sel.X.(*ast.SelectorExpr); ok && recv.Sel.Name == "LittleEndian" &&
+			(strings.HasPrefix(fn.Name(), "PutUint") || strings.HasPrefix(fn.Name(), "AppendUint")) {
+			pass.Reportf(call.Pos(), "little-endian %s breaks byte-comparability; use big-endian", fn.Name())
+		}
+	case "math":
+		if fn.Name() == "Float32bits" || fn.Name() == "Float64bits" {
+			pass.Reportf(call.Pos(), "raw math.%s does not order negative floats; use the total-order float helpers", fn.Name())
+		}
+	}
+}
+
+// signedConversion reports whether e is a conversion of a signed integer
+// expression to an unsigned integer type, returning the target width.
+func signedConversion(info *types.Info, e ast.Expr) (width int, ok bool) {
+	call, isCall := e.(*ast.CallExpr)
+	if !isCall || len(call.Args) != 1 {
+		return 0, false
+	}
+	ft, okT := info.Types[call.Fun]
+	if !okT || !ft.IsType() {
+		return 0, false
+	}
+	width, unsigned := uintWidth(ft.Type)
+	if !unsigned {
+		return 0, false
+	}
+	at, okA := info.Types[call.Args[0]]
+	if !okA || !isSignedInt(at.Type) {
+		return 0, false
+	}
+	if at.Value != nil && constant.Sign(at.Value) >= 0 {
+		return 0, false // non-negative constant: no sign bit to flip
+	}
+	return width, true
+}
+
+func isSignedInt(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0 && b.Info()&types.IsUnsigned == 0
+}
+
+// uintWidth returns the bit width of an unsigned integer type.
+func uintWidth(t types.Type) (int, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsUnsigned == 0 {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Uint8:
+		return 8, true
+	case types.Uint16:
+		return 16, true
+	case types.Uint32:
+		return 32, true
+	case types.Uint64, types.Uint, types.Uintptr:
+		return 64, true
+	}
+	return 0, false
+}
+
+// intWidth returns the bit width of any integer type (int/uint count as 64:
+// the module targets 64-bit platforms and the encoders run nowhere else).
+func intWidth(t types.Type) (int, bool) {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok || b.Info()&types.IsInteger == 0 {
+		return 0, false
+	}
+	switch b.Kind() {
+	case types.Int8, types.Uint8:
+		return 8, true
+	case types.Int16, types.Uint16:
+		return 16, true
+	case types.Int32, types.Uint32:
+		return 32, true
+	case types.Int64, types.Uint64, types.Int, types.Uint, types.Uintptr, types.UntypedInt:
+		return 64, true
+	}
+	return 0, false
+}

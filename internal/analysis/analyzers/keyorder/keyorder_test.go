@@ -1,0 +1,12 @@
+package keyorder_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/keyorder"
+)
+
+func TestKeyOrder(t *testing.T) {
+	analysistest.Run(t, "testdata/keyorder", keyorder.Analyzer)
+}

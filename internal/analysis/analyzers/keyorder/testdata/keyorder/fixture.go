@@ -1,0 +1,45 @@
+// Package fixture exercises the keyorder analyzer.
+package fixture
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+//rowsort:keyencoder
+func badLE(dst []byte, v uint32) {
+	binary.LittleEndian.PutUint32(dst, v) // want "little-endian PutUint32"
+}
+
+//rowsort:keyencoder
+func badNoFlip(dst []byte, v int64) {
+	binary.BigEndian.PutUint64(dst, uint64(v)) // want "without flipping the sign bit"
+}
+
+//rowsort:keyencoder
+func badWidth(dst []byte, v int16) {
+	binary.BigEndian.PutUint64(dst, uint64(v)) // want "width-changing signed conversion"
+}
+
+//rowsort:keyencoder
+func badFloat(dst []byte, f float64) {
+	binary.BigEndian.PutUint64(dst, math.Float64bits(f)) // want "raw math.Float64bits"
+}
+
+// goodFlip is the blessed idiom: same-width conversion immediately XORed
+// with the sign bit, written big-endian.
+//
+//rowsort:keyencoder
+func goodFlip(dst []byte, v int64) {
+	binary.BigEndian.PutUint64(dst, uint64(v)^(1<<63))
+}
+
+//rowsort:keyencoder
+func goodU16(dst []byte, v int16) {
+	binary.BigEndian.PutUint16(dst, uint16(v)^0x8000)
+}
+
+// plain is unannotated: little-endian is fine outside key encoders.
+func plain(dst []byte, v int32) {
+	binary.LittleEndian.PutUint32(dst, uint32(v))
+}

@@ -1,0 +1,176 @@
+// Package purecmp checks that //rowsort:pure functions — comparators,
+// Less predicates, and OVC tie-breakers — are observationally pure. The
+// pipeline sorts the same data three ways (normalized-key radix/memcmp,
+// pdqsort on comparators, Merge Path partitioning) and the paper's
+// correctness argument is that all three agree on one total order; a
+// comparator that mutates captured state or consults a changing global can
+// return different answers for the same pair, and the disagreement
+// surfaces as silent misordering, not an error.
+//
+// Inside a pure function (and every function literal nested in it, which
+// covers returned comparator closures) the analyzer flags: writes to
+// package-level variables, writes to captured variables from inside a
+// literal, writes that reach caller-visible state through a pointer, field,
+// or element of a parameter or receiver, map writes, channel sends,
+// goroutine spawns, and calls into impure corners of the stdlib
+// (math/rand, time.Now, os, fmt printing).
+package purecmp
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags state mutation and nondeterminism in pure comparators.
+var Analyzer = &analysis.Analyzer{
+	Name: "purecmp",
+	Doc:  "comparator functions must not write captured state, maps, or globals",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, n := range pass.U.AnnotatedFuncs(analysis.AnnotPure) {
+		if n.Pkg != pass.Pkg || n.Decl.Body == nil {
+			continue
+		}
+		c := &checker{pass: pass, fn: n.Decl}
+		c.walk(n.Decl.Body, nil)
+	}
+}
+
+type checker struct {
+	pass *analysis.Pass
+	fn   *ast.FuncDecl
+}
+
+// walk visits one subtree; lit is the innermost enclosing function literal
+// (nil while inside the declared function itself).
+func (c *checker) walk(n ast.Node, lit *ast.FuncLit) {
+	ast.Inspect(n, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			if node != n {
+				c.walk(node.Body, node)
+				return false
+			}
+		case *ast.AssignStmt:
+			if node.Tok == token.DEFINE {
+				return true // declarations create fresh locals
+			}
+			for _, lhs := range node.Lhs {
+				c.checkWrite(lhs, lit)
+			}
+		case *ast.IncDecStmt:
+			c.checkWrite(node.X, lit)
+		case *ast.SendStmt:
+			c.pass.Reportf(node.Pos(), "pure function %s sends on a channel", c.fn.Name.Name)
+		case *ast.GoStmt:
+			c.pass.Reportf(node.Pos(), "pure function %s spawns a goroutine", c.fn.Name.Name)
+		case *ast.CallExpr:
+			c.checkCall(node)
+		}
+		return true
+	})
+}
+
+// checkWrite classifies one assignment target. Unwrapping records whether
+// the path to the root identifier passes through a map index, a pointer
+// dereference, or a field selection; combined with what the root resolves
+// to, that decides whether the write leaves the function's own frame.
+func (c *checker) checkWrite(lhs ast.Expr, lit *ast.FuncLit) {
+	info := c.pass.Pkg.Info
+	mapWrite, indirect := false, false
+	e := lhs
+unwrap:
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			indirect = true
+			e = x.X
+		case *ast.SelectorExpr:
+			indirect = true
+			e = x.X
+		case *ast.IndexExpr:
+			if tv, ok := info.Types[x.X]; ok {
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					mapWrite = true
+				}
+			}
+			indirect = true
+			e = x.X
+		default:
+			break unwrap
+		}
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return
+	}
+	obj, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return
+	}
+	name := c.fn.Name.Name
+	switch {
+	case mapWrite:
+		c.pass.Reportf(lhs.Pos(), "pure function %s writes to map %s", name, id.Name)
+	case obj.Parent() == obj.Pkg().Scope():
+		c.pass.Reportf(lhs.Pos(), "pure function %s writes package-level variable %s", name, id.Name)
+	case lit != nil && (obj.Pos() < lit.Pos() || obj.Pos() > lit.End()):
+		c.pass.Reportf(lhs.Pos(), "pure function %s writes captured variable %s", name, id.Name)
+	case indirect && isParamOrRecv(obj, c.fn):
+		c.pass.Reportf(lhs.Pos(), "pure function %s writes caller state through %s", name, id.Name)
+	}
+}
+
+// isParamOrRecv reports whether obj is a parameter or the receiver of fn,
+// i.e. a handle on caller-owned memory.
+func isParamOrRecv(obj *types.Var, fn *ast.FuncDecl) bool {
+	inFields := func(fl *ast.FieldList) bool {
+		if fl == nil {
+			return false
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if name.Pos() == obj.Pos() {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return inFields(fn.Recv) || inFields(fn.Type.Params)
+}
+
+// impurePkgs are stdlib packages a comparator must not reach into.
+var impurePkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"os":           true,
+}
+
+// checkCall flags calls that make a comparator nondeterministic or
+// observable: randomness, clocks, the OS, and printing.
+func (c *checker) checkCall(call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	fn, ok := c.pass.Pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	path, fname := fn.Pkg().Path(), fn.Name()
+	impure := impurePkgs[path] ||
+		(path == "time" && fname == "Now") ||
+		(path == "fmt" && (strings.HasPrefix(fname, "Print") || strings.HasPrefix(fname, "Fprint")))
+	if impure {
+		c.pass.Reportf(call.Pos(), "pure function %s calls impure %s.%s", c.fn.Name.Name, path, fname)
+	}
+}

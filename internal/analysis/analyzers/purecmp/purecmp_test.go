@@ -1,0 +1,12 @@
+package purecmp_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/purecmp"
+)
+
+func TestPureCmp(t *testing.T) {
+	analysistest.Run(t, "testdata/pure", purecmp.Analyzer)
+}

@@ -1,0 +1,87 @@
+// Package fixture exercises the purecmp analyzer.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"time"
+)
+
+var calls int
+
+//rowsort:pure
+func impureGlobal(a, b int) int {
+	calls++ // want "writes package-level variable calls"
+	if a < b {
+		return -1
+	}
+	return 1
+}
+
+//rowsort:pure
+func impureClosure() func(a, b int) bool {
+	n := 0
+	return func(a, b int) bool {
+		n++ // want "writes captured variable n"
+		return a < b
+	}
+}
+
+type stats struct{ cmps int }
+
+//rowsort:pure
+func impureRecv(s *stats, a, b int) int {
+	s.cmps++ // want "writes caller state through s"
+	return a - b
+}
+
+//rowsort:pure
+func impureMap(seen map[int]bool, a, b int) bool {
+	seen[a] = true // want "writes to map seen"
+	return a < b
+}
+
+//rowsort:pure
+func impureCalls(a, b int) bool {
+	fmt.Println(a, b) // want "calls impure fmt.Println"
+	_ = time.Now()    // want "calls impure time.Now"
+	_ = os.Getpid()   // want "calls impure os.Getpid"
+	return a < b
+}
+
+//rowsort:pure
+func impureConc(ch chan int, a, b int) bool {
+	ch <- a        // want "sends on a channel"
+	go func() {}() // want "spawns a goroutine"
+	return a < b
+}
+
+// clean shows what a comparator may do: locals, loops, and writes to its
+// own stack values.
+//
+//rowsort:pure
+func clean(a, b []byte) int {
+	var t stats
+	for i := 0; i < len(a) && i < len(b); i++ {
+		t.cmps++
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	return len(a) - len(b)
+}
+
+// cleanClosure returns a comparator that reads (never writes) its capture.
+//
+//rowsort:pure
+func cleanClosure(weights []int) func(a, b int) bool {
+	return func(a, b int) bool { return weights[a] < weights[b] }
+}
+
+// unannotated functions may do anything.
+func mutator() {
+	calls++
+}

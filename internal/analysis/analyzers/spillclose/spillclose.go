@@ -1,0 +1,231 @@
+// Package spillclose guards the spill-file lifecycle that PR 2's leak fix
+// established: every spill file the sorter creates is registered with
+// trackSpill so Sorter.Close can remove it, and no error on the
+// write-close-remove path is silently dropped. External merge correctness
+// is easy; not leaking rowsort-run-*.bin files (and noticing when the disk
+// is full) is where regressions actually happen.
+//
+// Four rules:
+//
+//  1. In a package that declares trackSpill, every file-creating call
+//     (os.Create, os.CreateTemp, write-mode os.OpenFile) must sit in a
+//     function that also calls trackSpill — open and registration stay
+//     together so no code path can create an untracked spill file.
+//  2. `defer f.Close()` on a file opened for writing discards the error
+//     that write-back buffering surfaces at close; Close must be checked
+//     explicitly on written files (read-only files may defer freely).
+//  3. A bare or deferred os.Remove/os.RemoveAll drops the removal error;
+//     spill cleanup failures must be surfaced or counted.
+//  4. A bare or deferred x.Close() on a type from a trackSpill-declaring
+//     package (the Sorter) drops the joined spill-removal errors Close
+//     reports.
+package spillclose
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags spill files that escape the tracked-removal path.
+var Analyzer = &analysis.Analyzer{
+	Name: "spillclose",
+	Doc:  "spill files must be tracked for removal and their Close/Remove errors checked",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	spillPkgs := pass.U.Memo("spillclose.pkgs", func() any {
+		return collectSpillPkgs(pass.U)
+	}).(map[*types.Package]bool)
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if ok && fd.Body != nil {
+				checkFunc(pass, fd, spillPkgs)
+			}
+		}
+	}
+}
+
+// collectSpillPkgs finds the packages that declare a trackSpill function.
+func collectSpillPkgs(u *analysis.Universe) map[*types.Package]bool {
+	pkgs := make(map[*types.Package]bool)
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "trackSpill" {
+					pkgs[pkg.Types] = true
+				}
+			}
+		}
+	}
+	return pkgs
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl, spillPkgs map[*types.Package]bool) {
+	info := pass.Pkg.Info
+
+	// Sweep 1: does this function register spills, which files does it open
+	// for writing, and where?
+	callsTrack := false
+	var opens []*ast.CallExpr
+	written := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := callee(info, n); fn != nil {
+				if fn.Name() == "trackSpill" && fn.Pkg() == pass.Pkg.Types {
+					callsTrack = true
+				}
+				if isWriteOpen(info, n, fn) {
+					opens = append(opens, n)
+				}
+			}
+		case *ast.AssignStmt:
+			// f, err := os.Create(...) — remember f as a written file.
+			if len(n.Rhs) == 1 && len(n.Lhs) >= 1 {
+				if call, ok := n.Rhs[0].(*ast.CallExpr); ok {
+					if fn := callee(info, call); fn != nil && isWriteOpen(info, call, fn) {
+						if id, ok := n.Lhs[0].(*ast.Ident); ok {
+							if v, ok := defOrUse(info, id); ok {
+								written[v] = true
+							}
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 1: opens in a trackSpill package must pair with registration.
+	if spillPkgs[pass.Pkg.Types] && !callsTrack {
+		for _, open := range opens {
+			pass.Reportf(open.Pos(), "%s creates a file without registering it with trackSpill; an abort here leaks the spill", fd.Name.Name)
+		}
+	}
+
+	// Sweep 2: dropped errors on the close/remove path.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			checkDropped(pass, n.Call, true, written, spillPkgs)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkDropped(pass, call, false, written, spillPkgs)
+			}
+		}
+		return true
+	})
+}
+
+// checkDropped flags one statement-position call whose error vanishes.
+func checkDropped(pass *analysis.Pass, call *ast.CallExpr, deferred bool, written map[*types.Var]bool, spillPkgs map[*types.Package]bool) {
+	info := pass.Pkg.Info
+	fn := callee(info, call)
+	if fn == nil {
+		return
+	}
+	// Rule 3: os.Remove / os.RemoveAll in statement position.
+	if fn.Pkg() != nil && fn.Pkg().Path() == "os" && (fn.Name() == "Remove" || fn.Name() == "RemoveAll") {
+		pass.Reportf(call.Pos(), "discards the error from os.%s; spill cleanup failures must be surfaced", fn.Name())
+		return
+	}
+	if fn.Name() != "Close" {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return
+	}
+	// Rule 4: dropping Close on a tracked-spill owner (the Sorter) loses
+	// the joined removal errors.
+	if rp := recvPkg(sig); rp != nil && spillPkgs[rp] {
+		pass.Reportf(call.Pos(), "discards the error from %s.Close; failed spill removals would be silent", recvTypeName(sig))
+		return
+	}
+	// Rule 2: deferred Close on a file opened for writing.
+	if deferred {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok && written[v] {
+					pass.Reportf(call.Pos(), "defers Close on written file %s, discarding its error; check Close explicitly", id.Name)
+				}
+			}
+		}
+	}
+}
+
+// isWriteOpen reports whether a call opens a file for writing: os.Create,
+// os.CreateTemp, or os.OpenFile with write/create flags.
+func isWriteOpen(info *types.Info, call *ast.CallExpr, fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "os" {
+		return false
+	}
+	switch fn.Name() {
+	case "Create", "CreateTemp":
+		return true
+	case "OpenFile":
+		if len(call.Args) < 2 {
+			return false
+		}
+		// A constant flag argument without O_WRONLY/O_RDWR/O_CREATE bits
+		// is a read-only open; non-constant flags are assumed writing.
+		if tv, ok := info.Types[call.Args[1]]; ok && tv.Value != nil {
+			if f, exact := constant.Int64Val(constant.ToInt(tv.Value)); exact {
+				const writeBits = 0x1 | 0x2 | 0x40 // O_WRONLY | O_RDWR | O_CREATE on linux
+				return f&writeBits != 0
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// callee resolves the static callee of a call, or nil.
+func callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// defOrUse resolves an identifier on the LHS of := or =.
+func defOrUse(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	return v, ok
+}
+
+// recvPkg returns the package declaring the receiver's named type.
+func recvPkg(sig *types.Signature) *types.Package {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok && n.Obj() != nil {
+		return n.Obj().Pkg()
+	}
+	return nil
+}
+
+func recvTypeName(sig *types.Signature) string {
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

@@ -1,0 +1,12 @@
+package spillclose_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/spillclose"
+)
+
+func TestSpillClose(t *testing.T) {
+	analysistest.Run(t, "testdata/spillclose", spillclose.Analyzer)
+}

@@ -1,0 +1,83 @@
+// Package fixture exercises the spillclose analyzer. The package declares
+// trackSpill, so rule 1 (open must pair with registration) is in force.
+package fixture
+
+import "os"
+
+type sorter struct {
+	spills []string
+}
+
+func (s *sorter) trackSpill(path string) {
+	s.spills = append(s.spills, path)
+}
+
+func (s *sorter) Close() error {
+	var err error
+	for _, p := range s.spills {
+		if e := os.Remove(p); e != nil {
+			err = e
+		}
+	}
+	return err
+}
+
+// goodSpill pairs the open with trackSpill and checks Close explicitly.
+func (s *sorter) goodSpill(dir string) error {
+	f, err := os.CreateTemp(dir, "run-*")
+	if err != nil {
+		return err
+	}
+	s.trackSpill(f.Name())
+	if _, err := f.Write([]byte("rows")); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// badSpill creates a file the sorter never learns about.
+func (s *sorter) badSpill(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "run-*") // want "without registering it with trackSpill"
+}
+
+// badDefer registers the spill but defers Close, losing the write-back
+// error.
+func (s *sorter) badDefer(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	s.trackSpill(path)
+	defer f.Close() // want "defers Close on written file f"
+	_, err = f.Write([]byte("rows"))
+	return err
+}
+
+// goodReadDefer may defer freely: read-only closes cannot fail usefully.
+func (s *sorter) goodReadDefer(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	buf := make([]byte, 16)
+	_, err = f.Read(buf)
+	return err
+}
+
+func badRemove(path string) {
+	os.Remove(path) // want "discards the error from os.Remove;"
+}
+
+func badRemoveAll(dir string) {
+	defer os.RemoveAll(dir) // want "discards the error from os.RemoveAll"
+}
+
+func badSorterClose(s *sorter) {
+	s.Close() // want "discards the error from sorter.Close"
+}
+
+func goodSorterClose(s *sorter) error {
+	return s.Close()
+}

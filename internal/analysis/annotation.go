@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Annotation names accepted after "//rowsort:". Each corresponds to one
+// invariant family; see the package documentation for what they promise.
+const (
+	AnnotHotpath    = "hotpath"
+	AnnotPure       = "pure"
+	AnnotKeyEncoder = "keyencoder"
+	annotAllow      = "allow"
+)
+
+// directivePrefix introduces every rowsort analysis directive. The form is
+// the standard Go tool-directive shape: no space after "//".
+const directivePrefix = "//rowsort:"
+
+// directive is one parsed "//rowsort:..." comment line.
+type directive struct {
+	kind string // "hotpath", "pure", "keyencoder", "allow"
+	rest string // text after the kind, trimmed ("" if none)
+}
+
+// parseDirective recognizes a rowsort directive in a single comment line.
+// Returns ok=false for ordinary comments (including "// rowsort:" prose,
+// which has a space and is deliberately not a directive).
+func parseDirective(text string) (directive, bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return directive{}, false
+	}
+	body := strings.TrimPrefix(text, directivePrefix)
+	kind, rest, _ := strings.Cut(body, " ")
+	return directive{kind: kind, rest: strings.TrimSpace(rest)}, true
+}
+
+// suppression is one "//rowsort:allow <analyzer> <justification>" site. It
+// silences diagnostics from the named analyzer on its own line and the line
+// directly below, so it can sit either at the end of the offending line or
+// on its own line above it.
+type suppression struct {
+	file      string
+	line      int
+	analyzer  string
+	justified bool
+}
+
+// parseAllow splits the payload of an allow directive into the target
+// analyzer and the justification text.
+func parseAllow(rest string) (analyzer, justification string) {
+	analyzer, justification, _ = strings.Cut(rest, " ")
+	return analyzer, strings.TrimSpace(justification)
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Run executes every analyzer over every target package in the universe and
+// returns the surviving diagnostics: suppressions applied, duplicates
+// merged (interprocedural analyzers rediscover the same site from multiple
+// roots), malformed directives included, all sorted by position.
+func Run(u *Universe, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	for _, a := range analyzers {
+		for _, pkg := range u.Pkgs {
+			if !pkg.Target {
+				continue
+			}
+			a.Run(&Pass{Pkg: pkg, U: u, analyzer: a, sink: sink})
+		}
+	}
+	diags = append(diags, u.problems...)
+
+	seen := make(map[string]bool)
+	out := diags[:0]
+	for _, d := range diags {
+		key := fmt.Sprintf("%s\x00%s\x00%d\x00%d\x00%s", d.Analyzer, d.File, d.Line, d.Col, d.Message)
+		if seen[key] || u.suppressed(d) {
+			continue
+		}
+		seen[key] = true
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return out
+}
+
+// WriteText prints diagnostics one per line in file:line:col form.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON prints diagnostics as a JSON array (machine-readable output for
+// CI annotation tooling). An empty run prints [].
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	if diags == nil {
+		diags = []Diagnostic{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(diags)
+}

@@ -1,0 +1,228 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sync"
+)
+
+// FuncNode pairs a function's type-checker object with its declaration and
+// owning package, so interprocedural analyzers can jump from a call site to
+// the callee's body in one map lookup.
+type FuncNode struct {
+	Pkg  *Package
+	Decl *ast.FuncDecl
+}
+
+// Universe is the loaded module: every type-checked package plus the shared
+// indexes analyzers consult (function declarations, annotations,
+// suppressions). One Universe is built per lint run and is read-only after
+// buildIndexes, so analyzers may share it across goroutines.
+type Universe struct {
+	// Fset is the file set shared by every package in the universe.
+	Fset *token.FileSet
+	// Pkgs holds the module packages in dependency order.
+	Pkgs []*Package
+
+	byPath map[string]*Package
+
+	// funcDecls maps a function object to its declaration. Generic
+	// functions are keyed by their Origin.
+	funcDecls map[*types.Func]FuncNode
+	// annotations maps a function object to its rowsort annotations.
+	annotations map[*types.Func][]string
+	// suppressions indexes //rowsort:allow sites by file name.
+	suppressions map[string][]suppression
+	// problems are malformed-directive diagnostics found while indexing.
+	problems []Diagnostic
+
+	memoMu sync.Mutex
+	memo   map[string]any
+}
+
+// Lookup returns the module package with the given import path, if loaded.
+func (u *Universe) Lookup(path string) *Package { return u.byPath[path] }
+
+// FirstTarget returns the first target package in dependency order.
+// Universe-wide analyzers use it to elect one pass as the reporting pass so
+// interprocedural walks run (and report) exactly once per lint run.
+func (u *Universe) FirstTarget() *Package {
+	for _, p := range u.Pkgs {
+		if p.Target {
+			return p
+		}
+	}
+	return nil
+}
+
+// FuncDecl resolves a function object to its declaration within the module.
+// ok is false for stdlib functions, interface methods, and func literals.
+func (u *Universe) FuncDecl(fn *types.Func) (FuncNode, bool) {
+	if fn == nil {
+		return FuncNode{}, false
+	}
+	n, ok := u.funcDecls[fn.Origin()]
+	return n, ok
+}
+
+// HasAnnotation reports whether fn's declaration carries the named
+// annotation (AnnotHotpath, AnnotPure, AnnotKeyEncoder).
+func (u *Universe) HasAnnotation(fn *types.Func, name string) bool {
+	if fn == nil {
+		return false
+	}
+	for _, a := range u.annotations[fn.Origin()] {
+		if a == name {
+			return true
+		}
+	}
+	return false
+}
+
+// AnnotatedFuncs returns every function carrying the named annotation, in
+// package dependency order (deterministic across runs).
+func (u *Universe) AnnotatedFuncs(name string) []FuncNode {
+	var out []FuncNode
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn != nil && u.HasAnnotation(fn, name) {
+					out = append(out, FuncNode{Pkg: pkg, Decl: fd})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Memo computes-once and caches a universe-wide fact under key. Analyzers
+// use it for facts that are expensive to gather and shared across packages
+// (e.g. the set of atomically-accessed fields).
+func (u *Universe) Memo(key string, compute func() any) any {
+	u.memoMu.Lock()
+	defer u.memoMu.Unlock()
+	if v, ok := u.memo[key]; ok {
+		return v
+	}
+	v := compute()
+	u.memo[key] = v
+	return v
+}
+
+// buildIndexes walks every file once, recording function declarations,
+// rowsort annotations, and suppression sites, and validating directive
+// syntax as it goes.
+func (u *Universe) buildIndexes() {
+	u.funcDecls = make(map[*types.Func]FuncNode)
+	u.annotations = make(map[*types.Func][]string)
+	u.suppressions = make(map[string][]suppression)
+	u.memo = make(map[string]any)
+
+	// Comment groups that serve as a FuncDecl's doc are also present in
+	// ast.File.Comments; remember them so the general comment sweep below
+	// doesn't re-interpret (or double-report) their directives.
+	docGroups := make(map[*ast.CommentGroup]bool)
+
+	for _, pkg := range u.Pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				fn = fn.Origin()
+				u.funcDecls[fn] = FuncNode{Pkg: pkg, Decl: fd}
+				if fd.Doc == nil {
+					continue
+				}
+				docGroups[fd.Doc] = true
+				for _, c := range fd.Doc.List {
+					d, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					switch d.kind {
+					case AnnotHotpath, AnnotPure, AnnotKeyEncoder:
+						u.annotations[fn] = append(u.annotations[fn], d.kind)
+					case annotAllow:
+						u.addSuppression(c, d)
+					default:
+						u.problem(c.Pos(), "unknown directive //rowsort:%s", d.kind)
+					}
+				}
+			}
+			for _, group := range file.Comments {
+				if docGroups[group] {
+					continue
+				}
+				for _, c := range group.List {
+					d, ok := parseDirective(c.Text)
+					if !ok {
+						continue
+					}
+					switch d.kind {
+					case annotAllow:
+						u.addSuppression(c, d)
+					case AnnotHotpath, AnnotPure, AnnotKeyEncoder:
+						u.problem(c.Pos(), "//rowsort:%s must be in a function's doc comment", d.kind)
+					default:
+						u.problem(c.Pos(), "unknown directive //rowsort:%s", d.kind)
+					}
+				}
+			}
+		}
+	}
+}
+
+// addSuppression records one //rowsort:allow site, insisting on both an
+// analyzer name and a justification: an unexplained suppression is worse
+// than the finding it hides.
+func (u *Universe) addSuppression(c *ast.Comment, d directive) {
+	analyzer, justification := parseAllow(d.rest)
+	if analyzer == "" {
+		u.problem(c.Pos(), "//rowsort:allow needs an analyzer name and a justification")
+		return
+	}
+	pos := u.Fset.Position(c.Pos())
+	s := suppression{file: pos.Filename, line: pos.Line, analyzer: analyzer, justified: justification != ""}
+	if !s.justified {
+		u.problem(c.Pos(), "//rowsort:allow %s needs a justification", analyzer)
+	}
+	u.suppressions[s.file] = append(u.suppressions[s.file], s)
+}
+
+// problem records a malformed-directive diagnostic, reported by the driver
+// under the pseudo-analyzer name "directive".
+func (u *Universe) problem(pos token.Pos, format string, args ...any) {
+	position := u.Fset.Position(pos)
+	u.problems = append(u.problems, Diagnostic{
+		Analyzer: "directive",
+		Pos:      position,
+		Message:  fmt.Sprintf(format, args...),
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+	})
+}
+
+// suppressed reports whether a diagnostic is covered by a justified
+// //rowsort:allow for its analyzer on the same line or the line above.
+func (u *Universe) suppressed(d Diagnostic) bool {
+	for _, s := range u.suppressions[d.File] {
+		if s.analyzer == d.Analyzer && s.justified && (s.line == d.Line || s.line == d.Line-1) {
+			return true
+		}
+	}
+	return false
+}

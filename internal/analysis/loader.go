@@ -1,0 +1,289 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// The loader is deliberately go/packages-free: package metadata comes from
+// `go list -export -deps -json` (one subprocess, no network, answers come in
+// dependency order), module packages are parsed and type-checked from
+// source, and everything outside the module — the standard library — is
+// imported through its compiler export data with the stdlib gc importer.
+// That keeps go.mod dependency-free while giving analyzers full go/types
+// information.
+
+// Package is one type-checked module package.
+type Package struct {
+	// ImportPath is the package's import path (e.g. rowsort/internal/core).
+	ImportPath string
+	// Dir is the directory holding the package's sources.
+	Dir string
+	// Files are the parsed non-test Go files.
+	Files []*ast.File
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	// Info holds the type-checking fact tables analyzers query.
+	Info *types.Info
+	// Target reports whether the package matched the load patterns itself
+	// (false for module packages pulled in only as dependencies).
+	Target bool
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list` in dir with the given arguments and decodes the
+// JSON package stream.
+func goList(dir string, args ...string) ([]*listPackage, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// hybridImporter resolves imports during module type-checking: module
+// packages come from the source-checked cache, everything else from gc
+// export data located by `go list -export`.
+type hybridImporter struct {
+	module  map[string]*types.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func newHybridImporter(fset *token.FileSet, exports map[string]string) *hybridImporter {
+	h := &hybridImporter{module: make(map[string]*types.Package), exports: exports}
+	h.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		e, ok := h.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(e)
+	})
+	return h
+}
+
+func (h *hybridImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := h.module[path]; ok {
+		return p, nil
+	}
+	return h.gc.Import(path)
+}
+
+// Load lists the packages matching patterns from dir, type-checks every
+// module package from source (dependencies first), and returns the analysis
+// universe. Test files are not loaded: the invariants guard shipped code.
+func Load(dir string, patterns []string) (*Universe, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Imports,Export,Standard,DepOnly,Incomplete,Module,Error",
+	}, patterns...)
+	listed, err := goList(dir, args...)
+	if err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	imp := newHybridImporter(fset, exports)
+	u := &Universe{Fset: fset, byPath: make(map[string]*Package)}
+
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		if lp.Standard || lp.Module == nil {
+			continue
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("analysis: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if lp.Incomplete {
+			return nil, fmt.Errorf("analysis: package %s did not load cleanly", lp.ImportPath)
+		}
+		pkg, err := checkPackage(fset, imp, lp.ImportPath, lp.Dir, lp.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		pkg.Target = !lp.DepOnly
+		imp.module[lp.ImportPath] = pkg.Types
+		u.Pkgs = append(u.Pkgs, pkg)
+		u.byPath[lp.ImportPath] = pkg
+	}
+	if len(u.Pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no module packages matched %v", patterns)
+	}
+	u.buildIndexes()
+	return u, nil
+}
+
+// stdExportsMu guards stdExports, the process-wide cache of stdlib export
+// data locations used when type-checking standalone fixture directories.
+var (
+	stdExportsMu sync.Mutex
+	stdExports   = make(map[string]string)
+)
+
+// stdlibExports returns export-data paths covering the transitive closure
+// of the given stdlib import paths, consulting `go list` only for paths not
+// already cached.
+func stdlibExports(paths []string) (map[string]string, error) {
+	stdExportsMu.Lock()
+	defer stdExportsMu.Unlock()
+	var missing []string
+	for _, p := range paths {
+		if _, ok := stdExports[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	if len(missing) > 0 {
+		args := append([]string{
+			"list", "-e", "-export", "-deps", "-json=ImportPath,Export",
+		}, missing...)
+		listed, err := goList(".", args...)
+		if err != nil {
+			return nil, err
+		}
+		for _, lp := range listed {
+			if lp.Export != "" {
+				stdExports[lp.ImportPath] = lp.Export
+			}
+		}
+	}
+	out := make(map[string]string, len(stdExports))
+	for k, v := range stdExports {
+		out[k] = v
+	}
+	return out, nil
+}
+
+// LoadDir parses and type-checks a single directory as one standalone
+// package (imports limited to the standard library) and returns a universe
+// containing just that package. The analyzer fixture tests load their
+// testdata packages through it.
+func LoadDir(dir string) (*Universe, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, name)
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var parsed []*ast.File
+	importSet := make(map[string]bool)
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+		for _, spec := range f.Imports {
+			importSet[strings.Trim(spec.Path.Value, `"`)] = true
+		}
+	}
+	var imports []string
+	for p := range importSet {
+		if p != "unsafe" {
+			imports = append(imports, p)
+		}
+	}
+	sort.Strings(imports)
+	exports, err := stdlibExports(imports)
+	if err != nil {
+		return nil, err
+	}
+
+	imp := newHybridImporter(fset, exports)
+	pkg, err := checkFiles(fset, imp, dir, dir, parsed)
+	if err != nil {
+		return nil, err
+	}
+	pkg.Target = true
+	u := &Universe{Fset: fset, Pkgs: []*Package{pkg}, byPath: map[string]*Package{dir: pkg}}
+	u.buildIndexes()
+	return u, nil
+}
+
+// checkPackage parses the named files and type-checks them as one package.
+func checkPackage(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var parsed []*ast.File
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	return checkFiles(fset, imp, path, dir, parsed)
+}
+
+// checkFiles type-checks already-parsed files as one package.
+func checkFiles(fset *token.FileSet, imp types.Importer, path, dir string, parsed []*ast.File) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, parsed, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{ImportPath: path, Dir: dir, Files: parsed, Types: tpkg, Info: info}, nil
+}

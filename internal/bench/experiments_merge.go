@@ -102,8 +102,10 @@ func runMergeAblation(w io.Writer, cfg Config) error {
 			if v.algo == core.MergeCascade {
 				baseTime = d
 			}
-			st := last.MergeStats()
-			last.Close()
+			st := last.Stats().Merge
+			if err := last.Close(); err != nil {
+				return err
+			}
 			t.AddRow(v.name, Seconds(d), Ratio(baseTime, d),
 				Count(st.Comparisons), Count(st.OVCHits), Count(st.TieBreaks))
 		}
@@ -137,8 +139,11 @@ func runMergeAblation(w io.Writer, cfg Config) error {
 				if err := s.Finalize(); err != nil {
 					panic(err)
 				}
-				written, read = s.SpillStats()
-				s.Close()
+				st := s.Stats()
+				written, read = st.SpillBytesWritten, st.SpillBytesRead
+				if err := s.Close(); err != nil {
+					panic(err)
+				}
 			})
 			if v.algo == core.MergeCascade {
 				baseTime = d
@@ -147,7 +152,9 @@ func runMergeAblation(w io.Writer, cfg Config) error {
 				Count(uint64(written)), Count(uint64(read)))
 		}
 		te.Render(w)
-		os.RemoveAll(dir)
+		if err := os.RemoveAll(dir); err != nil {
+			return err
+		}
 
 		if cfg.PhaseBreakdown && cfg.Telemetry != nil {
 			emitPhaseBreakdown(w, wl.name, cfg.Telemetry.Summary())

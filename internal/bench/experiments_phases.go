@@ -44,7 +44,11 @@ func runPhaseBreakdown(w io.Writer, cfg Config) error {
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
+	defer func() {
+		if err := os.RemoveAll(dir); err != nil {
+			fmt.Fprintf(os.Stderr, "phase breakdown: removing spill dir: %v\n", err)
+		}
+	}()
 
 	_, st, err := core.SortTableStats(tbl, keys, core.Options{
 		Threads:   cfg.threads(),

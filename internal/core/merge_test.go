@@ -122,7 +122,8 @@ func TestExternalMergeEquivalence(t *testing.T) {
 				if err := s.Finalize(); err != nil {
 					t.Fatal(err)
 				}
-				written, read := s.SpillStats()
+				spill := s.Stats()
+				written, read := spill.SpillBytesWritten, spill.SpillBytesRead
 				if written == 0 {
 					t.Fatalf("block=%d: sort never spilled", blockRows)
 				}
@@ -181,7 +182,7 @@ func TestMergeStats(t *testing.T) {
 	if err := s.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	st := s.MergeStats()
+	st := s.Stats().Merge
 	if st.Comparisons == 0 {
 		t.Fatal("merge counted no comparisons")
 	}

@@ -197,11 +197,17 @@ func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, e
 // and the row index within the run's payload.
 const refBytes = 8
 
+// putRef stores the payload reference behind the key bytes. The reference
+// is never part of the compared prefix, so its byte order is free to be
+// native little-endian.
+//
+//rowsort:hotpath
 func (s *Sorter) putRef(keyRow []byte, runID, idx uint32) {
 	binary.LittleEndian.PutUint32(keyRow[s.keyWidth:], runID)
 	binary.LittleEndian.PutUint32(keyRow[s.keyWidth+4:], idx)
 }
 
+//rowsort:hotpath
 func (s *Sorter) getRef(keyRow []byte) (runID, idx uint32) {
 	return binary.LittleEndian.Uint32(keyRow[s.keyWidth:]),
 		binary.LittleEndian.Uint32(keyRow[s.keyWidth+4:])
@@ -421,6 +427,8 @@ func (k *Sink) flush() error {
 // reference. lookup maps a payload reference to the RowSet holding it and
 // the row's index there (the streaming external merge keeps only one block
 // of each run resident, so the index is block-local).
+//
+//rowsort:pure
 func (s *Sorter) comparator(lookup func(runID, idx uint32) (*row.RowSet, int)) func(a, b []byte) int {
 	keys := s.enc.Keys()
 	type seg struct {
@@ -479,6 +487,7 @@ func (s *Sorter) comparator(lookup func(runID, idx uint32) (*row.RowSet, int)) f
 	}
 }
 
+//rowsort:pure
 func compareBytes(a, b []byte) int { return bytes.Compare(a, b) }
 
 // ovcSafeWidth returns the normalized-key prefix width over which plain
@@ -503,6 +512,7 @@ func (s *Sorter) ovcSafeWidth(anyTieBreak bool) int {
 	return s.keyWidth
 }
 
+//rowsort:pure
 func compareStrings(a, b string) int {
 	switch {
 	case a < b:

@@ -57,6 +57,9 @@ func (s *Stats) Add(o Stats) {
 // first keyWidth bytes: 0 when they are byte-equal, else
 // (keyWidth-q)<<8 | row[q] where q is the first differing byte. For
 // row >= base the code orders like the row.
+//
+//rowsort:hotpath
+//rowsort:pure
 func OVCCode(base, row []byte, keyWidth int) uint32 {
 	for q := 0; q < keyWidth; q++ {
 		if base[q] != row[q] {
@@ -162,6 +165,8 @@ func (m *Merger) build(node int) int {
 // before the following Next, which may refill the block). The previous
 // winner is advanced lazily here, so a streaming caller can flush work that
 // references the old block from inside its refill callback.
+//
+//rowsort:hotpath
 func (m *Merger) Next() (run, pos int, row []byte, ok bool) {
 	if m.started {
 		m.advance(m.winner)

@@ -81,6 +81,8 @@ const (
 
 // Apply evaluates the collation on s, returning the string whose binary
 // order equals s's collated order.
+//
+//rowsort:pure
 func (c Collation) Apply(s string) string {
 	if c != CollationNoCase {
 		return s
@@ -96,12 +98,14 @@ func (c Collation) Apply(s string) string {
 	if lower < 0 {
 		return s
 	}
+	//rowsort:allow hotpathalloc allocates only when an upper-case byte forces a rewrite; all-lower strings return s untouched
 	b := []byte(s)
 	for i := lower; i < len(b); i++ {
 		if b[i] >= 'A' && b[i] <= 'Z' {
 			b[i] += 'a' - 'A'
 		}
 	}
+	//rowsort:allow hotpathalloc the rewritten collated string must not alias the mutable scratch buffer
 	return string(b)
 }
 
@@ -223,6 +227,9 @@ func (e *Encoder) Encode(cols []*vector.Vector, out []byte, stride, offset int) 
 }
 
 // encodeColumn encodes all rows of key k from vec.
+//
+//rowsort:hotpath
+//rowsort:keyencoder
 func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, offset int) {
 	key := e.keys[k]
 	segOff := offset + e.offsets[k]
@@ -265,6 +272,9 @@ func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, of
 
 // encodeValue writes the order-preserving encoding of row r into dst, which
 // has the key's value width.
+//
+//rowsort:hotpath
+//rowsort:keyencoder
 func encodeValue(key SortKey, vec *vector.Vector, r int, dst []byte) {
 	switch key.Type {
 	case vector.Bool:

@@ -114,7 +114,7 @@ func TestWriteTraceGolden(t *testing.T) {
 	sp.End()
 	sp = w.Begin(PhaseRunSort) // start 200, end 300
 	sp.End()
-	w2 := r.Worker(`q"uote`) // name requiring JSON escaping
+	w2 := r.Worker(`q"uote`)  // name requiring JSON escaping
 	sp = w2.Begin(PhaseMerge) // start 400, end 500
 	sp.End()
 
