@@ -13,7 +13,10 @@
 //
 // The -trace flag writes the sort's phase timeline as Chrome trace_event
 // JSON (open in chrome://tracing or Perfetto); -metrics dumps the sort's
-// counters in Prometheus text format ("-" for stderr).
+// counters in Prometheus text format ("-" for stderr). The -mem flag
+// budgets the sort's resident bytes: over budget it degrades by spilling
+// runs to a temp directory and streaming the final merge, instead of
+// growing without bound.
 package main
 
 import (
@@ -33,6 +36,7 @@ import (
 func main() {
 	by := flag.String("by", "", "comma-separated sort keys: col[:asc|:desc][:nullsfirst|:nullslast]")
 	threads := flag.Int("threads", 0, "sort threads (0 = GOMAXPROCS)")
+	memLimit := flag.Int64("mem", 0, "memory budget in bytes for the sort (0 = unlimited); over budget the sort spills adaptively to a temp directory")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	metrics := flag.String("metrics", "", "write Prometheus-text sort metrics to this file (\"-\" = stderr)")
 	flag.Parse()
@@ -41,13 +45,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "usage: csvsort -by \"col[:desc][:nullslast],...\" input.csv")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *by, *threads, *traceFile, *metrics, os.Stdout); err != nil {
+	if err := run(flag.Arg(0), *by, *threads, *memLimit, *traceFile, *metrics, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "csvsort: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(path, by string, threads int, traceFile, metrics string, out io.Writer) error {
+func run(path, by string, threads int, memLimit int64, traceFile, metrics string, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -66,7 +70,7 @@ func run(path, by string, threads int, traceFile, metrics string, out io.Writer)
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Threads: threads}
+	opt := core.Options{Threads: threads, MemoryLimit: memLimit}
 	if traceFile != "" || metrics != "" {
 		opt.Telemetry = obs.NewRecorder()
 	}

@@ -25,6 +25,7 @@ import (
 	"rowsort/internal/analysis/analyzers/deprecated"
 	"rowsort/internal/analysis/analyzers/hotpathalloc"
 	"rowsort/internal/analysis/analyzers/keyorder"
+	"rowsort/internal/analysis/analyzers/memacct"
 	"rowsort/internal/analysis/analyzers/purecmp"
 	"rowsort/internal/analysis/analyzers/spillclose"
 )
@@ -35,6 +36,7 @@ var suite = []*analysis.Analyzer{
 	deprecated.Analyzer,
 	hotpathalloc.Analyzer,
 	keyorder.Analyzer,
+	memacct.Analyzer,
 	purecmp.Analyzer,
 	spillclose.Analyzer,
 }

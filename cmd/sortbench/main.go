@@ -22,6 +22,11 @@
 // workers on a timeline. The -metrics flag dumps the same run's counters in
 // Prometheus text format to a file ("-" for stderr), and -phases appends a
 // per-phase span table to experiments that sort end to end.
+//
+// The -mem flag budgets the experiments' sorts (bytes): over-budget sorts
+// degrade by adaptively spilling instead of growing, and the "memory"
+// experiment reports that single budget instead of its default sweep of
+// 1/2, 1/4 and 1/8 of the measured unlimited peak.
 package main
 
 import (
@@ -52,6 +57,7 @@ func run() int {
 		traceFile  = flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 		metrics    = flag.String("metrics", "", "write Prometheus-text phase metrics to this file (\"-\" = stderr)")
 		phases     = flag.Bool("phases", false, "print per-phase span tables after end-to-end experiments")
+		memLimit   = flag.Int64("mem", 0, "memory budget in bytes for the experiments' sorts (0 = unlimited; the \"memory\" experiment measures this single budget instead of its sweep)")
 	)
 	flag.Parse()
 
@@ -108,6 +114,7 @@ func run() int {
 		Threads:        *threads,
 		Reps:           *reps,
 		Seed:           *seed,
+		MemoryLimit:    *memLimit,
 		PhaseBreakdown: *phases,
 	}
 	if *traceFile != "" || *metrics != "" {

@@ -52,14 +52,29 @@ func main() {
 	}
 	fmt.Printf("spilling sort:  %.3fs (runs written to %s)\n", time.Since(start).Seconds(), dir)
 
-	// Verify the two sorts produced identical key orders.
+	// Budgeted: instead of naming a spill directory, name a memory limit.
+	// The sorter spills adaptively (to a private temp dir) only when the
+	// resident runs exceed the budget, and streams the final merge so the
+	// peak stays near the limit.
+	budget := int64(4 << 20)
+	start = time.Now()
+	budgeted, stats, err := core.SortTableStats(table, keys,
+		core.Options{RunSize: 64 << 10, MemoryLimit: budget})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("budgeted sort:  %.3fs (limit %d MiB, peak %.1f MiB, %d runs shed under pressure)\n",
+		time.Since(start).Seconds(), budget>>20,
+		float64(stats.PeakResidentRunBytes)/(1<<20), stats.PressureSpills)
+
+	// Verify all three sorts produced identical key orders.
 	for _, col := range []int{table.Schema.IndexOf("c_last_name"), table.Schema.IndexOf("c_birth_year")} {
-		a, b := inMem.Column(col), spilled.Column(col)
+		a, b, c := inMem.Column(col), spilled.Column(col), budgeted.Column(col)
 		for i := 0; i < a.Len(); i++ {
-			if a.Value(i) != b.Value(i) {
+			if a.Value(i) != b.Value(i) || a.Value(i) != c.Value(i) {
 				log.Fatalf("orders differ at row %d column %d", i, col)
 			}
 		}
 	}
-	fmt.Println("verified: spilled and in-memory sorts agree on", inMem.NumRows(), "rows")
+	fmt.Println("verified: spilled, budgeted and in-memory sorts agree on", inMem.NumRows(), "rows")
 }

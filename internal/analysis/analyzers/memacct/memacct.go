@@ -1,0 +1,187 @@
+// Package memacct guards the memory-broker accounting that the budgeted
+// sort pipeline rests on: every Reserve opened against a broker must be
+// balanced by a Release, or the broker's balance never returns to zero and
+// every later sort under the same budget spills earlier than it should.
+// The leak is silent — nothing crashes, the sort just degrades — which is
+// exactly the kind of regression a machine check catches and a reviewer
+// does not.
+//
+// The obligation is a call to a method named Reserve whose result type has
+// a Release method (the mem.Reservation shape). It is discharged when, in
+// the same function, the result either
+//
+//   - has Release called on it (directly or deferred), or
+//   - escapes — returned, stored in a field, map or slice, aliased into
+//     another variable, placed in a composite literal, or passed to a
+//     call — making its release the owner's responsibility (Sorter.Close
+//     releases the reservations its struct holds).
+//
+// Discarding the reservation outright (statement position or assignment to
+// the blank identifier) is always a leak: nothing can ever Release it.
+package memacct
+
+import (
+	"go/ast"
+	"go/types"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags broker reservations that can never be released.
+var Analyzer = &analysis.Analyzer{
+	Name: "memacct",
+	Doc:  "broker Reserve calls must be balanced by Release on every path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkFunc(pass, fd)
+			}
+		}
+	}
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Sweep 1: collect the obligations — Reserve results bound to local
+	// variables — and flag the ones discarded on the spot.
+	held := make(map[*types.Var]*ast.CallExpr)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && isReserve(info, call) {
+				pass.Reportf(call.Pos(), "%s discards the reservation returned by Reserve; nothing can Release it and the broker balance leaks", fd.Name.Name)
+			}
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
+			if !ok || !isReserve(info, call) {
+				return true
+			}
+			id, ok := n.Lhs[0].(*ast.Ident)
+			if !ok {
+				return true // field/index store: the owner releases it
+			}
+			if id.Name == "_" {
+				pass.Reportf(call.Pos(), "%s assigns the reservation returned by Reserve to the blank identifier; nothing can Release it and the broker balance leaks", fd.Name.Name)
+				return true
+			}
+			if v, ok := defOrUse(info, id); ok {
+				held[v] = call
+			}
+		}
+		return true
+	})
+	if len(held) == 0 {
+		return
+	}
+
+	// Sweep 2: discharge obligations whose variable is released or escapes.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// r.Release() — the balancing call (deferred or not: a defer
+			// statement's call is still a CallExpr node).
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+				if v := identVar(info, sel.X); v != nil {
+					delete(held, v)
+				}
+			}
+			// Passed as an argument: the callee owns it now.
+			for _, arg := range n.Args {
+				if v := identVar(info, arg); v != nil {
+					delete(held, v)
+				}
+			}
+		case *ast.ReturnStmt:
+			// Returned as-is: the caller owns the obligation now. A result
+			// that merely reads through the variable (r.Bytes()) is a use,
+			// not an escape, so only the bare identifier discharges.
+			for _, res := range n.Results {
+				if v := identVar(info, res); v != nil {
+					delete(held, v)
+				}
+			}
+		case *ast.AssignStmt:
+			// Aliased or stored somewhere (field, map, slice, other
+			// variable): the reservation escaped to whatever owns that
+			// location. The binding assignment itself has the call, not
+			// the variable, on its RHS, so it never self-discharges.
+			for _, rhs := range n.Rhs {
+				if v := identVar(info, rhs); v != nil {
+					delete(held, v)
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if v := identVar(info, elt); v != nil {
+					delete(held, v)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, call := range held {
+		pass.Reportf(call.Pos(), "%s never Releases the reservation returned by Reserve; the broker balance leaks on every path", fd.Name.Name)
+	}
+}
+
+// isReserve reports whether a call is a Reserve method call whose result
+// type has a Release method.
+func isReserve(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Reserve" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Results().Len() != 1 {
+		return false
+	}
+	return hasRelease(sig.Results().At(0).Type())
+}
+
+// hasRelease reports whether the type (or its pointee) has a Release
+// method.
+func hasRelease(t types.Type) bool {
+	for _, typ := range []types.Type{t, types.NewPointer(t)} {
+		if obj, _, _ := types.LookupFieldOrMethod(typ, true, nil, "Release"); obj != nil {
+			if _, ok := obj.(*types.Func); ok {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// identVar resolves an expression to the local variable it names, or nil.
+func identVar(info *types.Info, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}
+
+// defOrUse resolves an identifier on the LHS of := or =.
+func defOrUse(info *types.Info, id *ast.Ident) (*types.Var, bool) {
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	return v, ok
+}

@@ -1,0 +1,12 @@
+package memacct_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/memacct"
+)
+
+func TestMemAcct(t *testing.T) {
+	analysistest.Run(t, "testdata/memacct", memacct.Analyzer)
+}

@@ -1,0 +1,119 @@
+// Package fixture exercises the memacct analyzer with a self-contained
+// mock of the broker/reservation shape: Reserve returns a value whose type
+// has a Release method, creating the balance obligation.
+package fixture
+
+type broker struct {
+	used int64
+}
+
+type reservation struct {
+	b *broker
+	n int64
+}
+
+func (b *broker) Reserve(name string, n int64) *reservation {
+	b.used += n
+	return &reservation{b: b, n: n}
+}
+
+func (r *reservation) Grow(n int64) bool {
+	r.n += n
+	r.b.used += n
+	return true
+}
+
+func (r *reservation) Release() {
+	r.b.used -= r.n
+	r.n = 0
+}
+
+// holder owns a reservation for its lifetime; its Close releases it.
+type holder struct {
+	res *reservation
+}
+
+func (h *holder) Close() {
+	h.res.Release()
+}
+
+// goodPaired releases what it reserves.
+func goodPaired(b *broker) {
+	r := b.Reserve("scratch", 100)
+	r.Grow(50)
+	r.Release()
+}
+
+// goodDeferred releases through defer.
+func goodDeferred(b *broker) {
+	r := b.Reserve("merge", 0)
+	defer r.Release()
+	r.Grow(1 << 20)
+}
+
+// goodReturned hands the obligation to its caller.
+func goodReturned(b *broker) *reservation {
+	r := b.Reserve("stream", 0)
+	r.Grow(512)
+	return r
+}
+
+// goodEscapesToField stores the reservation in a struct whose Close
+// releases it.
+func goodEscapesToField(b *broker, h *holder) {
+	r := b.Reserve("sink", 64)
+	h.res = r
+}
+
+// goodFieldStore binds the Reserve result straight into a field.
+func goodFieldStore(b *broker, h *holder) {
+	h.res = b.Reserve("runs", 0)
+}
+
+// goodPassedAlong hands the reservation to another function.
+func goodPassedAlong(b *broker) {
+	r := b.Reserve("blocks", 0)
+	adopt(r)
+}
+
+func adopt(r *reservation) {
+	defer r.Release()
+	r.Grow(10)
+}
+
+// goodComposite places the reservation in a literal the caller owns.
+func goodComposite(b *broker) holder {
+	r := b.Reserve("pool", 0)
+	return holder{res: r}
+}
+
+// badDiscarded drops the reservation on the floor.
+func badDiscarded(b *broker) {
+	b.Reserve("lost", 1024) // want "discards the reservation returned by Reserve"
+}
+
+// badBlank assigns the reservation to the blank identifier.
+func badBlank(b *broker) {
+	_ = b.Reserve("blank", 1024) // want "blank identifier"
+}
+
+// badNeverReleased binds the reservation but never balances it.
+func badNeverReleased(b *broker) int64 {
+	r := b.Reserve("leak", 0) // want "never Releases the reservation"
+	r.Grow(4096)
+	return r.n
+}
+
+// badOnlyGrown grows and shrinks but never releases.
+func badOnlyGrown(b *broker) {
+	r := b.Reserve("grow-only", 0) // want "never Releases the reservation"
+	if !r.Grow(1 << 16) {
+		r.Grow(-(1 << 16))
+	}
+}
+
+// goodSuppressed documents an intentional leak.
+func goodSuppressed(b *broker) {
+	//rowsort:allow memacct process-lifetime reservation released at exit
+	b.Reserve("forever", 1)
+}

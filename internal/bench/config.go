@@ -27,6 +27,12 @@ type Config struct {
 	Reps    int // 0 means the scale's default (the paper uses 5)
 	Seed    uint64
 
+	// MemoryLimit, when positive, budgets the experiments' sorts
+	// (core.Options.MemoryLimit): over-budget sorts degrade by adaptively
+	// spilling instead of growing. The "memory" experiment uses it as the
+	// single budget to measure instead of its default sweep.
+	MemoryLimit int64
+
 	// Telemetry, when non-nil, is threaded into the experiments' sorts so a
 	// run can be exported as a Chrome trace or Prometheus text afterwards
 	// (cmd/sortbench's -trace and -metrics flags). Nil costs nothing.

@@ -84,7 +84,8 @@ func runFig11(w io.Writer, cfg Config) error {
 	tbl := workload.CatalogSales(n, 10, cfg.seed())
 	keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
 
-	s, err := core.NewSorter(tbl.Schema, keys, core.Options{Threads: cfg.threads()})
+	s, err := core.NewSorter(tbl.Schema, keys,
+		core.Options{Threads: cfg.threads(), MemoryLimit: cfg.MemoryLimit})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rowsort/internal/core"
+	"rowsort/internal/mem"
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func init() {
+	register("memory", "Memory governance: budget sweep — adaptive spill cost vs unlimited",
+		runMemoryAblation)
+}
+
+// memSortOnce runs one end-to-end sort under opt — ingest, finalize, then a
+// streamed drain through Rows (so a budgeted sort never materializes the
+// whole output) — and returns its wall time and stats.
+func memSortOnce(tbl *vector.Table, keys []core.SortColumn, opt core.Options) (time.Duration, core.SortStats) {
+	start := time.Now()
+	s, err := core.NewSorter(tbl.Schema, keys, opt)
+	if err != nil {
+		panic(err)
+	}
+	sink := s.NewSink()
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			panic(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		panic(err)
+	}
+	if err := s.Finalize(); err != nil {
+		panic(err)
+	}
+	it, err := s.Rows()
+	if err != nil {
+		panic(err)
+	}
+	rows := 0
+	for {
+		c, err := it.Next()
+		if err != nil {
+			panic(err)
+		}
+		if c == nil {
+			break
+		}
+		rows += c.Len()
+	}
+	if err := it.Close(); err != nil {
+		panic(err)
+	}
+	if rows != tbl.NumRows() {
+		panic(fmt.Sprintf("bench: memory experiment produced %d of %d rows", rows, tbl.NumRows()))
+	}
+	d := time.Since(start)
+	st := s.Stats()
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	return d, st
+}
+
+// runMemoryAblation measures what a memory budget costs: the same sort at
+// unlimited memory and at budgets of 1/2, 1/4 and 1/8 of the measured
+// unlimited peak (or the single budget from Config.MemoryLimit). The
+// budgeted arms cut runs early, shed resident runs to disk under pressure,
+// and stream the final merge with budget-planned block size and fan-in;
+// the table shows the wall-time price and the I/O it buys.
+func runMemoryAblation(w io.Writer, cfg Config) error {
+	if err := cfg.valid(); err != nil {
+		return err
+	}
+	tbl := workload.CatalogSales(cfg.counterRows(), 10, cfg.seed())
+	keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
+	base := core.Options{Threads: cfg.threads(), RunSize: max(1, tbl.NumRows()/16),
+		Telemetry: cfg.Telemetry}
+
+	var unlimited core.SortStats
+	baseTime := MedianTime(cfg.reps(), func() {
+		_, unlimited = memSortOnce(tbl, keys, base)
+	})
+
+	budgets := []int64{
+		unlimited.PeakResidentRunBytes / 2,
+		unlimited.PeakResidentRunBytes / 4,
+		unlimited.PeakResidentRunBytes / 8,
+	}
+	if cfg.MemoryLimit > 0 {
+		budgets = []int64{cfg.MemoryLimit}
+	}
+
+	t := &Table{
+		Title: fmt.Sprintf("catalog_sales, %s rows by 4 keys, streamed drain (threads=%d)",
+			Count(uint64(tbl.NumRows())), cfg.threads()),
+		Header: []string{"budget", "time", "vs unlimited", "peak resident",
+			"spill written", "pressure spills", "pressure events"},
+	}
+	t.AddRow("unlimited", Seconds(baseTime), Ratio(baseTime, baseTime),
+		Bytes(unlimited.PeakResidentRunBytes), Bytes(unlimited.SpillBytesWritten), "0", "0")
+
+	for _, budget := range budgets {
+		var st core.SortStats
+		var leak int64
+		d := MedianTime(cfg.reps(), func() {
+			broker := mem.NewBroker("bench-memory", budget)
+			opt := base
+			opt.Broker = broker
+			_, st = memSortOnce(tbl, keys, opt)
+			leak = broker.Used()
+		})
+		if leak != 0 {
+			return fmt.Errorf("bench: broker holds %d bytes after a closed budgeted sort", leak)
+		}
+		t.AddRow(Bytes(budget), Seconds(d), Ratio(baseTime, d),
+			Bytes(st.PeakResidentRunBytes), Bytes(st.SpillBytesWritten),
+			Count(uint64(st.PressureSpills)), Count(uint64(st.MemoryPressureEvents)))
+	}
+	t.Render(w)
+
+	if cfg.PhaseBreakdown && cfg.Telemetry != nil {
+		emitPhaseBreakdown(w, "memory governance", cfg.Telemetry.Summary())
+	}
+	return nil
+}

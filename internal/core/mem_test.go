@@ -1,0 +1,391 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+
+	"rowsort/internal/mem"
+	"rowsort/internal/vector"
+)
+
+func TestOptionsValidation(t *testing.T) {
+	tbl := mixedTable(64, 1)
+	keys := []SortColumn{{Column: 0}}
+	cases := []struct {
+		name string
+		opt  Options
+		want string
+	}{
+		{"negative threads", Options{Threads: -1}, "Threads"},
+		{"negative run size", Options{RunSize: -5}, "RunSize"},
+		{"negative block rows", Options{SpillBlockRows: -2}, "SpillBlockRows"},
+		{"negative memory limit", Options{MemoryLimit: -100}, "MemoryLimit"},
+	}
+	for _, c := range cases {
+		_, err := NewSorter(tbl.Schema, keys, c.opt)
+		if err == nil {
+			t.Errorf("%s: NewSorter accepted %+v", c.name, c.opt)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not name the offending field %s", c.name, err, c.want)
+		}
+	}
+}
+
+// budgetedSort runs a single-sink sort of tbl under opt and returns the
+// result plus the sorter's stats. A single sequential sink makes run
+// assignment deterministic, so outputs are byte-comparable across options.
+func budgetedSort(t *testing.T, tbl *vector.Table, keys []SortColumn, opt Options) (*vector.Table, SortStats) {
+	t.Helper()
+	s, err := NewSorter(tbl.Schema, keys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sink := s.NewSink()
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.ResultScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return out, st
+}
+
+// TestAdaptiveSpillOverBudget is the issue's acceptance criterion: a sort
+// whose footprint exceeds 4x the memory limit completes by adaptively
+// spilling (no SpillDir configured), stays within the budget plus the
+// documented slack, and produces output byte-identical to the unlimited
+// sort.
+func TestAdaptiveSpillOverBudget(t *testing.T) {
+	tbl := mixedTable(6*vector.DefaultVectorSize+123, 95)
+	base := Options{Threads: 1, RunSize: 900}
+	wantTbl, unlimited := budgetedSort(t, tbl, mergeTestKeys, base)
+	wantRows := rowify(t, wantTbl)
+	if unlimited.PeakResidentRunBytes <= 0 {
+		t.Fatalf("unlimited sort recorded no peak: %+v", unlimited)
+	}
+
+	// A budget four times smaller than the measured unlimited footprint.
+	budget := unlimited.PeakResidentRunBytes / 4
+	broker := mem.NewBroker("test-budget", budget)
+	opt := base
+	opt.Broker = broker
+
+	s, err := NewSorter(tbl.Schema, mergeTestKeys, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sink := s.NewSink()
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.ResultScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	if st.PressureSpills == 0 {
+		t.Errorf("budget %d (1/4 of %d) forced no pressure spills: %+v",
+			budget, unlimited.PeakResidentRunBytes, st)
+	}
+	if st.MemoryPressureEvents == 0 {
+		t.Error("no pressure events recorded despite spilling")
+	}
+	if st.SpillBytesWritten == 0 || st.SpillBytesRead != st.SpillBytesWritten {
+		t.Errorf("spill accounting: written %d, read %d (want equal, nonzero)",
+			st.SpillBytesWritten, st.SpillBytesRead)
+	}
+	if !bytes.Equal(rowify(t, got).Bytes(), wantRows.Bytes()) {
+		t.Error("budgeted sort output differs from unlimited sort")
+	}
+	checkSorted(t, tbl, got, mergeTestKeys, "budgeted")
+
+	// SpillDir is empty, so the sorter made itself a private temp dir.
+	tmp := s.spillTmpDir
+	if tmp == "" {
+		t.Error("no private spill directory despite empty SpillDir")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tmp != "" {
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Errorf("private spill dir %s survived Close (stat err: %v)", tmp, err)
+		}
+	}
+
+	// The balance returns to zero and the peak respects the budget up to
+	// the documented slack: the run being reordered when the limit tripped
+	// plus the merge's staging block (bounded here as 2x over the budget).
+	if used := broker.Used(); used != 0 {
+		t.Errorf("broker holds %d bytes after Close, want 0", used)
+	}
+	if peak := broker.Peak(); peak > 3*budget {
+		t.Errorf("broker peak %d exceeds budget %d beyond the documented slack", peak, budget)
+	}
+	if broker.Peak() >= unlimited.PeakResidentRunBytes {
+		t.Errorf("budgeted peak %d not below unlimited peak %d",
+			broker.Peak(), unlimited.PeakResidentRunBytes)
+	}
+}
+
+// TestConcurrentSortersSharedBroker runs four sorters against one shared
+// broker under -race: each must produce output byte-identical to its
+// unlimited reference, and the shared balance must return to zero once
+// every sorter is closed.
+func TestConcurrentSortersSharedBroker(t *testing.T) {
+	const n = 4
+	base := Options{Threads: 1, RunSize: 600}
+	tables := make([]*vector.Table, n)
+	wants := make([][]byte, n)
+	for i := range tables {
+		tables[i] = mixedTable(2*vector.DefaultVectorSize+157*i, uint64(100+i))
+		ref, _ := budgetedSort(t, tables[i], mergeTestKeys, base)
+		wants[i] = rowify(t, ref).Bytes()
+	}
+
+	// A budget far below the combined footprint: every sorter degrades to
+	// disk, and their pressure interleaves through the shared parent.
+	shared := mem.NewBroker("shared", 64<<10)
+	sorters := make([]*Sorter, n)
+	for i := range sorters {
+		opt := base
+		opt.Broker = shared
+		s, err := NewSorter(tables[i].Schema, mergeTestKeys, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sorters[i] = s
+	}
+
+	outs := make([]*vector.Table, n)
+	stats := make([]SortStats, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := range sorters {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			s := sorters[i]
+			sink := s.NewSink()
+			for _, c := range tables[i].Chunks {
+				if err := sink.Append(c); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if err := sink.Close(); err != nil {
+				errs[i] = err
+				return
+			}
+			if err := s.Finalize(); err != nil {
+				errs[i] = err
+				return
+			}
+			outs[i], errs[i] = s.ResultScalar()
+			stats[i] = s.Stats()
+		}(i)
+	}
+	wg.Wait()
+
+	spills := int64(0)
+	for i := range sorters {
+		if errs[i] != nil {
+			t.Fatalf("sorter %d: %v", i, errs[i])
+		}
+		if !bytes.Equal(rowify(t, outs[i]).Bytes(), wants[i]) {
+			t.Errorf("sorter %d: output under shared budget differs from unlimited", i)
+		}
+		spills += stats[i].PressureSpills
+		if err := sorters[i].Close(); err != nil {
+			t.Fatalf("close sorter %d: %v", i, err)
+		}
+	}
+	if spills == 0 {
+		t.Error("64KiB shared budget forced no pressure spills across four sorters")
+	}
+	if used := shared.Used(); used != 0 {
+		t.Errorf("shared broker holds %d bytes after all sorters closed, want 0", used)
+	}
+}
+
+// TestRowsIteratorMatchesResult checks the chunked iterator against the
+// materialized Result on an in-memory sort.
+func TestRowsIteratorMatchesResult(t *testing.T) {
+	tbl := mixedTable(3*vector.DefaultVectorSize+57, 98)
+	s, err := NewSorter(tbl.Schema, mergeTestKeys, Options{Threads: 2, RunSize: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sink := s.NewSink()
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Rows(); err == nil {
+		t.Fatal("Rows before Finalize did not error")
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := s.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed := vector.NewTable(s.schema)
+	rows := 0
+	for {
+		chunk, err := it.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chunk == nil {
+			break
+		}
+		if chunk.Len() > vector.DefaultVectorSize {
+			t.Fatalf("chunk of %d rows exceeds the vector size", chunk.Len())
+		}
+		rows += chunk.Len()
+		streamed.Chunks = append(streamed.Chunks, chunk)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != tbl.NumRows() {
+		t.Fatalf("iterator produced %d rows, want %d", rows, tbl.NumRows())
+	}
+
+	// In-memory results are re-materializable: the iterator does not
+	// consume the runs.
+	want, err := s.ResultScalar()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rowify(t, streamed).Bytes(), rowify(t, want).Bytes()) {
+		t.Error("Rows() chunks differ from materialized Result")
+	}
+}
+
+// TestStreamingRowsSingleUse pins the contract of a budgeted external
+// merge: the deferred final merge is single-pass, so a second Rows() call
+// fails loudly, and abandoning the iterator early still leaves Close able
+// to reclaim every spill file and reservation.
+func TestStreamingRowsSingleUse(t *testing.T) {
+	tbl := mixedTable(4*vector.DefaultVectorSize, 99)
+	broker := mem.NewBroker("single-use", 48<<10)
+	s, err := NewSorter(tbl.Schema, mergeTestKeys, Options{Threads: 1, RunSize: 700, Broker: broker})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	sink := s.NewSink()
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if !s.streamMerge {
+		t.Fatal("48KiB budget did not defer the final merge to the iterator")
+	}
+
+	it, err := s.Rows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Read one chunk, then walk away mid-merge.
+	if chunk, err := it.Next(); err != nil || chunk == nil {
+		t.Fatalf("first streamed chunk: %v, %v", chunk, err)
+	}
+	if err := it.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := s.Rows(); err == nil || !strings.Contains(err.Error(), "already consumed") {
+		t.Fatalf("second Rows() = %v, want single-use error", err)
+	}
+
+	// Close must reclaim the unconsumed spill files, the private temp dir,
+	// and every reservation the abandoned merge held.
+	tmp := s.spillTmpDir
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if tmp != "" {
+		if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+			t.Errorf("spill dir %s survived Close after abandoned iterator", tmp)
+		}
+	}
+	if used := broker.Used(); used != 0 {
+		t.Errorf("broker holds %d bytes after Close, want 0", used)
+	}
+}
+
+// FuzzMemoryBudget drives tiny budgets and odd run sizes through a single
+// sink, forcing spills mid-sink at arbitrary points, and requires the
+// output to stay byte-identical to the unlimited sort with a zero broker
+// balance after Close.
+func FuzzMemoryBudget(f *testing.F) {
+	f.Add(uint32(1), uint16(100))
+	f.Add(uint32(4<<10), uint16(700))
+	f.Add(uint32(64<<10), uint16(37))
+	f.Add(uint32(1<<20), uint16(2000))
+	f.Fuzz(func(t *testing.T, rawBudget uint32, rawRunSize uint16) {
+		budget := int64(rawBudget%(1<<20)) + 1
+		runSize := int(rawRunSize)%1500 + 16
+		tbl := mixedTable(2*vector.DefaultVectorSize+777, 97)
+		keys := mergeTestKeys
+
+		want, _ := budgetedSort(t, tbl, keys, Options{Threads: 1, RunSize: runSize})
+		wantRows := rowify(t, want)
+
+		broker := mem.NewBroker("fuzz", budget)
+		got, _ := budgetedSort(t, tbl, keys, Options{Threads: 1, RunSize: runSize, Broker: broker})
+		if !bytes.Equal(rowify(t, got).Bytes(), wantRows.Bytes()) {
+			t.Fatalf("budget %d, run size %d: output differs from unlimited sort", budget, runSize)
+		}
+		if used := broker.Used(); used != 0 {
+			t.Fatalf("budget %d, run size %d: broker holds %d bytes after Close", budget, runSize, used)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"fmt"
+
+	"rowsort/internal/mem"
+	"rowsort/internal/obs"
+	"rowsort/internal/row"
+	"rowsort/internal/vector"
+)
+
+// RowIter streams the sorted result as columnar chunks of up to
+// vector.DefaultVectorSize rows, gathered on demand. For in-memory and
+// eagerly merged sorts it walks the merged key rows and resolves payload
+// references chunk by chunk; for budgeted external sorts (where Finalize
+// deferred the final merge) each Next advances the streaming k-way merge
+// itself, so the whole output is never resident at once — the consumer's
+// chunk plus one block per run is.
+//
+// A RowIter is not safe for concurrent use. Iterators over a deferred
+// streaming merge are single-use: the merge consumes its spill files as it
+// reads them. Close releases the iterator's resources; it is required when
+// the iterator is abandoned before exhaustion and harmless otherwise.
+type RowIter struct {
+	s   *Sorter
+	gw  *obs.Worker
+	err error
+
+	// Materialized mode: chunks are gathered from the merged key rows.
+	payloads []*row.RowSet
+	which    []uint32 // reference scratch, reused per chunk
+	idxs     []uint32
+
+	// Streaming mode: the final merge runs inside the iterator.
+	em      *extMerge
+	res     *mem.Reservation // staging + block bytes for the merge's lifetime
+	staging *row.RowSet
+
+	pos      int
+	n        int
+	started  int64 // sinceEpoch at creation, for the gather stage duration
+	finished bool
+	closed   bool
+}
+
+// Rows returns a chunked iterator over the sorted result; valid after
+// Finalize. Result is a thin wrapper that drains it into a table —
+// operators that consume the sort incrementally (LIMIT, streaming
+// exchange) should use Rows directly and Close early.
+func (s *Sorter) Rows() (*RowIter, error) {
+	if !s.finalized {
+		return nil, fmt.Errorf("core: Rows before Finalize")
+	}
+	it := &RowIter{s: s, gw: s.rec.Worker("gather"), started: s.sinceEpoch()}
+	if !s.streamMerge {
+		it.n = s.NumRows()
+		it.payloads = make([]*row.RowSet, len(s.runs))
+		for i, r := range s.runs {
+			it.payloads[i] = r.payload
+		}
+		it.which = make([]uint32, vector.DefaultVectorSize)
+		it.idxs = make([]uint32, vector.DefaultVectorSize)
+		s.gatherBytes.Add(int64(it.n) * int64(s.layout.Width()))
+		return it, nil
+	}
+
+	s.mu.Lock()
+	if s.streamUsed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("core: streaming result already consumed (a budgeted external merge is single-pass; sort again to iterate again)")
+	}
+	s.streamUsed = true
+	s.mu.Unlock()
+	it.n = s.streamTotal
+	it.res = s.broker.Reserve("stream-merge", 0)
+	em, err := s.openExtMerge(s.streamActive, it.gw, it.res)
+	if err != nil {
+		it.res.Release()
+		return nil, err
+	}
+	it.em = em
+	it.staging = s.getRowSet()
+	em.dst = it.staging
+	s.gatherBytes.Add(int64(it.n) * int64(s.layout.Width()))
+	return it, nil
+}
+
+// Next returns the next chunk of sorted rows, or (nil, nil) when the
+// result is exhausted. The returned chunk owns its vectors; it stays valid
+// after further Next and Close calls.
+func (it *RowIter) Next() (*vector.Chunk, error) {
+	if it.err != nil || it.closed {
+		return nil, it.err
+	}
+	if it.pos >= it.n {
+		it.finish()
+		return nil, nil
+	}
+	count := min(vector.DefaultVectorSize, it.n-it.pos)
+	sp := it.gw.Begin(obs.PhaseGather)
+	defer sp.End()
+
+	if it.em == nil {
+		chunk := it.s.gatherChunk(it.payloads, it.which, it.idxs, it.pos, count)
+		it.pos += count
+		if it.pos >= it.n {
+			it.finish()
+		}
+		return chunk, nil
+	}
+
+	// Streaming: pull count rows through the loser tree into the staging
+	// row set, then gather them out as one columnar chunk.
+	it.staging.Reset()
+	got := 0
+	for got < count {
+		if _, ok := it.em.next(); !ok {
+			break
+		}
+		got++
+	}
+	if got < count {
+		err := it.em.readerErr()
+		if err == nil {
+			err = fmt.Errorf("core: streaming merge produced %d of %d rows", it.pos+got, it.n)
+		}
+		it.fail(err)
+		return nil, it.err
+	}
+	it.em.flushPend()
+	chunk := &vector.Chunk{Vectors: it.staging.GatherChunk(0, got)}
+	it.pos += got
+	if it.pos >= it.n {
+		it.finish()
+	}
+	return chunk, nil
+}
+
+// finish tears down a fully drained iterator: streaming state folds its
+// merge counters into the sorter's stats, consumed spill files are removed
+// and the merge's memory goes back to the budget.
+func (it *RowIter) finish() {
+	if it.finished {
+		return
+	}
+	it.finished = true
+	s := it.s
+	if it.em != nil {
+		st := it.em.m.Stats()
+		st.BytesMoved = uint64(it.pos * s.rowWidth)
+		s.mu.Lock()
+		s.mergeStats.Add(st)
+		s.mu.Unlock()
+		it.em.close(true)
+		for _, id := range it.em.active {
+			s.releaseRun(s.runs[id])
+		}
+		it.res.Release()
+		s.putRowSet(it.staging)
+		it.staging = nil
+	}
+	end := s.sinceEpoch()
+	s.durGather.Add(end - it.started)
+	s.tResultEnd.Store(end + 1)
+}
+
+// fail records the error and releases resources without consuming files.
+func (it *RowIter) fail(err error) {
+	it.err = err
+	it.abandon()
+}
+
+// abandon releases an unfinished iterator's resources. Spill files the
+// streaming merge did not finish are left tracked for Sorter.Close.
+func (it *RowIter) abandon() {
+	if it.finished {
+		return
+	}
+	it.finished = true
+	s := it.s
+	if it.em != nil {
+		it.em.close(false)
+		it.res.Release()
+		s.putRowSet(it.staging)
+		it.staging = nil
+	}
+	end := s.sinceEpoch()
+	s.durGather.Add(end - it.started)
+	s.tResultEnd.Store(end + 1)
+}
+
+// Close releases the iterator. Required when abandoning it before
+// exhaustion; a no-op (returning the first error, if any) after full
+// drain. Closing does not touch chunks already returned.
+func (it *RowIter) Close() error {
+	if it.closed {
+		return it.err
+	}
+	it.closed = true
+	it.abandon()
+	return it.err
+}
+
+// resultStreamed materializes the deferred streaming merge into a table —
+// the wrapper Result uses when Finalize planned a budgeted external merge.
+// Note the materialized table itself is the documented budget slack: the
+// caller asked for everything at once.
+func (s *Sorter) resultStreamed() (*vector.Table, error) {
+	it, err := s.Rows()
+	if err != nil {
+		return nil, err
+	}
+	out := vector.NewTable(s.schema)
+	for {
+		chunk, err := it.Next()
+		if err != nil || chunk == nil {
+			break // Close reports the iterator's first error
+		}
+		out.Chunks = append(out.Chunks, chunk)
+	}
+	if err := it.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

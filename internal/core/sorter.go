@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rowsort/internal/mem"
 	"rowsort/internal/mergepath"
 	"rowsort/internal/normkey"
 	"rowsort/internal/obs"
@@ -42,23 +43,42 @@ type Sorter struct {
 	finalized bool
 	finalKeys []byte
 
+	// Deferred streaming merge (budgeted external sorts): Finalize only
+	// reduces the fan-in to what the budget can stream and records the
+	// surviving runs here; the final pass runs inside the result iterator.
+	streamMerge  bool
+	streamUsed   bool // the single-pass streaming merge has been handed out
+	streamActive []uint32
+	streamTotal  int
+
 	mergeStats mergepath.Stats
 
-	// Spill bookkeeping: every file created under SpillDir is tracked until
-	// it is removed, so Close can clean up after aborted sorts; the byte
+	// Spill bookkeeping: every file the sorter creates is tracked until it
+	// is removed, so Close can clean up after aborted sorts; the byte
 	// counters verify the streaming merge's single read pass.
 	spillMu      sync.Mutex
 	spillPaths   map[string]struct{}
-	closed       bool  // Close has run (guarded by spillMu)
-	closeErr     error // the last Close's result (guarded by spillMu)
+	spillTmpDir  string // lazily created when spilling without SpillDir (guarded by spillMu)
+	closed       bool   // Close has run (guarded by spillMu)
+	closeErr     error  // the last Close's result (guarded by spillMu)
 	spillWritten atomic.Int64
 	spillRead    atomic.Int64
 
-	// Buffer recycling for run generation: key buffers and payload row
-	// sets released by flushed/spilled/merged runs are pooled so steady
-	// ingestion stops allocating once the first runs have been cut.
-	keyPool sync.Pool // *[]byte, length 0
-	rsPool  sync.Pool // *row.RowSet, empty, this sorter's layout
+	// Memory governance: every resident byte the sorter holds is charged to
+	// broker — sink buffers through per-sink reservations, sorted runs
+	// through runRes, recycled buffers parked in the pools through poolRes,
+	// merge block buffers through per-merge reservations. The broker's
+	// high-water mark feeds SortStats.PeakResidentRunBytes; crossing the
+	// budget fires the pressure subscription, which flips pressured so
+	// sinks cut their pending runs early and shed resident runs to disk.
+	broker         *mem.Broker
+	runRes         *mem.Reservation // resident sorted runs (keys + payload capacity)
+	poolRes        *mem.Reservation // recycled buffers parked in the pools
+	unsub          func()
+	keyBufs        *row.BufPool
+	sets           *row.SetPool
+	pressured      atomic.Bool
+	pressureSpills atomic.Int64
 
 	// Telemetry: rec records phase spans when Options.Telemetry is set (nil
 	// disables span recording at zero cost); the counters below feed
@@ -71,8 +91,6 @@ type Sorter struct {
 	normKeyBytes    atomic.Int64
 	gatherBytes     atomic.Int64
 	durGather       atomic.Int64
-	residentRun     atomic.Int64
-	peakResident    atomic.Int64
 	spillRemoved    atomic.Int64
 	spillRemoveErrs atomic.Int64
 	tFirstAppend    atomic.Int64
@@ -92,49 +110,28 @@ func (s *Sorter) markStart() {
 	}
 }
 
-// residentAdd adjusts the resident run-byte gauge and tracks its peak.
-func (s *Sorter) residentAdd(n int64) {
-	cur := s.residentRun.Add(n)
-	for {
-		peak := s.peakResident.Load()
-		if cur <= peak || s.peakResident.CompareAndSwap(peak, cur) {
-			return
-		}
-	}
-}
-
-// getKeyBuf returns an empty key buffer, recycled when available.
-func (s *Sorter) getKeyBuf() []byte {
-	if b, ok := s.keyPool.Get().(*[]byte); ok {
-		return (*b)[:0]
-	}
-	return nil
-}
+// getKeyBuf returns an empty key buffer, recycled when available. Pool
+// custody is charged to poolRes, so recycled capacity counts against the
+// budget until it is handed back out.
+func (s *Sorter) getKeyBuf() []byte { return s.keyBufs.Get() }
 
 // putKeyBuf recycles a key buffer whose contents are dead.
 func (s *Sorter) putKeyBuf(b []byte) {
 	if cap(b) == 0 {
 		return
 	}
-	b = b[:0]
-	s.keyPool.Put(&b)
+	s.keyBufs.Put(b)
 }
 
 // getRowSet returns an empty payload row set, recycled when available.
-func (s *Sorter) getRowSet() *row.RowSet {
-	if rs, ok := s.rsPool.Get().(*row.RowSet); ok {
-		return rs
-	}
-	return row.NewRowSet(s.layout)
-}
+func (s *Sorter) getRowSet() *row.RowSet { return s.sets.Get() }
 
 // putRowSet recycles a payload row set whose contents are dead.
 func (s *Sorter) putRowSet(rs *row.RowSet) {
 	if rs == nil {
 		return
 	}
-	rs.Reset()
-	s.rsPool.Put(rs)
+	s.sets.Put(rs)
 }
 
 // sortedRun is one thread-local sorted run: sorted key rows plus the
@@ -143,12 +140,24 @@ type sortedRun struct {
 	id       uint32
 	keys     []byte
 	payload  *row.RowSet
+	rows     int  // row count, valid even after the buffers move to disk
 	tieBreak bool // some string may exceed its prefix (or embed NUL)
+	spilling bool // claimed by a spiller (guarded by Sorter.mu)
 	spill    *spillFile
+}
+
+// runBytes is a resident run's accounted footprint: key-buffer plus payload
+// capacity (capacities, not lengths — that is what the allocator actually
+// holds and what the pools will recycle).
+func runBytes(r *sortedRun) int64 {
+	return int64(cap(r.keys)) + r.payload.CapBytes()
 }
 
 // NewSorter validates the specification and returns a sorter.
 func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, error) {
+	if err := opt.Validate(); err != nil {
+		return nil, err
+	}
 	if err := validateKeys(schema, keys); err != nil {
 		return nil, err
 	}
@@ -190,6 +199,19 @@ func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, e
 		epoch:    time.Now(),
 	}
 	s.rowWidth = (s.keyWidth + refBytes + 7) &^ 7
+
+	// The sorter always runs under a broker — a child of the shared one
+	// when Options.Broker is set, a private root otherwise — so peak
+	// accounting works even for unbudgeted sorts. MemoryLimit bounds the
+	// child; zero means only the parent's budget (if any) applies.
+	s.broker = opt.Broker.Child("sorter", opt.MemoryLimit)
+	s.runRes = s.broker.Reserve("runs", 0)
+	s.poolRes = s.broker.Reserve("pools", 0)
+	s.keyBufs = row.NewBufPool(s.poolRes)
+	s.sets = row.NewSetPool(s.layout, s.poolRes)
+	if opt.limited() {
+		s.unsub = s.broker.Subscribe(func(int64) { s.pressured.Store(true) })
+	}
 	return s, nil
 }
 
@@ -218,7 +240,8 @@ func (s *Sorter) getRef(keyRow []byte) (runID, idx uint32) {
 // for concurrent use; create one per producing goroutine.
 type Sink struct {
 	s        *Sorter
-	ow       *obs.Worker // this sink's trace lane (nil without telemetry)
+	ow       *obs.Worker      // this sink's trace lane (nil without telemetry)
+	res      *mem.Reservation // pending-run buffers, charged to the sorter's broker
 	keys     []byte
 	payload  *row.RowSet
 	n        int
@@ -228,7 +251,18 @@ type Sink struct {
 
 // NewSink registers and returns a new ingestion sink.
 func (s *Sorter) NewSink() *Sink {
-	return &Sink{s: s, ow: s.rec.Worker("sink"), keys: s.getKeyBuf(), payload: s.getRowSet()}
+	k := &Sink{s: s, ow: s.rec.Worker("sink"), res: s.broker.Reserve("sink", 0),
+		keys: s.getKeyBuf(), payload: s.getRowSet()}
+	k.account()
+	return k
+}
+
+// account syncs the sink's reservation with its buffers' capacity. The
+// return value is the budget verdict: false means the broker is over budget
+// and the pending run should be cut early (the bytes are charged either
+// way — accounting stays truthful, the caller sheds load).
+func (k *Sink) account() bool {
+	return k.res.SetTo(int64(cap(k.keys)) + k.payload.CapBytes())
 }
 
 // growKeys extends the sink's key buffer by n rows and returns the byte
@@ -303,9 +337,15 @@ func (k *Sink) Append(c *vector.Chunk) error {
 	if s.enc.TiesPossible() && !k.tieBreak {
 		k.tieBreak = stringTiesPossible(s, keyCols)
 	}
+	overBudget := !k.account()
 	sp.End()
 
-	if k.n >= s.opt.runSize() {
+	// Cut the run at the configured size — or early, when the broker
+	// reports pressure (this sink's growth pushed past the budget, or any
+	// sharer of the broker did): a cut run is something the pressure
+	// spiller can shed to disk, a pending one is not.
+	if k.n >= s.opt.runSize() ||
+		(s.opt.limited() && (overBudget || s.pressured.Swap(false))) {
 		return k.flush()
 	}
 	return nil
@@ -360,6 +400,7 @@ func (k *Sink) Close() error {
 	k.s.putKeyBuf(k.keys)
 	k.s.putRowSet(k.payload)
 	k.keys, k.payload = nil, nil
+	k.res.Release()
 	return err
 }
 
@@ -370,6 +411,11 @@ func (k *Sink) flush() error {
 	k.keys, k.payload, k.n = s.getKeyBuf(), s.getRowSet(), 0
 	tb := k.tieBreak
 	k.tieBreak = false
+	// The cut buffers leave the sink's reservation here and enter the
+	// resident-run one below, once sorted. The window in between (the sort
+	// plus the payload reorder, which briefly holds both payload copies) is
+	// the per-sink accounting slack documented in DESIGN.md.
+	k.account()
 	sp := k.ow.Begin(obs.PhaseRunSort)
 
 	// Sort the normalized keys: radix sort when plain byte order is the
@@ -389,11 +435,14 @@ func (k *Sink) flush() error {
 		radix.Sort(keys, s.rowWidth, s.keyWidth)
 	}
 
-	// Register the run, then physically reorder the payload to the sorted
-	// order and point the key refs at the new positions.
+	// Register the run id first (so merge order is stable), then physically
+	// reorder the payload to the sorted order and point the key refs at the
+	// new positions. The buffers are published under s.mu only once they
+	// are final: concurrent pressure spillers scan s.runs and must never
+	// observe a half-built run.
 	s.mu.Lock()
 	runID := uint32(len(s.runs))
-	run := &sortedRun{id: runID, tieBreak: tb}
+	run := &sortedRun{id: runID, tieBreak: tb, rows: n}
 	s.runs = append(s.runs, run)
 	s.mu.Unlock()
 
@@ -407,16 +456,26 @@ func (k *Sink) flush() error {
 	sorted.Reserve(n)
 	sorted.AppendRowsFrom(payload, idxs)
 	s.putRowSet(payload)
+	withinBudget := s.runRes.Grow(int64(cap(keys)) + sorted.CapBytes())
+	s.mu.Lock()
 	run.keys = keys
 	run.payload = sorted
+	s.mu.Unlock()
 	sp.End()
 
 	s.runsGen.Add(1)
 	s.normKeyBytes.Add(int64(n * s.keyWidth))
-	s.residentAdd(int64(len(keys)) + int64(sorted.MemSize()))
 
+	if s.opt.limited() {
+		if !withinBudget || s.broker.OverBudget() {
+			return s.spillUnderPressure(k.ow)
+		}
+		return nil
+	}
 	if s.opt.SpillDir != "" {
-		return run.spillTo(s, k.ow)
+		// Unbudgeted external sort: the original eager policy, every run
+		// goes to disk as it is cut.
+		return s.spillRun(run, k.ow)
 	}
 	return nil
 }
@@ -547,13 +606,24 @@ func (s *Sorter) Finalize() error {
 // finalizeLocked is Finalize's body, run under s.mu and the merge pprof
 // label.
 func (s *Sorter) finalizeLocked() error {
-	if s.opt.SpillDir != "" {
+	anySpilled := false
+	for _, r := range s.runs {
+		anySpilled = anySpilled || r.spill != nil
+	}
+	if anySpilled || (s.opt.SpillDir != "" && !s.opt.limited()) {
 		if s.opt.Merge == MergeCascade {
+			// The cascade ablation unspills whole runs; under a budget it
+			// still works but does not respect the limit.
 			return s.externalFinalizeCascade()
+		}
+		if s.opt.limited() {
+			return s.planStreamingMerge()
 		}
 		return s.externalFinalize()
 	}
 
+	// Nothing on disk (the budget was never exceeded, or there is none):
+	// the ordinary in-memory merge.
 	if len(s.runs) == 0 {
 		return nil
 	}
@@ -610,29 +680,11 @@ func (s *Sorter) finalizeLocked() error {
 	return nil
 }
 
-// MergeStats returns the merge-phase counters of the last Finalize:
-// comparisons played, how many resolved on offset-value codes alone, full
-// key compares, tie-break calls, and output bytes written. CascadeMerge
-// reports only BytesMoved.
-//
-// Deprecated: it is a view over Stats().Merge, kept so existing callers
-// don't break; use Stats for the full picture.
-func (s *Sorter) MergeStats() mergepath.Stats { return s.Stats().Merge }
-
-// SpillStats returns the bytes written to and read from spill files so far.
-// The streaming external merge reads every spilled byte exactly once, so
-// after Finalize read equals written; the cascaded external merge re-spills
-// intermediates and reads a multiple of it.
-//
-// Deprecated: it is a view over Stats().SpillBytesWritten/SpillBytesRead,
-// kept so existing callers don't break; use Stats for the full picture.
-func (s *Sorter) SpillStats() (written, read int64) {
-	st := s.Stats()
-	return st.SpillBytesWritten, st.SpillBytesRead
-}
-
 // NumRows returns the number of sorted rows; valid after Finalize.
 func (s *Sorter) NumRows() int {
+	if s.streamMerge {
+		return s.streamTotal
+	}
 	if s.rowWidth == 0 {
 		return 0
 	}
@@ -655,6 +707,9 @@ func (s *Sorter) Result() (*vector.Table, error) {
 func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Result before Finalize")
+	}
+	if s.streamMerge {
+		return s.resultStreamed()
 	}
 	gatherStart := s.sinceEpoch()
 	defer func() {
@@ -691,18 +746,7 @@ func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 				for ci := w; ci < numChunks; ci += threads {
 					start := ci * vector.DefaultVectorSize
 					count := min(vector.DefaultVectorSize, n-start)
-					refW, refI := which[:count], idxs[:count]
-					for r := 0; r < count; r++ {
-						keyRow := s.finalKeys[(start+r)*s.rowWidth:]
-						refW[r], refI[r] = s.getRef(keyRow)
-					}
-					chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(s.schema))}
-					for c := range s.schema {
-						v := vector.NewDense(s.schema[c].Type, count)
-						row.GatherRefsColumn(payloads, refW, refI, c, v)
-						chunk.Vectors[c] = v
-					}
-					chunks[ci] = chunk
+					chunks[ci] = s.gatherChunk(payloads, which, idxs, start, count)
 				}
 			})
 		}(w)
@@ -712,12 +756,34 @@ func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 	return out, nil
 }
 
+// gatherChunk materializes output rows [start, start+count) of the merged
+// key order into a fresh columnar chunk, resolving payload references with
+// the typed gather kernels. which and idxs are caller-owned scratch of at
+// least count entries.
+func (s *Sorter) gatherChunk(payloads []*row.RowSet, which, idxs []uint32, start, count int) *vector.Chunk {
+	refW, refI := which[:count], idxs[:count]
+	for r := 0; r < count; r++ {
+		keyRow := s.finalKeys[(start+r)*s.rowWidth:]
+		refW[r], refI[r] = s.getRef(keyRow)
+	}
+	chunk := &vector.Chunk{Vectors: make([]*vector.Vector, len(s.schema))}
+	for c := range s.schema {
+		v := vector.NewDense(s.schema[c].Type, count)
+		row.GatherRefsColumn(payloads, refW, refI, c, v)
+		chunk.Vectors[c] = v
+	}
+	return chunk
+}
+
 // ResultScalar is the value-at-a-time reference gather Result replaced: it
 // re-dispatches the column type switch once per value. It is kept for the
 // equivalence tests and the gather ablation benchmark.
 func (s *Sorter) ResultScalar() (*vector.Table, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Result before Finalize")
+	}
+	if s.streamMerge {
+		return s.resultStreamed()
 	}
 	gatherStart := s.sinceEpoch()
 	defer func() {

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"runtime"
 
+	"rowsort/internal/mem"
 	"rowsort/internal/obs"
 	"rowsort/internal/vector"
 )
@@ -84,14 +85,38 @@ type Options struct {
 	// unified-row-format offloading sketched in the paper's future work.
 	// Merge memory stays bounded at k runs × SpillBlockRows (plus the final
 	// materialization), and each spilled byte is read exactly once.
+	//
+	// Without a memory budget (see MemoryLimit/Broker) every run spills as
+	// it is cut, preserving the original eager behavior. With a budget,
+	// spilling is pressure-driven instead — runs go to disk only when the
+	// budget is exceeded — and SpillDir merely names where; when it is
+	// empty, a private directory under os.TempDir() is created on first
+	// spill and removed by Close.
 	SpillDir string
 	// Merge selects the merge-phase algorithm; the zero value is the
 	// offset-value-coded loser tree. The other values are ablation arms.
 	Merge MergeAlgo
 	// SpillBlockRows is the number of rows per spill-file block (the unit
 	// of streaming-merge I/O and resident memory per run); 0 means
-	// DefaultSpillBlockRows.
+	// DefaultSpillBlockRows, or — under a memory budget — a block size
+	// planned from the remaining reservation (mergepath.PlanBlockRows).
 	SpillBlockRows int
+	// MemoryLimit, when positive, bounds this sorter's resident bytes:
+	// sink buffers, sorted runs, pooled buffers, merge blocks. Crossing
+	// the limit does not fail the sort — it flips it into degraded mode:
+	// pending runs are cut early, resident runs spill to disk
+	// (SpillDir or a temp directory), and the final merge plans its block
+	// size and fan-in from the remaining budget. Peak usage can
+	// transiently exceed the limit by bounded slack (one run being
+	// reordered, the merge's staging chunk; see DESIGN.md "Memory
+	// governance").
+	MemoryLimit int64
+	// Broker, when non-nil, shares a memory budget across sorters: the
+	// sorter carves a child broker (further bounded by MemoryLimit, if
+	// set) from it, so N concurrent sorts degrade to disk together
+	// instead of OOMing. When nil, a private broker is created; peak
+	// accounting (Stats().PeakResidentRunBytes) works either way.
+	Broker *mem.Broker
 	// Telemetry, when non-nil, records phase spans (ingest, run sort, spill
 	// I/O, merge, gather) and per-thread timelines into the recorder,
 	// exportable as Chrome trace_event JSON and Prometheus text; it also
@@ -126,6 +151,29 @@ func (o Options) spillBlockRows() int {
 		return o.SpillBlockRows
 	}
 	return DefaultSpillBlockRows
+}
+
+// limited reports whether a memory budget governs this sort — its own
+// MemoryLimit, a shared Broker, or both.
+func (o Options) limited() bool { return o.MemoryLimit > 0 || o.Broker != nil }
+
+// Validate rejects malformed options with a descriptive error. NewSorter
+// calls it up front, so a negative knob can never silently fall through
+// to a default deep inside NewSink or Finalize.
+func (o Options) Validate() error {
+	if o.Threads < 0 {
+		return fmt.Errorf("core: Options.Threads is negative (%d); use 0 for GOMAXPROCS", o.Threads)
+	}
+	if o.RunSize < 0 {
+		return fmt.Errorf("core: Options.RunSize is negative (%d); use 0 for the default (%d)", o.RunSize, DefaultRunSize)
+	}
+	if o.SpillBlockRows < 0 {
+		return fmt.Errorf("core: Options.SpillBlockRows is negative (%d); use 0 for the default (%d)", o.SpillBlockRows, DefaultSpillBlockRows)
+	}
+	if o.MemoryLimit < 0 {
+		return fmt.Errorf("core: Options.MemoryLimit is negative (%d); use 0 for unlimited", o.MemoryLimit)
+	}
+	return nil
 }
 
 func validateKeys(schema vector.Schema, keys []SortColumn) error {

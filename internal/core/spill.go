@@ -9,6 +9,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"rowsort/internal/mem"
 	"rowsort/internal/mergepath"
 	"rowsort/internal/obs"
 	"rowsort/internal/row"
@@ -78,10 +79,20 @@ func (s *Sorter) removeSpillFile(path string) error {
 func (s *Sorter) Close() error {
 	s.spillMu.Lock()
 	defer s.spillMu.Unlock()
-	if s.closed && len(s.spillPaths) == 0 {
+	if s.closed && len(s.spillPaths) == 0 && s.spillTmpDir == "" {
 		return s.closeErr
 	}
 	s.closed = true
+	// Hand the budget back: anything still charged to the broker —
+	// resident runs, pooled buffers — is dead once the sorter is closed.
+	// Releases are idempotent, so a retried Close is harmless; the
+	// broker's peak (Stats().PeakResidentRunBytes) survives.
+	if s.unsub != nil {
+		s.unsub()
+		s.unsub = nil
+	}
+	s.runRes.Release()
+	s.poolRes.Release()
 	var errs []error
 	for path := range s.spillPaths {
 		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
@@ -91,6 +102,13 @@ func (s *Sorter) Close() error {
 		}
 		delete(s.spillPaths, path)
 		s.spillRemoved.Add(1)
+	}
+	if s.spillTmpDir != "" && len(s.spillPaths) == 0 {
+		if err := os.RemoveAll(s.spillTmpDir); err != nil {
+			errs = append(errs, fmt.Errorf("core: removing spill directory: %w", err))
+		} else {
+			s.spillTmpDir = ""
+		}
 	}
 	s.closeErr = errors.Join(errs...)
 	return s.closeErr
@@ -121,13 +139,137 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// spillTo writes the run to a file under s.opt.SpillDir in the blocked
-// format and releases its in-memory buffers. On any error the partial file
-// is removed; nothing is leaked. ow is the calling worker's trace lane.
+// spillPath names run id's spill file: under Options.SpillDir when set,
+// else under a private temp directory created on first use (and removed by
+// Close once its files are gone).
+func (s *Sorter) spillPath(id uint32) (string, error) {
+	dir := s.opt.SpillDir
+	if dir == "" {
+		s.spillMu.Lock()
+		if s.spillTmpDir == "" {
+			d, err := os.MkdirTemp("", "rowsort-spill-*")
+			if err != nil {
+				s.spillMu.Unlock()
+				return "", fmt.Errorf("core: creating spill directory: %w", err)
+			}
+			s.spillTmpDir = d
+		}
+		dir = s.spillTmpDir
+		s.spillMu.Unlock()
+	}
+	return filepath.Join(dir, fmt.Sprintf("rowsort-run-%d.bin", id)), nil
+}
+
+// approxRowBytes estimates one row's resident footprint (key row plus
+// fixed-width payload row; string heaps unknown) for budget planning when
+// the exact buffers are not at hand.
+func (s *Sorter) approxRowBytes() int64 { return int64(s.rowWidth + s.layout.Width()) }
+
+// spillBlockRowsFor plans the spill-block size for a run about to be
+// written: the configured SpillBlockRows when set, the default when
+// unbudgeted, else a block sized from the remaining budget and the run's
+// average row footprint (mergepath.PlanBlockRows) — small blocks under
+// pressure, default-sized ones when there is headroom.
+func (s *Sorter) spillBlockRowsFor(r *sortedRun) int {
+	if s.opt.SpillBlockRows > 0 || !s.opt.limited() {
+		return s.opt.spillBlockRows()
+	}
+	avg := s.approxRowBytes()
+	if r.keys != nil && r.rows > 0 {
+		avg = runBytes(r) / int64(r.rows)
+	}
+	return mergepath.PlanBlockRows(s.broker.Remaining(), avg, DefaultSpillBlockRows)
+}
+
+// spillRun spills one specific run if it is still resident, claiming it
+// against concurrent pressure spillers so a run is written at most once.
+func (s *Sorter) spillRun(r *sortedRun, ow *obs.Worker) error {
+	s.mu.Lock()
+	if r.spilling || r.spill != nil || r.keys == nil {
+		s.mu.Unlock()
+		return nil
+	}
+	r.spilling = true
+	s.mu.Unlock()
+	err := r.spillTo(s, ow)
+	// The lock also publishes spillTo's field writes to the next claimer.
+	s.mu.Lock()
+	r.spilling = false
+	s.mu.Unlock()
+	return err
+}
+
+// spillUnderPressure sheds resident runs to disk, largest first, until the
+// broker is back under budget (or nothing spillable is left). Multiple
+// sinks may shed concurrently; each claims runs under s.mu.
+func (s *Sorter) spillUnderPressure(ow *obs.Worker) error {
+	sp := ow.Begin(obs.PhasePressureSpill)
+	defer sp.End()
+	for s.broker.OverBudget() {
+		run := s.claimSpillableRun()
+		if run == nil {
+			return nil
+		}
+		s.pressureSpills.Add(1)
+		err := run.spillTo(s, ow)
+		s.mu.Lock()
+		run.spilling = false
+		s.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// claimSpillableRun picks the largest resident run and marks it claimed;
+// nil when every run is on disk, claimed, or the sort has moved on to its
+// merge (which owns the remaining residents).
+func (s *Sorter) claimSpillableRun() *sortedRun {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized {
+		return nil
+	}
+	var best *sortedRun
+	var bestBytes int64
+	for _, r := range s.runs {
+		if r.spilling || r.spill != nil || r.keys == nil {
+			continue
+		}
+		if b := runBytes(r); best == nil || b > bestBytes {
+			best, bestBytes = r, b
+		}
+	}
+	if best != nil {
+		best.spilling = true
+	}
+	return best
+}
+
+// releaseRun returns a consumed run's buffers to the pools and its bytes to
+// the budget; runs already on disk (keys nil) are untouched.
+func (s *Sorter) releaseRun(r *sortedRun) {
+	if r.keys == nil {
+		return
+	}
+	s.runRes.Shrink(runBytes(r))
+	s.putKeyBuf(r.keys)
+	s.putRowSet(r.payload)
+	r.keys, r.payload = nil, nil
+}
+
+// spillTo writes the run to its spill file in the blocked format and
+// releases its in-memory buffers. On any error the partial file is
+// removed; nothing is leaked. ow is the calling worker's trace lane.
+// Callers on concurrent paths must hold the run's claim (see spillRun).
 func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 	sp := ow.Begin(obs.PhaseSpillWrite)
 	defer sp.End()
-	path := filepath.Join(s.opt.SpillDir, fmt.Sprintf("rowsort-run-%d.bin", r.id))
+	path, err := s.spillPath(r.id)
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("core: creating spill file: %w", err)
@@ -136,7 +278,7 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 	cleanup := func() { s.removeSpillFile(path) }
 	bw := bufio.NewWriter(f)
 	cw := &countingWriter{w: bw}
-	if err := r.writeBlocks(s, cw); err != nil {
+	if err := r.writeBlocks(s, cw, s.spillBlockRowsFor(r)); err != nil {
 		f.Close()
 		cleanup()
 		return err
@@ -152,9 +294,9 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 	}
 	s.spillWritten.Add(cw.n)
 	r.spill = &spillFile{path: path}
-	// The in-memory buffers are dead once the run is on disk: recycle them
-	// for the next pending run.
-	s.residentAdd(-(int64(len(r.keys)) + int64(r.payload.MemSize())))
+	// The in-memory buffers are dead once the run is on disk: give their
+	// bytes back to the budget and recycle them for the next pending run.
+	s.runRes.Shrink(runBytes(r))
 	s.putKeyBuf(r.keys)
 	s.putRowSet(r.payload)
 	r.keys = nil
@@ -165,10 +307,9 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 // writeBlocks serializes the run: a header, then per block the raw key rows
 // followed by the block's payload rows (with a block-local string heap, so
 // a reader needs only that block resident to resolve tie-break lookups).
-func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer) error {
+func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer, blockRows int) error {
 	rw := s.rowWidth
 	n := len(r.keys) / rw
-	blockRows := s.opt.spillBlockRows()
 	var hdr [spillHeaderLen]byte
 	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockRows))
@@ -218,6 +359,12 @@ type runReader struct {
 	payload *row.RowSet // current block's payload
 	codes   []uint32    // current block's offset-value codes
 	lastKey []byte      // previous block's final key row (the code carry)
+
+	// res, when set, is charged with the resident block's bytes (resBytes
+	// tracks what is currently charged). Memory-mode readers leave it nil:
+	// their run's buffers are already accounted under runRes.
+	res      *mem.Reservation
+	resBytes int64
 
 	memory bool
 	served bool
@@ -307,6 +454,9 @@ func (rd *runReader) next() bool {
 	rd.payload = payload
 	rd.blockStart = rd.readRows
 	rd.readRows += rows
+	newBytes := int64(cap(rd.keys)) + rd.payload.CapBytes()
+	rd.res.Grow(newBytes - rd.resBytes)
+	rd.resBytes = newBytes
 	if rd.withCodes {
 		kw := rd.codeWidth
 		if cap(rd.codes) < rows {
@@ -331,6 +481,8 @@ func (rd *runReader) next() bool {
 // file is deleted. A failed removal keeps the file tracked, so Close
 // retries it and reports the error.
 func (rd *runReader) close(remove bool) {
+	rd.res.Shrink(rd.resBytes)
+	rd.resBytes = 0
 	if rd.f == nil {
 		return
 	}
@@ -339,6 +491,165 @@ func (rd *runReader) close(remove bool) {
 	if remove {
 		rd.s.removeSpillFile(rd.run.spill.path)
 		rd.run.spill = nil
+	}
+}
+
+// extMerge is one streaming k-way merge over a mix of spilled and resident
+// runs: block readers, the offset-value-coded loser tree, and a pending
+// gather batch materialized into dst. It is shared by the eager merge
+// (externalFinalize), the fan-in-reducing intermediate passes
+// (mergeRunsToSpill), and the chunked result iterator (Sorter.Rows), which
+// each drain it differently.
+type extMerge struct {
+	s      *Sorter
+	mw     *obs.Worker
+	res    *mem.Reservation // block buffers; the readers grow/shrink it
+	active []uint32         // the participating run ids, merger order
+	// readers is indexed by absolute run id (sparse): key-row references
+	// carry the original run id, so tie-break lookups and refills resolve
+	// without translation.
+	readers []*runReader
+	m       *mergepath.Merger
+	total   int
+	anyTie  bool
+
+	batch     int
+	srcs      []*row.RowSet
+	pendWhich []uint32
+	pendIdxs  []uint32
+	dst       *row.RowSet // gather destination, owned by the drainer
+}
+
+// openExtMerge opens block readers over the given runs, primes their first
+// blocks and builds the loser tree. res is charged with the resident block
+// bytes for the merge's lifetime (the caller releases it after close).
+func (s *Sorter) openExtMerge(ids []uint32, mw *obs.Worker, res *mem.Reservation) (*extMerge, error) {
+	useOVC := s.opt.Merge != MergeLoserTreeNoOVC
+	anyTie := false
+	for _, id := range ids {
+		anyTie = anyTie || s.runs[id].tieBreak
+	}
+	// Byte order is only decisive up to the first tied varchar segment; the
+	// codes must cover exactly that prefix so byte-equal rows fall to the
+	// segment-wise comparator.
+	ovcWidth := s.ovcSafeWidth(anyTie)
+
+	e := &extMerge{s: s, mw: mw, res: res, anyTie: anyTie,
+		active:  append([]uint32(nil), ids...),
+		readers: make([]*runReader, len(s.runs)),
+	}
+	for _, id := range ids {
+		rd, err := s.openRunReader(s.runs[id], useOVC, ovcWidth, mw)
+		if err != nil {
+			e.close(false)
+			return nil, err
+		}
+		rd.res = res
+		e.readers[id] = rd
+		e.total += rd.numRows
+	}
+
+	// Prime every run's first block.
+	mruns := make([]mergepath.Run, len(ids))
+	mcodes := make([][]uint32, len(ids))
+	for i, id := range ids {
+		rd := e.readers[id]
+		if rd.next() {
+			mruns[i] = mergepath.Run{Data: rd.keys, Width: s.rowWidth}
+			mcodes[i] = rd.codes
+		} else if rd.err != nil {
+			err := rd.err
+			e.close(false)
+			return nil, err
+		} else {
+			mruns[i] = mergepath.Run{Width: s.rowWidth}
+		}
+	}
+
+	// Tie-break lookups resolve against the resident block: references
+	// store absolute run indexes, the reader knows its block's offset.
+	var tie mergepath.CompareFunc
+	if anyTie {
+		tie = s.comparator(func(runID, idx uint32) (*row.RowSet, int) {
+			rd := e.readers[runID]
+			return rd.payload, int(idx) - rd.blockStart
+		})
+	}
+	if useOVC {
+		e.m = mergepath.NewMerger(mruns, ovcWidth, mcodes, tie)
+	} else {
+		cmp := tie
+		if cmp == nil {
+			kw := s.keyWidth
+			cmp = func(a, b []byte) int { return compareBytes(a[:kw], b[:kw]) }
+		}
+		e.m = mergepath.NewMerger(mruns, 0, nil, cmp)
+	}
+
+	e.batch = s.opt.spillBlockRows()
+	e.pendWhich = make([]uint32, 0, e.batch)
+	e.pendIdxs = make([]uint32, 0, e.batch)
+	e.srcs = make([]*row.RowSet, len(ids))
+	e.m.SetRefill(func(r int) (mergepath.Run, []uint32, bool) {
+		// Pending gathers may reference the exhausted block; materialize
+		// them before the reader overwrites it. (Only rows already output
+		// can be pending, so everything they reference is still resident.)
+		e.flushPend()
+		rd := e.readers[e.active[r]]
+		if !rd.next() {
+			return mergepath.Run{}, nil, false
+		}
+		return mergepath.Run{Data: rd.keys, Width: s.rowWidth}, rd.codes, true
+	})
+	return e, nil
+}
+
+// next emits the next merged key row (valid until the following next call)
+// and queues its payload reference for the next flushPend. ok is false at
+// end of input; check readerErr then.
+func (e *extMerge) next() (keyRow []byte, ok bool) {
+	run, pos, keyRow, ok := e.m.Next()
+	if !ok {
+		return nil, false
+	}
+	e.pendWhich = append(e.pendWhich, uint32(run))
+	e.pendIdxs = append(e.pendIdxs, uint32(pos))
+	return keyRow, true
+}
+
+// flushPend gathers the queued payload references into dst with the typed
+// batch kernels and clears the queue.
+func (e *extMerge) flushPend() {
+	if len(e.pendIdxs) == 0 {
+		return
+	}
+	for i, id := range e.active {
+		e.srcs[i] = e.readers[id].payload
+	}
+	e.dst.AppendRowsGather(e.srcs, e.pendWhich, e.pendIdxs)
+	e.pendWhich = e.pendWhich[:0]
+	e.pendIdxs = e.pendIdxs[:0]
+}
+
+// readerErr returns the first reader error, if any.
+func (e *extMerge) readerErr() error {
+	for _, id := range e.active {
+		if rd := e.readers[id]; rd != nil && rd.err != nil {
+			return rd.err
+		}
+	}
+	return nil
+}
+
+// close releases every reader (and its charged block bytes); with remove
+// set the fully consumed spill files are deleted. Without remove the files
+// stay tracked, so an abandoned merge leaks nothing — Sorter.Close sweeps
+// them.
+func (e *extMerge) close(remove bool) {
+	for _, rd := range e.readers {
+		if rd != nil {
+			rd.close(remove)
+		}
 	}
 }
 
@@ -355,138 +666,232 @@ func (s *Sorter) externalFinalize() error {
 	mw := s.rec.Worker("merge")
 	msp := mw.Begin(obs.PhaseMerge)
 	defer msp.End()
-	useOVC := s.opt.Merge != MergeLoserTreeNoOVC
-	anyTieBreak := false
-	for _, r := range s.runs {
-		anyTieBreak = anyTieBreak || r.tieBreak
-	}
-	// Byte order is only decisive up to the first tied varchar segment; the
-	// codes must cover exactly that prefix so byte-equal rows fall to the
-	// segment-wise comparator.
-	ovcWidth := s.ovcSafeWidth(anyTieBreak)
 
-	readers := make([]*runReader, len(s.runs))
-	defer func() {
-		for _, rd := range readers {
-			if rd != nil {
-				rd.close(true)
-			}
-		}
-	}()
-	total := 0
-	for i, r := range s.runs {
-		rd, err := s.openRunReader(r, useOVC, ovcWidth, mw)
-		if err != nil {
-			return err
-		}
-		readers[i] = rd
-		total += rd.numRows
+	ids := make([]uint32, len(s.runs))
+	for i := range s.runs {
+		ids[i] = uint32(i)
 	}
+	res := s.broker.Reserve("merge", 0)
+	defer res.Release()
+	e, err := s.openExtMerge(ids, mw, res)
+	if err != nil {
+		return err
+	}
+	defer e.close(true)
 
-	// Prime every run's first block.
-	mruns := make([]mergepath.Run, len(readers))
-	mcodes := make([][]uint32, len(readers))
-	for i, rd := range readers {
-		if rd.next() {
-			mruns[i] = mergepath.Run{Data: rd.keys, Width: s.rowWidth}
-			mcodes[i] = rd.codes
-		} else if rd.err != nil {
-			return rd.err
-		} else {
-			mruns[i] = mergepath.Run{Width: s.rowWidth}
-		}
-	}
-
-	// Tie-break lookups resolve against the resident block: references
-	// store absolute run indexes, the reader knows its block's offset.
-	var tie mergepath.CompareFunc
-	if anyTieBreak {
-		tie = s.comparator(func(runID, idx uint32) (*row.RowSet, int) {
-			rd := readers[runID]
-			return rd.payload, int(idx) - rd.blockStart
-		})
-	}
-	var m *mergepath.Merger
-	if useOVC {
-		m = mergepath.NewMerger(mruns, ovcWidth, mcodes, tie)
-	} else {
-		cmp := tie
-		if cmp == nil {
-			kw := s.keyWidth
-			cmp = func(a, b []byte) int { return compareBytes(a[:kw], b[:kw]) }
-		}
-		m = mergepath.NewMerger(mruns, 0, nil, cmp)
-	}
-
+	total := e.total
 	finalID := uint32(len(s.runs))
 	out := s.getRowSet()
 	out.Reserve(total)
+	e.dst = out
 	finalKeys := make([]byte, total*s.rowWidth)
 	outPos := 0
-	flushRows := s.opt.spillBlockRows()
-	pendWhich := make([]uint32, 0, flushRows)
-	pendIdxs := make([]uint32, 0, flushRows)
-	srcs := make([]*row.RowSet, len(readers))
-	flush := func() {
-		if len(pendIdxs) == 0 {
-			return
-		}
-		for i, rd := range readers {
-			srcs[i] = rd.payload
-		}
-		out.AppendRowsGather(srcs, pendWhich, pendIdxs)
-		pendWhich = pendWhich[:0]
-		pendIdxs = pendIdxs[:0]
-	}
-	m.SetRefill(func(r int) (mergepath.Run, []uint32, bool) {
-		// Pending gathers may reference the exhausted block; materialize
-		// them before the reader overwrites it. (Only rows already output
-		// can be pending, so everything they reference is still resident.)
-		flush()
-		rd := readers[r]
-		if !rd.next() {
-			return mergepath.Run{}, nil, false
-		}
-		return mergepath.Run{Data: rd.keys, Width: s.rowWidth}, rd.codes, true
-	})
-
 	rw := s.rowWidth
 	for {
-		run, pos, keyRow, ok := m.Next()
+		keyRow, ok := e.next()
 		if !ok {
 			break
 		}
 		dst := finalKeys[outPos*rw : (outPos+1)*rw]
 		copy(dst, keyRow)
 		s.putRef(dst, finalID, uint32(outPos))
-		pendWhich = append(pendWhich, uint32(run))
-		pendIdxs = append(pendIdxs, uint32(pos))
 		outPos++
-		if len(pendIdxs) >= flushRows {
-			flush()
+		if len(e.pendIdxs) >= e.batch {
+			e.flushPend()
 		}
 	}
-	for _, rd := range readers {
-		if rd.err != nil {
-			return rd.err
-		}
+	if err := e.readerErr(); err != nil {
+		return err
 	}
 	if outPos != total {
 		return fmt.Errorf("core: external merge produced %d of %d rows", outPos, total)
 	}
-	flush()
+	e.flushPend()
 
-	st := m.Stats()
+	st := e.m.Stats()
 	st.BytesMoved = uint64(len(finalKeys))
-	s.mergeStats = st
+	s.mergeStats.Add(st)
 
 	// Register the final run; all references now point at it, so Result
 	// gathers sequentially like the in-memory path.
-	final := &sortedRun{id: finalID, keys: finalKeys, payload: out, tieBreak: anyTieBreak}
+	final := &sortedRun{id: finalID, keys: finalKeys, payload: out, tieBreak: e.anyTie, rows: total}
 	s.runs = append(s.runs, final)
 	s.finalKeys = finalKeys
-	s.residentAdd(int64(len(finalKeys)) + int64(out.MemSize()))
+	s.runRes.Grow(runBytes(final))
+	// Inputs that were still memory-resident have been fully consumed.
+	for _, id := range ids {
+		s.releaseRun(s.runs[id])
+	}
 	return nil
+}
+
+// planStreamingMerge is the budgeted external arm of Finalize: an eager
+// merge would hold the entire materialized output resident, so instead it
+// only reduces the run count to a fan-in the remaining budget can stream
+// and defers the final pass to the chunked result iterator (Sorter.Rows).
+func (s *Sorter) planStreamingMerge() error {
+	mw := s.rec.Worker("merge")
+	sp := mw.Begin(obs.PhaseMerge)
+	defer sp.End()
+	ids := make([]uint32, len(s.runs))
+	for i := range s.runs {
+		ids[i] = uint32(i)
+	}
+	ids, err := s.reduceFanIn(ids, mw)
+	if err != nil {
+		return err
+	}
+	total := 0
+	for _, id := range ids {
+		total += s.runs[id].rows
+	}
+	s.streamMerge = true
+	s.streamActive = ids
+	s.streamTotal = total
+	return nil
+}
+
+// reduceFanIn merges contiguous batches of runs to disk until the remaining
+// budget can hold one block per surviving run (mergepath.PlanFanIn).
+// Batches are contiguous and each merged run takes its batch's position, so
+// the final merge sees runs in original run-id order — ties still resolve
+// to the earlier input run, which keeps budgeted output byte-identical to
+// the unlimited sort.
+func (s *Sorter) reduceFanIn(ids []uint32, mw *obs.Worker) ([]uint32, error) {
+	for {
+		avg := s.approxRowBytes()
+		blockRows := int64(mergepath.PlanBlockRows(s.broker.Remaining(), avg, s.opt.spillBlockRows()))
+		f := mergepath.PlanFanIn(len(ids), s.broker.Remaining(), blockRows*avg)
+		if f >= len(ids) {
+			return ids, nil
+		}
+		next := make([]uint32, 0, (len(ids)+f-1)/f)
+		for i := 0; i < len(ids); i += f {
+			batch := ids[i:min(i+f, len(ids))]
+			if len(batch) == 1 {
+				next = append(next, batch[0])
+				continue
+			}
+			id, err := s.mergeRunsToSpill(batch, mw)
+			if err != nil {
+				return nil, err
+			}
+			next = append(next, id)
+		}
+		ids = next
+	}
+}
+
+// mergeRunsToSpill streams one intermediate merge pass over the given runs
+// directly into a new spilled run (blocked format, refs rewritten to the
+// merged run), registers it — Finalize already holds s.mu, so no locking —
+// and releases the consumed inputs. Resident memory is the readers' blocks
+// plus one output block.
+func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) {
+	res := s.broker.Reserve("fan-in-merge", 0)
+	defer res.Release()
+	e, err := s.openExtMerge(ids, mw, res)
+	if err != nil {
+		return 0, err
+	}
+	consumed := false
+	defer func() { e.close(consumed) }()
+
+	merged := &sortedRun{id: uint32(len(s.runs)), tieBreak: e.anyTie, rows: e.total}
+	s.runs = append(s.runs, merged)
+
+	path, err := s.spillPath(merged.id)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("core: creating spill file: %w", err)
+	}
+	s.trackSpill(path)
+	fail := func(err error) (uint32, error) {
+		f.Close()
+		if rerr := s.removeSpillFile(path); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+		return 0, err
+	}
+
+	rw := s.rowWidth
+	blockRows := s.spillBlockRowsFor(merged)
+	bw := bufio.NewWriter(f)
+	cw := &countingWriter{w: bw}
+	var hdr [spillHeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockRows))
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(e.total))
+	if _, err := cw.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
+
+	staging := s.getRowSet()
+	defer s.putRowSet(staging)
+	e.dst = staging
+	keyBlock := make([]byte, 0, blockRows*rw)
+	outPos := 0
+	writeBlock := func() error {
+		if len(keyBlock) == 0 {
+			return nil
+		}
+		if _, err := cw.Write(keyBlock); err != nil {
+			return err
+		}
+		e.flushPend()
+		if _, err := staging.WriteTo(cw); err != nil {
+			return err
+		}
+		staging.Reset()
+		keyBlock = keyBlock[:0]
+		return nil
+	}
+	for {
+		keyRow, ok := e.next()
+		if !ok {
+			break
+		}
+		keyBlock = append(keyBlock, keyRow...)
+		s.putRef(keyBlock[len(keyBlock)-rw:], merged.id, uint32(outPos))
+		outPos++
+		if len(keyBlock) >= blockRows*rw {
+			if err := writeBlock(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if err := e.readerErr(); err != nil {
+		return fail(err)
+	}
+	if outPos != e.total {
+		return fail(fmt.Errorf("core: fan-in merge produced %d of %d rows", outPos, e.total))
+	}
+	if err := writeBlock(); err != nil {
+		return fail(err)
+	}
+	if err := bw.Flush(); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		if rerr := s.removeSpillFile(path); rerr != nil {
+			err = errors.Join(err, rerr)
+		}
+		return 0, err
+	}
+
+	s.spillWritten.Add(cw.n)
+	merged.spill = &spillFile{path: path}
+	consumed = true
+	for _, id := range ids {
+		s.releaseRun(s.runs[id])
+	}
+	st := e.m.Stats()
+	st.BytesMoved = uint64(outPos * rw)
+	s.mergeStats.Add(st)
+	return merged.id, nil
 }
 
 // unspill reads the run back into memory (used by the cascaded ablation
@@ -523,7 +928,7 @@ func (r *sortedRun) unspill(s *Sorter, ow *obs.Worker) error {
 	rd.close(true)
 	r.keys = keys
 	r.payload = payload
-	s.residentAdd(int64(len(keys)) + int64(payload.MemSize()))
+	s.runRes.Grow(runBytes(r))
 	return nil
 }
 
@@ -619,16 +1024,11 @@ func (s *Sorter) mergeRunPair(a, b *sortedRun, ow *obs.Worker) (*sortedRun, erro
 	payload.AppendRowsGather(payloads, which, idxs)
 	merged.keys = mergedKeys
 	merged.payload = payload
-	s.residentAdd(int64(len(mergedKeys)) + int64(payload.MemSize()))
+	merged.rows = n
+	s.runRes.Grow(runBytes(merged))
 
 	// Release the inputs into the pools.
-	s.residentAdd(-(int64(len(a.keys)) + int64(a.payload.MemSize()) +
-		int64(len(b.keys)) + int64(b.payload.MemSize())))
-	s.putKeyBuf(a.keys)
-	s.putKeyBuf(b.keys)
-	s.putRowSet(a.payload)
-	s.putRowSet(b.payload)
-	a.keys, a.payload = nil, nil
-	b.keys, b.payload = nil, nil
+	s.releaseRun(a)
+	s.releaseRun(b)
 	return merged, nil
 }

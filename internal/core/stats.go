@@ -11,12 +11,13 @@ import (
 )
 
 // SortStats is the unified telemetry snapshot of one sorter: ingestion and
-// run-generation counters, spill I/O accounting, merge-phase counters,
-// materialization volume, memory high-water mark, and wall-clock durations
-// of the three sequential pipeline stages. It supersedes the MergeStats and
-// SpillStats accessors, which are now views over it. Counters and stage
-// durations are always collected; the per-phase span breakdown in Phases is
-// populated only when Options.Telemetry is set.
+// run-generation counters, spill I/O accounting, memory-budget pressure,
+// merge-phase counters, materialization volume, memory high-water mark,
+// and wall-clock durations of the three sequential pipeline stages. It is
+// the sorter's single stats surface (the old MergeStats and SpillStats
+// accessors it superseded are gone). Counters and stage durations are
+// always collected; the per-phase span breakdown in Phases is populated
+// only when Options.Telemetry is set.
 type SortStats struct {
 	// RowsIngested is the number of rows appended through sinks (or TopN).
 	RowsIngested int64
@@ -40,9 +41,17 @@ type SortStats struct {
 	// GatherBytesMoved is the fixed-width payload row bytes moved by result
 	// materialization (rows gathered × payload row width).
 	GatherBytesMoved int64
-	// PeakResidentRunBytes is the high-water mark of in-memory run bytes
-	// (sorted key rows plus payload rows and string heaps) held at once.
+	// PeakResidentRunBytes is the high-water mark of bytes charged to the
+	// sorter's memory broker at once: sink buffers, sorted runs (key rows
+	// plus payload rows and string heaps), pooled buffers and merge blocks.
 	PeakResidentRunBytes int64
+	// MemoryLimit echoes Options.MemoryLimit (0 = unlimited).
+	MemoryLimit int64
+	// MemoryPressureEvents counts reservation requests the broker could
+	// not satisfy within budget; PressureSpills counts resident runs shed
+	// to disk in response. Both zero for unbudgeted sorts.
+	MemoryPressureEvents int64
+	PressureSpills       int64
 	// Merge is the merge phase's comparison counters (see mergepath.Stats).
 	Merge mergepath.Stats
 	// DurRunGen, DurMerge and DurGather are the wall-clock durations of the
@@ -73,7 +82,10 @@ func (s *Sorter) Stats() SortStats {
 		SpillFilesRemoved:    s.spillRemoved.Load(),
 		SpillRemoveErrors:    s.spillRemoveErrs.Load(),
 		GatherBytesMoved:     s.gatherBytes.Load(),
-		PeakResidentRunBytes: s.peakResident.Load(),
+		PeakResidentRunBytes: s.broker.Peak(),
+		MemoryLimit:          s.opt.MemoryLimit,
+		MemoryPressureEvents: s.broker.PressureEvents(),
+		PressureSpills:       s.pressureSpills.Load(),
 		DurGather:            time.Duration(s.durGather.Load()),
 		Phases:               s.rec.Summary(),
 	}
@@ -123,6 +135,13 @@ func (st SortStats) String() string {
 	row("spill files removed", fmt.Sprintf("%d (%d errors)", st.SpillFilesRemoved, st.SpillRemoveErrors))
 	row("gather bytes moved", fmt.Sprintf("%d", st.GatherBytesMoved))
 	row("peak resident run bytes", fmt.Sprintf("%d", st.PeakResidentRunBytes))
+	if st.MemoryLimit > 0 {
+		row("memory limit", fmt.Sprintf("%d bytes", st.MemoryLimit))
+	}
+	if st.MemoryPressureEvents > 0 || st.PressureSpills > 0 {
+		row("memory pressure", fmt.Sprintf("%d events, %d runs spilled",
+			st.MemoryPressureEvents, st.PressureSpills))
+	}
 	row("merge comparisons", fmt.Sprintf("%d (%d ovc hits, %d full, %d tie-breaks)",
 		st.Merge.Comparisons, st.Merge.OVCHits, st.Merge.FullCompares, st.Merge.TieBreaks))
 	row("run generation", st.DurRunGen.Round(time.Microsecond).String())
@@ -155,6 +174,9 @@ func (st SortStats) WritePrometheus(w io.Writer) error {
 	counter("rowsort_spill_remove_errors_total", "Failed spill-file removals.", float64(st.SpillRemoveErrors))
 	counter("rowsort_gather_bytes_total", "Payload row bytes moved by materialization.", float64(st.GatherBytesMoved))
 	gauge("rowsort_peak_resident_run_bytes", "High-water mark of resident run bytes.", float64(st.PeakResidentRunBytes))
+	gauge("rowsort_mem_limit_bytes", "Configured memory budget (0 = unlimited).", float64(st.MemoryLimit))
+	counter("rowsort_mem_pressure_events_total", "Reservations the broker could not satisfy within budget.", float64(st.MemoryPressureEvents))
+	counter("rowsort_pressure_spills_total", "Resident runs shed to disk under memory pressure.", float64(st.PressureSpills))
 	counter("rowsort_merge_comparisons_total", "Two-row matches played in the merge.", float64(st.Merge.Comparisons))
 	counter("rowsort_merge_ovc_hits_total", "Matches decided by offset-value codes alone.", float64(st.Merge.OVCHits))
 	counter("rowsort_merge_tie_breaks_total", "Matches resolved by the tie-break comparator.", float64(st.Merge.TieBreaks))

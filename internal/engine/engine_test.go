@@ -103,6 +103,49 @@ func TestLimitOffset(t *testing.T) {
 	}
 }
 
+func TestSortOperatorWithMemoryBudget(t *testing.T) {
+	// A one-byte budget forces the sort through adaptive spilling and the
+	// deferred streaming merge; the operator output must match the
+	// unlimited plan, and LIMIT must be able to abandon the stream early
+	// (Close reclaims the unconsumed spill files).
+	tbl := scanTable(t, 6000)
+	keys := []core.SortColumn{{Column: 3, Descending: true}, {Column: 0}}
+	full, err := Run(Sort(Scan(tbl), keys, core.Options{Threads: 2, RunSize: 1000}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	budgeted, err := Run(Sort(Scan(tbl), keys,
+		core.Options{Threads: 2, RunSize: 1000, MemoryLimit: 1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budgeted.NumRows() != full.NumRows() {
+		t.Fatalf("budgeted sort produced %d rows, want %d", budgeted.NumRows(), full.NumRows())
+	}
+	for _, col := range []int{0, 3} {
+		w, g := full.Column(col), budgeted.Column(col)
+		for i := 0; i < w.Len(); i++ {
+			if w.Value(i) != g.Value(i) {
+				t.Fatalf("budgeted sort diverges at row %d column %d", i, col)
+			}
+		}
+	}
+
+	out, err := Run(Limit(Sort(Scan(tbl), keys,
+		core.Options{Threads: 2, RunSize: 1000, MemoryLimit: 1}), 7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 7 {
+		t.Fatalf("limit over budgeted sort produced %d rows, want 7", out.NumRows())
+	}
+	for i := 0; i < 7; i++ {
+		if out.Column(0).Value(i) != full.Column(0).Value(i) {
+			t.Fatalf("limited budgeted sort diverges at row %d", i)
+		}
+	}
+}
+
 func TestCountOverSort(t *testing.T) {
 	// The paper's benchmark query shape: count(*) over a sorted subquery.
 	tbl := scanTable(t, 4000)

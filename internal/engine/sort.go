@@ -14,8 +14,8 @@ type SortOp struct {
 	keys  []core.SortColumn
 	opt   core.Options
 
-	result *vector.Table
-	pos    int
+	sorter *core.Sorter
+	rows   *core.RowIter
 }
 
 // Sort returns a sort plan node.
@@ -27,10 +27,12 @@ func Sort(child Operator, keys []core.SortColumn, opt core.Options) *SortOp {
 func (s *SortOp) Schema() vector.Schema { return s.child.Schema() }
 
 // Open implements Operator: it drains the child into the sorter, runs the
-// parallel merge, and readies the sorted scan. The final materialization
-// (core.Sorter.Result) gathers the payload with the typed vectorized
-// kernels across Options.Threads workers, so the pipeline breaker's output
-// side is parallel as well.
+// parallel merge, and readies the sorted scan as a chunked row iterator
+// (core.Sorter.Rows). Chunks are gathered on demand with the typed
+// vectorized kernels, so a consumer that stops early — LIMIT without the
+// TopN rewrite, a probe that finds its match — never pays for
+// materializing the tail; under a memory budget the final external merge
+// itself streams through Next.
 func (s *SortOp) Open() error {
 	if err := s.child.Open(); err != nil {
 		return err
@@ -39,6 +41,7 @@ func (s *SortOp) Open() error {
 	if err != nil {
 		return err
 	}
+	s.sorter = sorter
 	sink := sorter.NewSink()
 	for {
 		c, err := s.child.Next()
@@ -58,28 +61,36 @@ func (s *SortOp) Open() error {
 	if err := sorter.Finalize(); err != nil {
 		return err
 	}
-	s.result, err = sorter.Result()
-	if err != nil {
-		return err
-	}
-	s.pos = 0
-	return nil
+	s.rows, err = sorter.Rows()
+	return err
 }
 
 // Next implements Operator.
 func (s *SortOp) Next() (*vector.Chunk, error) {
-	if s.result == nil || s.pos >= len(s.result.Chunks) {
+	if s.rows == nil {
 		return nil, nil
 	}
-	c := s.result.Chunks[s.pos]
-	s.pos++
-	return c, nil
+	return s.rows.Next()
 }
 
-// Close implements Operator.
+// Close implements Operator. It releases the sorter's spill files and
+// budget reservations even when the iterator was not drained.
 func (s *SortOp) Close() error {
-	s.result = nil
-	return s.child.Close()
+	var err error
+	if s.rows != nil {
+		err = s.rows.Close()
+		s.rows = nil
+	}
+	if s.sorter != nil {
+		if cerr := s.sorter.Close(); err == nil {
+			err = cerr
+		}
+		s.sorter = nil
+	}
+	if cerr := s.child.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // TopNOp is the specialized operator an optimizer substitutes for a Sort

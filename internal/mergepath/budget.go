@@ -1,0 +1,73 @@
+package mergepath
+
+// Budget-driven merge planning ("Implementing the Comparison-Based
+// External Sort", Polyntsov et al.): an external merge's resident memory
+// is fan-in × block bytes, so when a budget is in force the two knobs are
+// derived from the remaining reservation instead of fixed constants —
+// the block size when a run is written, the fan-in when runs are merged.
+// Too-small answers thrash I/O, too-large answers blow the budget, so
+// both planners clamp to floors that keep the merge making progress even
+// when the budget is absurdly small.
+
+const (
+	// minFanIn is the merge's progress floor: below 2-way merging nothing
+	// merges, and a 2-way cascade is the worst case the budget can force.
+	minFanIn = 2
+	// minBlockRows keeps spill blocks from degenerating into per-row I/O
+	// under tiny budgets.
+	minBlockRows = 16
+	// blockBudgetShare divides the remaining budget when sizing one run's
+	// spill block: a k-run merge holds ~k blocks resident, so each block
+	// targets a small share of the budget rather than all of it.
+	blockBudgetShare = 16
+	// maxBlockBytes caps block growth under huge budgets; past ~1 MiB per
+	// block, larger sequential reads stop paying.
+	maxBlockBytes = 1 << 20
+)
+
+// PlanBlockRows picks the spill-block row count for a run about to be
+// written, from the budget headroom remaining (bytes; may be negative
+// under pressure) and the run's average row footprint (key row + payload
+// row + heap share, bytes). maxRows is the unbudgeted default and upper
+// bound. The result targets remaining/blockBudgetShare bytes per block,
+// clamped to [minBlockRows, maxRows].
+func PlanBlockRows(remaining, rowBytes int64, maxRows int) int {
+	if rowBytes <= 0 {
+		rowBytes = 1
+	}
+	target := remaining / blockBudgetShare
+	if target > maxBlockBytes {
+		target = maxBlockBytes
+	}
+	rows := int(target / rowBytes)
+	if rows > maxRows {
+		rows = maxRows
+	}
+	if rows < minBlockRows {
+		rows = minBlockRows
+	}
+	return rows
+}
+
+// PlanFanIn picks how many of k runs one streaming merge pass may read at
+// once: each run holds about blockBytes resident, so the fan-in is the
+// remaining budget divided by the per-run block footprint, clamped to
+// [minFanIn, k]. A fan-in below k forces intermediate merge passes that
+// reduce the run count first — trading extra I/O for bounded memory,
+// exactly the external-sort trade-off the budget encodes.
+func PlanFanIn(k int, remaining, blockBytes int64) int {
+	if k <= minFanIn {
+		return max(k, minFanIn)
+	}
+	if blockBytes <= 0 {
+		blockBytes = 1
+	}
+	f := int(remaining / blockBytes)
+	if f > k {
+		f = k
+	}
+	if f < minFanIn {
+		f = minFanIn
+	}
+	return f
+}

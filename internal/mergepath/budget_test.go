@@ -1,0 +1,53 @@
+package mergepath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPlanBlockRows(t *testing.T) {
+	cases := []struct {
+		name      string
+		remaining int64
+		rowBytes  int64
+		maxRows   int
+		want      int
+	}{
+		{"unlimited budget hits maxRows", math.MaxInt64, 100, 4096, 4096},
+		{"huge budget capped by maxBlockBytes", 1 << 40, 64, 1 << 20, maxBlockBytes / 64},
+		{"moderate budget splits a share", 16 << 20, 1 << 10, 4096, 1024},
+		{"tiny budget clamps to floor", 100, 100, 4096, minBlockRows},
+		{"negative headroom clamps to floor", -5000, 100, 4096, minBlockRows},
+		{"zero row bytes does not divide by zero", 1 << 20, 0, 4096, 4096},
+	}
+	for _, c := range cases {
+		if got := PlanBlockRows(c.remaining, c.rowBytes, c.maxRows); got != c.want {
+			t.Errorf("%s: PlanBlockRows(%d, %d, %d) = %d, want %d",
+				c.name, c.remaining, c.rowBytes, c.maxRows, got, c.want)
+		}
+	}
+}
+
+func TestPlanFanIn(t *testing.T) {
+	cases := []struct {
+		name       string
+		k          int
+		remaining  int64
+		blockBytes int64
+		want       int
+	}{
+		{"budget fits all runs", 10, 1 << 20, 1 << 10, 10},
+		{"budget halves the fan-in", 10, 5 << 10, 1 << 10, 5},
+		{"starved budget still merges pairwise", 10, 0, 1 << 10, minFanIn},
+		{"negative headroom still merges pairwise", 10, -100, 1 << 10, minFanIn},
+		{"k below the floor passes through", 1, 0, 1 << 10, minFanIn},
+		{"two runs always merge directly", 2, 0, 1 << 10, 2},
+		{"zero block bytes does not divide by zero", 8, 4, 0, 4},
+	}
+	for _, c := range cases {
+		if got := PlanFanIn(c.k, c.remaining, c.blockBytes); got != c.want {
+			t.Errorf("%s: PlanFanIn(%d, %d, %d) = %d, want %d",
+				c.name, c.k, c.remaining, c.blockBytes, got, c.want)
+		}
+	}
+}

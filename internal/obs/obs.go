@@ -46,13 +46,18 @@ const (
 	PhaseMerge
 	// PhaseGather is materializing the sorted payload back into columns.
 	PhaseGather
+	// PhasePressureSpill is spilling resident runs because the memory
+	// broker reported budget pressure (the adaptive-spill path, as opposed
+	// to PhaseSpillWrite spans inside it which cover the file writes).
+	PhasePressureSpill
 
 	// NumPhases is the number of distinct phases.
-	NumPhases = int(PhaseGather) + 1
+	NumPhases = int(PhasePressureSpill) + 1
 )
 
 var phaseNames = [NumPhases]string{
 	"sort", "ingest", "run-sort", "spill-write", "spill-read", "merge", "gather",
+	"pressure-spill",
 }
 
 // String returns the phase's trace/metric name.

@@ -1,0 +1,100 @@
+package row
+
+import (
+	"sync"
+
+	"rowsort/internal/mem"
+)
+
+// Pooled allocation routed through the memory broker: the sorter's hot
+// buffers (key rows and payload RowSets released by flushed, spilled and
+// merged runs) are recycled through these pools, and the capacity a pool
+// holds on to is charged against a mem.Reservation. That keeps idle pool
+// memory visible to the budget — and gives the pool its degradation
+// policy for free: when retaining a buffer would push the broker over
+// budget, the pool drops it for the garbage collector instead of keeping
+// it warm.
+
+// SetPool recycles RowSets of one layout. The zero value is unusable;
+// construct with NewSetPool. A nil *SetPool is a valid no-op source that
+// always allocates fresh sets (and discards returned ones).
+type SetPool struct {
+	layout *Layout
+	res    *mem.Reservation
+	pool   sync.Pool
+}
+
+// NewSetPool returns a pool producing RowSets with the given layout. res
+// (which may be nil for unaccounted pooling) is charged with the capacity
+// of every idle set the pool holds.
+func NewSetPool(layout *Layout, res *mem.Reservation) *SetPool {
+	return &SetPool{layout: layout, res: res}
+}
+
+// Get returns an empty RowSet, recycled when one is pooled.
+func (p *SetPool) Get() *RowSet {
+	if p == nil {
+		return nil
+	}
+	if rs, ok := p.pool.Get().(*RowSet); ok {
+		p.res.Shrink(rs.CapBytes())
+		return rs
+	}
+	return NewRowSet(p.layout)
+}
+
+// Put recycles a set whose contents are dead. Under budget pressure the
+// set is dropped instead of pooled, returning its capacity to the GC.
+func (p *SetPool) Put(rs *RowSet) {
+	if p == nil || rs == nil {
+		return
+	}
+	rs.Reset()
+	c := rs.CapBytes()
+	if !p.res.Grow(c) {
+		p.res.Shrink(c)
+		return
+	}
+	p.pool.Put(rs)
+}
+
+// BufPool recycles byte buffers (the sorter's key-row buffers) with the
+// same accounting and pressure policy as SetPool. A nil *BufPool always
+// allocates and never retains.
+type BufPool struct {
+	res  *mem.Reservation
+	pool sync.Pool
+}
+
+// NewBufPool returns a buffer pool charging res (may be nil) with the
+// capacity of every idle buffer it holds.
+func NewBufPool(res *mem.Reservation) *BufPool {
+	return &BufPool{res: res}
+}
+
+// Get returns an empty (length-0) buffer, recycled when one is pooled.
+func (p *BufPool) Get() []byte {
+	if p == nil {
+		return nil
+	}
+	if b, ok := p.pool.Get().(*[]byte); ok {
+		p.res.Shrink(int64(cap(*b)))
+		return (*b)[:0]
+	}
+	return nil
+}
+
+// Put recycles a buffer whose contents are dead; under budget pressure it
+// is dropped instead.
+func (p *BufPool) Put(b []byte) {
+	if p == nil || cap(b) == 0 {
+		return
+	}
+	c := int64(cap(b))
+	if !p.res.Grow(c) {
+		p.res.Shrink(c)
+		return
+	}
+	b = b[:0]
+	p.pool.Put(&b)
+}

@@ -1,0 +1,107 @@
+package row
+
+import (
+	"testing"
+
+	"rowsort/internal/mem"
+	"rowsort/internal/vector"
+)
+
+func TestSetPoolAccountsCapacity(t *testing.T) {
+	b := mem.NewBroker("test", 1<<20)
+	res := b.Reserve("pool", 0)
+	defer res.Release()
+	layout := NewLayout([]vector.Type{vector.Int64, vector.Varchar})
+	p := NewSetPool(layout, res)
+
+	rs := p.Get()
+	if rs == nil {
+		t.Fatal("Get returned nil from a non-nil pool")
+	}
+	v := vector.NewDense(vector.Int64, 8)
+	sv := vector.NewDense(vector.Varchar, 8)
+	for i := 0; i < 8; i++ {
+		v.Int64s()[i] = int64(i)
+		sv.Strings()[i] = "some string payload"
+	}
+	if err := rs.AppendChunk([]*vector.Vector{v, sv}); err != nil {
+		t.Fatal(err)
+	}
+	capBytes := rs.CapBytes()
+	if capBytes <= 0 {
+		t.Fatal("CapBytes of a filled set is zero")
+	}
+
+	p.Put(rs)
+	if got := res.Bytes(); got != capBytes {
+		t.Fatalf("pooled capacity accounted %d bytes, want %d", got, capBytes)
+	}
+	got := p.Get()
+	if got != rs {
+		t.Fatal("pool did not recycle the set")
+	}
+	if got.Len() != 0 {
+		t.Fatal("recycled set not reset")
+	}
+	if res.Bytes() != 0 {
+		t.Fatalf("reservation holds %d bytes after Get, want 0", res.Bytes())
+	}
+}
+
+func TestSetPoolDropsUnderPressure(t *testing.T) {
+	b := mem.NewBroker("test", 64) // tiny: retaining any real buffer overflows
+	res := b.Reserve("pool", 0)
+	defer res.Release()
+	other := b.Reserve("hog", 60)
+	defer other.Release()
+	layout := NewLayout([]vector.Type{vector.Int64})
+	p := NewSetPool(layout, res)
+
+	rs := NewRowSet(layout)
+	v := vector.NewDense(vector.Int64, 64)
+	for i := 0; i < 64; i++ {
+		v.Int64s()[i] = int64(i)
+	}
+	if err := rs.AppendChunk([]*vector.Vector{v}); err != nil {
+		t.Fatal(err)
+	}
+	p.Put(rs)
+	if got := res.Bytes(); got != 0 {
+		t.Fatalf("pressure-dropped set left %d bytes accounted", got)
+	}
+	if got := p.Get(); got == rs {
+		t.Fatal("pool retained a set it should have dropped under pressure")
+	}
+}
+
+func TestBufPoolAccounting(t *testing.T) {
+	b := mem.NewBroker("test", 1<<20)
+	res := b.Reserve("pool", 0)
+	defer res.Release()
+	p := NewBufPool(res)
+	buf := append(p.Get(), make([]byte, 1024)...)
+	p.Put(buf)
+	if got := res.Bytes(); got != int64(cap(buf)) {
+		t.Fatalf("pooled buffer accounted %d bytes, want %d", got, cap(buf))
+	}
+	got := p.Get()
+	if cap(got) != cap(buf) || len(got) != 0 {
+		t.Fatalf("recycled buffer cap=%d len=%d, want cap=%d len=0", cap(got), len(got), cap(buf))
+	}
+	if res.Bytes() != 0 {
+		t.Fatalf("reservation holds %d bytes after Get, want 0", res.Bytes())
+	}
+}
+
+func TestNilPools(t *testing.T) {
+	var sp *SetPool
+	var bp *BufPool
+	if sp.Get() != nil {
+		t.Fatal("nil SetPool.Get returned a set")
+	}
+	sp.Put(NewRowSet(NewLayout([]vector.Type{vector.Int32})))
+	if bp.Get() != nil {
+		t.Fatal("nil BufPool.Get returned a buffer")
+	}
+	bp.Put(make([]byte, 4))
+}

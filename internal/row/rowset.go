@@ -42,6 +42,17 @@ func (rs *RowSet) MemSize() int {
 	return len(rs.data) + len(rs.heap)
 }
 
+// CapBytes returns the bytes the set's buffers hold on to (capacity, not
+// length) — the unit of broker accounting, since a pooled or growing
+// buffer occupies its full capacity regardless of how much is live.
+// Nil-safe.
+func (rs *RowSet) CapBytes() int64 {
+	if rs == nil {
+		return 0
+	}
+	return int64(cap(rs.data)) + int64(cap(rs.heap))
+}
+
 // Row returns row i's bytes, aliasing the underlying buffer.
 func (rs *RowSet) Row(i int) []byte {
 	w := rs.layout.width
