@@ -1,0 +1,205 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"rowsort/internal/core"
+	"rowsort/internal/mem"
+	"rowsort/internal/vector"
+	"rowsort/internal/workload"
+)
+
+func init() {
+	register("parallel", "Parallel external sort: rungen/read-ahead/partitioned-merge ablation under spill",
+		runParallelAblation)
+}
+
+// chunkSink is the common surface of core.Sink and core.ParallelSink.
+type chunkSink interface {
+	Append(*vector.Chunk) error
+	Close() error
+}
+
+// extSortOnce runs one end-to-end external sort — ingest (single Sink or
+// ParallelSink), finalize, streamed drain — and returns wall time + stats.
+func extSortOnce(tbl *vector.Table, keys []core.SortColumn, opt core.Options, parIngest bool) (time.Duration, core.SortStats) {
+	start := time.Now()
+	s, err := core.NewSorter(tbl.Schema, keys, opt)
+	if err != nil {
+		panic(err)
+	}
+	var sink chunkSink
+	if parIngest {
+		sink = s.NewParallelSink()
+	} else {
+		sink = s.NewSink()
+	}
+	for _, c := range tbl.Chunks {
+		if err := sink.Append(c); err != nil {
+			panic(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		panic(err)
+	}
+	if err := s.Finalize(); err != nil {
+		panic(err)
+	}
+	it, err := s.Rows()
+	if err != nil {
+		panic(err)
+	}
+	rows := 0
+	for {
+		c, err := it.Next()
+		if err != nil {
+			panic(err)
+		}
+		if c == nil {
+			break
+		}
+		rows += c.Len()
+	}
+	if err := it.Close(); err != nil {
+		panic(err)
+	}
+	if rows != tbl.NumRows() {
+		panic(fmt.Sprintf("bench: parallel experiment produced %d of %d rows", rows, tbl.NumRows()))
+	}
+	d := time.Since(start)
+	st := s.Stats()
+	if err := s.Close(); err != nil {
+		panic(err)
+	}
+	return d, st
+}
+
+// runParallelAblation measures what each layer of the parallel external
+// sort buys on a spilling workload. The feature ladder is cumulative:
+//
+//	scalar      single sink, no read-ahead, sequential final merge
+//	+rungen     ingest fans out to Threads sinks (ParallelSink)
+//	+readahead  spill readers decode the next block on prefetch goroutines
+//	+partition  the final merge splits across key ranges (ExtMergeThreads)
+//
+// The first grid spills eagerly (SpillDir, unlimited memory) across thread
+// counts; the second runs the scalar and full pipelines under memory
+// budgets, where the final merge is deferred and streams (so the
+// partitioned arm degenerates to read-ahead — the planner trades it for
+// bounded memory).
+func runParallelAblation(w io.Writer, cfg Config) error {
+	if err := cfg.valid(); err != nil {
+		return err
+	}
+	tbl := workload.CatalogSales(cfg.counterRows(), 10, cfg.seed())
+	keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
+	// Few, large runs: each run spans several spill blocks, so the
+	// partitioned merge's boundary-block re-reads stay a small fraction of
+	// the bytes each worker streams.
+	runSize := max(1, tbl.NumRows()/8)
+
+	dir, err := os.MkdirTemp("", "rowsort-parallel-bench-*")
+	if err != nil {
+		return err
+	}
+	err = runParallelGrids(w, cfg, tbl, keys, runSize, dir)
+	if rerr := os.RemoveAll(dir); err == nil {
+		err = rerr
+	}
+	return err
+}
+
+// runParallelGrids renders the two ablation grids into dir's spill files.
+func runParallelGrids(w io.Writer, cfg Config, tbl *vector.Table, keys []core.SortColumn, runSize int, dir string) error {
+	arm := func(t int, readAhead, extMergeThreads int) core.Options {
+		return core.Options{Threads: t, RunSize: runSize, SpillDir: dir,
+			ReadAhead: readAhead, ExtMergeThreads: extMergeThreads, Telemetry: cfg.Telemetry}
+	}
+
+	var scalarStats core.SortStats
+	scalarTime := MedianTime(cfg.reps(), func() {
+		_, scalarStats = extSortOnce(tbl, keys, arm(1, -1, 1), false)
+	})
+
+	grid := &Table{
+		Title: fmt.Sprintf("catalog_sales, %s rows by 4 keys, eager spill (%s), streamed drain (scalar arm: %s)",
+			Count(uint64(tbl.NumRows())), Bytes(int64(scalarStats.SpillBytesWritten)), Seconds(scalarTime)),
+		Header: []string{"threads", "+rungen", "+readahead", "+partition",
+			"speedup", "prefetch hit", "merge parts"},
+	}
+	threadArms := []int{1, 2, 4, 8}
+	for _, t := range threadArms {
+		rungenTime := MedianTime(cfg.reps(), func() {
+			extSortOnce(tbl, keys, arm(t, -1, 1), true)
+		})
+		readaheadTime := MedianTime(cfg.reps(), func() {
+			extSortOnce(tbl, keys, arm(t, 0, 1), true)
+		})
+		var full core.SortStats
+		fullTime := MedianTime(cfg.reps(), func() {
+			_, full = extSortOnce(tbl, keys, arm(t, 0, 0), true)
+		})
+		hitRate := "-"
+		if full.PrefetchedBlocks > 0 {
+			hitRate = fmt.Sprintf("%.0f%%", 100*float64(full.PrefetchHits)/float64(full.PrefetchedBlocks))
+		}
+		grid.AddRow(fmt.Sprintf("%d", t),
+			Seconds(rungenTime), Seconds(readaheadTime), Seconds(fullTime),
+			Ratio(scalarTime, fullTime), hitRate,
+			Count(uint64(full.ExtMergeParts)))
+	}
+	grid.Render(w)
+
+	// Budget grid: the streamed budgeted merge, scalar vs full pipeline.
+	// The unbudgeted in-memory peak calibrates the budgets.
+	_, unlimited := extSortOnce(tbl, keys,
+		core.Options{Threads: cfg.threads(), RunSize: runSize, Telemetry: cfg.Telemetry}, true)
+	budgets := []int64{
+		unlimited.PeakResidentRunBytes / 4,
+		unlimited.PeakResidentRunBytes / 8,
+	}
+	if cfg.MemoryLimit > 0 {
+		budgets = []int64{cfg.MemoryLimit}
+	}
+	bt := &Table{
+		Title: fmt.Sprintf("same workload under a memory budget, streamed merge (threads=%d)", cfg.threads()),
+		Header: []string{"budget", "scalar", "parallel", "speedup",
+			"prefetch hit", "merge stall", "merge passes"},
+	}
+	for _, budget := range budgets {
+		var plSt core.SortStats
+		var leak int64
+		sc := MedianTime(cfg.reps(), func() {
+			broker := mem.NewBroker("bench-parallel", budget)
+			o := core.Options{Threads: 1, RunSize: runSize, Broker: broker,
+				ReadAhead: -1, ExtMergeThreads: 1, Telemetry: cfg.Telemetry}
+			_, _ = extSortOnce(tbl, keys, o, false)
+			leak += broker.Used()
+		})
+		pl := MedianTime(cfg.reps(), func() {
+			broker := mem.NewBroker("bench-parallel", budget)
+			o := core.Options{Threads: cfg.threads(), RunSize: runSize, Broker: broker,
+				Telemetry: cfg.Telemetry}
+			_, plSt = extSortOnce(tbl, keys, o, true)
+			leak += broker.Used()
+		})
+		if leak != 0 {
+			return fmt.Errorf("bench: broker holds %d bytes after a closed budgeted sort", leak)
+		}
+		hitRate := "-"
+		if plSt.PrefetchedBlocks > 0 {
+			hitRate = fmt.Sprintf("%.0f%%", 100*float64(plSt.PrefetchHits)/float64(plSt.PrefetchedBlocks))
+		}
+		bt.AddRow(Bytes(budget), Seconds(sc), Seconds(pl), Ratio(sc, pl),
+			hitRate, Seconds(plSt.MergeStall), Count(uint64(plSt.MergePasses)))
+	}
+	bt.Render(w)
+
+	if cfg.PhaseBreakdown && cfg.Telemetry != nil {
+		emitPhaseBreakdown(w, "parallel external sort", cfg.Telemetry.Summary())
+	}
+	return nil
+}

@@ -97,6 +97,19 @@ type Sorter struct {
 	tFinalizeStart  atomic.Int64
 	tFinalizeEnd    atomic.Int64
 	tResultEnd      atomic.Int64
+
+	// Parallel external merge counters: spill read-ahead effectiveness
+	// (blocks decoded ahead, blocks already queued when the merge asked,
+	// time the merge stalled waiting for a block), the executed multi-pass
+	// merge plan, and the final merge's partition fan-out.
+	prefetchBlocks  atomic.Int64
+	prefetchHits    atomic.Int64
+	prefetchStallNs atomic.Int64
+	mergePasses     atomic.Int64
+	mergePassRuns   atomic.Int64
+	mergePassBytes  atomic.Int64
+	mergeFanIn      atomic.Int64
+	extMergeParts   atomic.Int64
 }
 
 // sinceEpoch returns the sorter's monotonic clock reading in nanoseconds.

@@ -101,6 +101,21 @@ type Options struct {
 	// DefaultSpillBlockRows, or — under a memory budget — a block size
 	// planned from the remaining reservation (mergepath.PlanBlockRows).
 	SpillBlockRows int
+	// ReadAhead is the number of spill blocks each merge reader prefetches
+	// on a background goroutine while the loser tree consumes the current
+	// one: 0 means DefaultReadAhead (double buffering), a negative value
+	// disables read-ahead (the synchronous ablation arm). Prefetched
+	// blocks are charged to the sorter's broker, so under a budget the
+	// merge planner reserves (1 + ReadAhead) blocks per run.
+	ReadAhead int
+	// ExtMergeThreads bounds the partitioned parallel external merge: the
+	// final merge of spilled runs fans out across this many workers, each
+	// merging a disjoint key range located through the spill files' block
+	// index (k-way split over run key ranges). 0 means Threads; 1 forces
+	// the sequential streaming merge (the ablation arm). The budgeted
+	// streaming path (deferred merge inside Rows) is always sequential —
+	// it produces one chunk stream — so this only governs eager merges.
+	ExtMergeThreads int
 	// MemoryLimit, when positive, bounds this sorter's resident bytes:
 	// sink buffers, sorted runs, pooled buffers, merge blocks. Crossing
 	// the limit does not fail the sort — it flips it into degraded mode:
@@ -132,6 +147,10 @@ const DefaultRunSize = 1 << 17
 // DefaultSpillBlockRows is the default spill block granularity.
 const DefaultSpillBlockRows = 1 << 12
 
+// DefaultReadAhead is the default spill read-ahead depth: one block
+// decoding ahead of the one the merge is consuming (double buffering).
+const DefaultReadAhead = 1
+
 func (o Options) threads() int {
 	if o.Threads > 0 {
 		return o.Threads
@@ -153,6 +172,28 @@ func (o Options) spillBlockRows() int {
 	return DefaultSpillBlockRows
 }
 
+// readAhead returns the prefetch depth per spill reader; 0 means disabled.
+func (o Options) readAhead() int {
+	if o.ReadAhead < 0 {
+		return 0
+	}
+	if o.ReadAhead == 0 {
+		return DefaultReadAhead
+	}
+	return o.ReadAhead
+}
+
+// mergeBuffers is the resident blocks the merge plans per run: the one
+// being consumed plus any read-ahead.
+func (o Options) mergeBuffers() int { return 1 + o.readAhead() }
+
+func (o Options) extMergeThreads() int {
+	if o.ExtMergeThreads > 0 {
+		return o.ExtMergeThreads
+	}
+	return o.threads()
+}
+
 // limited reports whether a memory budget governs this sort — its own
 // MemoryLimit, a shared Broker, or both.
 func (o Options) limited() bool { return o.MemoryLimit > 0 || o.Broker != nil }
@@ -172,6 +213,9 @@ func (o Options) Validate() error {
 	}
 	if o.MemoryLimit < 0 {
 		return fmt.Errorf("core: Options.MemoryLimit is negative (%d); use 0 for unlimited", o.MemoryLimit)
+	}
+	if o.ExtMergeThreads < 0 {
+		return fmt.Errorf("core: Options.ExtMergeThreads is negative (%d); use 0 for Threads or 1 for the sequential merge", o.ExtMergeThreads)
 	}
 	return nil
 }

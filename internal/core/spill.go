@@ -30,9 +30,30 @@ const spillMagic = 0x52534232
 // spillHeaderLen is the file header: magic, block rows, total rows.
 const spillHeaderLen = 16
 
-// spillFile records where a sorted run lives on disk.
+// spillFile records where a sorted run lives on disk, plus the in-memory
+// block index recorded while writing it: the byte offset of every block's
+// key section and the block's first key row (the fences, concatenated at
+// the key-row stride so they form a mergepath.Run the partition planner
+// can KWaySplit directly). The offsets let a partitioned merge worker open
+// a run mid-file; the fences bound each block's key range without reading
+// it. The index costs one key row plus one offset per block (rowWidth+8
+// bytes per SpillBlockRows rows) and is part of the documented budget
+// slack.
 type spillFile struct {
-	path string
+	path      string
+	blockRows int
+	offs      []int64
+	fences    []byte
+}
+
+// numBlocks returns how many blocks the file holds.
+func (sf *spillFile) numBlocks() int { return len(sf.offs) }
+
+// fence returns block b's first key row.
+//
+//rowsort:hotpath
+func (sf *spillFile) fence(b, rowWidth int) []byte {
+	return sf.fences[b*rowWidth : (b+1)*rowWidth]
 }
 
 // trackSpill registers a spill file for cleanup by Close.
@@ -278,7 +299,9 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 	cleanup := func() { s.removeSpillFile(path) }
 	bw := bufio.NewWriter(f)
 	cw := &countingWriter{w: bw}
-	if err := r.writeBlocks(s, cw, s.spillBlockRowsFor(r)); err != nil {
+	blockRows := s.spillBlockRowsFor(r)
+	sf, err := r.writeBlocks(s, cw, blockRows)
+	if err != nil {
 		f.Close()
 		cleanup()
 		return err
@@ -293,7 +316,8 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 		return err
 	}
 	s.spillWritten.Add(cw.n)
-	r.spill = &spillFile{path: path}
+	sf.path = path
+	r.spill = sf
 	// The in-memory buffers are dead once the run is on disk: give their
 	// bytes back to the budget and recycle them for the next pending run.
 	s.runRes.Shrink(runBytes(r))
@@ -307,7 +331,9 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 // writeBlocks serializes the run: a header, then per block the raw key rows
 // followed by the block's payload rows (with a block-local string heap, so
 // a reader needs only that block resident to resolve tie-break lookups).
-func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer, blockRows int) error {
+// It returns the spill file's block index (offsets and fences), recorded as
+// the blocks stream out; the caller fills in the path.
+func (r *sortedRun) writeBlocks(s *Sorter, w *countingWriter, blockRows int) (*spillFile, error) {
 	rw := s.rowWidth
 	n := len(r.keys) / rw
 	var hdr [spillHeaderLen]byte
@@ -315,15 +341,23 @@ func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer, blockRows int) error {
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockRows))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(n))
 	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+		return nil, err
+	}
+	numBlocks := (n + blockRows - 1) / blockRows
+	sf := &spillFile{
+		blockRows: blockRows,
+		offs:      make([]int64, 0, numBlocks),
+		fences:    make([]byte, 0, numBlocks*rw),
 	}
 	blockSet := s.getRowSet()
 	defer s.putRowSet(blockSet)
 	idxs := make([]uint32, 0, blockRows)
 	for start := 0; start < n; start += blockRows {
 		rows := min(blockRows, n-start)
+		sf.offs = append(sf.offs, w.n)
+		sf.fences = append(sf.fences, r.keys[start*rw:start*rw+rw]...)
 		if _, err := w.Write(r.keys[start*rw : (start+rows)*rw]); err != nil {
-			return err
+			return nil, err
 		}
 		blockSet.Reset()
 		idxs = idxs[:0]
@@ -332,163 +366,198 @@ func (r *sortedRun) writeBlocks(s *Sorter, w io.Writer, blockRows int) error {
 		}
 		blockSet.AppendRowsFrom(r.payload, idxs)
 		if _, err := blockSet.WriteTo(w); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	return nil
+	return sf, nil
 }
 
-// runReader streams one run back from its spill file, one block resident at
-// a time. For runs that were never spilled it serves the in-memory buffers
-// as a single block, so the merge handles mixed residency uniformly.
+// runReader streams one run back from its spill file, one decoded block
+// resident at a time — synchronously through a blockDecoder, or through a
+// prefetcher goroutine that keeps Options.ReadAhead blocks decoded ahead of
+// the merge (see prefetch.go). For runs that were never spilled it serves
+// the in-memory buffers as a single block, so the merge handles mixed
+// residency uniformly. A reader may be bounded to a key range (the
+// partitioned external merge): keys then start at the first row whose
+// byte-decisive safe prefix is >= lo and stop before the first >= hi.
 type runReader struct {
-	s         *Sorter
-	run       *sortedRun
-	ow        *obs.Worker // trace lane block reads are recorded on
-	f         *os.File
-	br        *bufio.Reader
-	withCodes bool
-	codeWidth int // key prefix width the offset-value codes cover
+	s   *Sorter
+	run *sortedRun
+	ow  *obs.Worker // trace lane block reads are recorded on
 
-	blockRows  int
-	numRows    int
-	readRows   int
-	blockStart int // absolute index of the current block's first row
+	dec *blockDecoder // synchronous disk mode
+	pf  *prefetcher   // read-ahead disk mode
+	cur *spillBlock   // current block (reused as the decode target in sync mode)
 
-	keys    []byte      // current block's key rows (buffer reused)
-	payload *row.RowSet // current block's payload
-	codes   []uint32    // current block's offset-value codes
-	lastKey []byte      // previous block's final key row (the code carry)
+	numRows int // full-run row count (range readers serve a subset)
 
-	// res, when set, is charged with the resident block's bytes (resBytes
-	// tracks what is currently charged). Memory-mode readers leave it nil:
-	// their run's buffers are already accounted under runRes.
+	keys       []byte      // current block's served key rows
+	payload    *row.RowSet // current block's payload (always the full block)
+	codes      []uint32    // current block's offset-value codes
+	blockStart int         // absolute run index of payload's first row
+	padOff     uint32      // keys[0]'s offset into payload (head-bounded blocks)
+
+	// res, when set, is charged with the resident decoded blocks' bytes
+	// (resBytes tracks the current block's share; the prefetcher charges
+	// queued blocks itself). Memory-mode readers leave it nil: their run's
+	// buffers are already accounted under runRes.
 	res      *mem.Reservation
 	resBytes int64
 
-	memory bool
-	served bool
-	err    error
+	memory       bool
+	memWithCodes bool
+	memCodeWidth int
+	memServeRows int
+	served       bool
+	closed       bool
+	err          error
 }
 
-// openRunReader opens r's spill file and reads its header. codeWidth is the
-// byte-decisive key prefix the offset-value codes cover (ignored when
-// withCodes is false); ow is the trace lane block reads are recorded on.
-func (s *Sorter) openRunReader(r *sortedRun, withCodes bool, codeWidth int, ow *obs.Worker) (*runReader, error) {
-	rd := &runReader{s: s, run: r, ow: ow, withCodes: withCodes, codeWidth: codeWidth}
+// openRunReader opens a full-run reader; see openRunReaderRange.
+func (s *Sorter) openRunReader(r *sortedRun, withCodes bool, codeWidth int, ow *obs.Worker, res *mem.Reservation) (*runReader, error) {
+	return s.openRunReaderRange(r, withCodes, codeWidth, ow, res, nil, nil, 0)
+}
+
+// openRunReaderRange opens a reader over r's rows, optionally bounded to
+// the key range [lo, hi) on the safeWidth-byte prefix (nil bounds are
+// open). codeWidth is the byte-decisive key prefix the offset-value codes
+// cover (ignored when withCodes is false); ow is the trace lane block reads
+// are recorded on; res is charged with the decoded blocks' bytes. When the
+// run is on disk and Options.ReadAhead is enabled, a prefetcher goroutine
+// starts decoding immediately.
+func (s *Sorter) openRunReaderRange(r *sortedRun, withCodes bool, codeWidth int, ow *obs.Worker,
+	res *mem.Reservation, lo, hi []byte, safeWidth int) (*runReader, error) {
+	rd := &runReader{s: s, run: r, ow: ow, res: res}
 	if r.spill == nil {
 		rd.memory = true
 		rd.numRows = len(r.keys) / s.rowWidth
-		rd.blockRows = max(1, rd.numRows)
+		rd.memBounds(withCodes, codeWidth, lo, hi, safeWidth)
 		return rd, nil
 	}
-	f, err := os.Open(r.spill.path)
+	dec, err := s.openBlockDecoder(r, withCodes, codeWidth, lo, hi, safeWidth)
 	if err != nil {
-		return nil, fmt.Errorf("core: opening spill file: %w", err)
+		return nil, err
 	}
-	rd.f = f
-	rd.br = bufio.NewReader(&countingReader{r: f, s: s})
-	var hdr [spillHeaderLen]byte
-	if _, err := io.ReadFull(rd.br, hdr[:]); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("core: reading spill header: %w", err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != spillMagic {
-		f.Close()
-		return nil, fmt.Errorf("core: bad spill magic in %s", r.spill.path)
-	}
-	rd.blockRows = int(binary.LittleEndian.Uint32(hdr[4:]))
-	rd.numRows = int(binary.LittleEndian.Uint64(hdr[8:]))
-	if rd.blockRows <= 0 {
-		f.Close()
-		return nil, fmt.Errorf("core: bad spill block size in %s", r.spill.path)
+	rd.numRows = dec.numRows
+	if depth := s.opt.readAhead(); depth > 0 {
+		dec.ow = s.rec.Worker("prefetch")
+		dec.phase = obs.PhasePrefetch
+		rd.pf = startPrefetcher(dec, depth, res)
+	} else {
+		dec.ow = ow
+		dec.phase = obs.PhaseSpillRead
+		rd.dec = dec
 	}
 	return rd, nil
 }
 
-// next loads the run's next block, overwriting the previous one. It returns
-// false at end of run or on error (check rd.err). The codes carry across
-// blocks: codes[0] of a new block is relative to the previous block's last
-// row, which the merge has always just output when it asks for a refill.
+// memBounds precomputes a memory-mode reader's served slice: the rows of
+// [lo, hi) on the safe prefix, found by binary search over the (sorted)
+// resident keys. Codes are computed lazily on the first next.
+func (rd *runReader) memBounds(withCodes bool, codeWidth int, lo, hi []byte, safeWidth int) {
+	rd.keys = rd.run.keys
+	rd.payload = rd.run.payload
+	rw := rd.s.rowWidth
+	full := mergepath.Run{Data: rd.run.keys, Width: rw}
+	a, b := 0, rd.numRows
+	if lo != nil {
+		a = safeLowerBound(full, lo, safeWidth)
+	}
+	if hi != nil {
+		b = safeLowerBound(full, hi, safeWidth)
+	}
+	if a > b {
+		b = a
+	}
+	rd.keys = rd.run.keys[a*rw : b*rw]
+	rd.padOff = uint32(a)
+	rd.blockStart = 0
+	if withCodes {
+		rd.memCodeWidth = codeWidth
+	}
+	rd.memServeRows = b - a
+	rd.memWithCodes = withCodes
+}
+
+// next loads the run's next block, retiring the previous one. It returns
+// false at end of the (range-bounded) run or on error (check rd.err). The
+// codes carry across blocks: codes[0] of a new block is relative to the
+// previous block's last row, which the merge has always just output when it
+// asks for a refill.
 func (rd *runReader) next() bool {
 	if rd.err != nil {
 		return false
 	}
 	if rd.memory {
-		if rd.served || rd.numRows == 0 {
+		if rd.served || rd.memServeRows == 0 {
 			return false
 		}
 		rd.served = true
-		rd.keys = rd.run.keys
-		rd.payload = rd.run.payload
-		if rd.withCodes {
+		if rd.memWithCodes {
 			rd.codes = mergepath.ComputeOVC(
-				mergepath.Run{Data: rd.keys, Width: rd.s.rowWidth}, rd.codeWidth)
+				mergepath.Run{Data: rd.keys, Width: rd.s.rowWidth}, rd.memCodeWidth)
 		}
 		return true
 	}
-	if rd.readRows >= rd.numRows {
-		return false
-	}
-	sp := rd.ow.Begin(obs.PhaseSpillRead)
-	defer sp.End()
-	rw := rd.s.rowWidth
-	rows := min(rd.blockRows, rd.numRows-rd.readRows)
-	if rd.keys != nil {
-		rd.lastKey = append(rd.lastKey[:0], rd.keys[len(rd.keys)-rw:]...)
-	}
-	if cap(rd.keys) < rows*rw {
-		rd.keys = make([]byte, rows*rw)
+
+	var b *spillBlock
+	if rd.pf != nil {
+		b = rd.pf.next(rd.s)
+		if b == nil {
+			if err := rd.pf.err; err != nil {
+				rd.err = err
+			}
+			return false
+		}
 	} else {
-		rd.keys = rd.keys[:rows*rw]
-	}
-	if _, err := io.ReadFull(rd.br, rd.keys); err != nil {
-		rd.err = fmt.Errorf("core: reading spill block keys: %w", err)
-		return false
-	}
-	payload, err := row.ReadRowSet(rd.br, rd.s.layout)
-	if err != nil {
-		rd.err = fmt.Errorf("core: reading spill block payload: %w", err)
-		return false
-	}
-	rd.payload = payload
-	rd.blockStart = rd.readRows
-	rd.readRows += rows
-	newBytes := int64(cap(rd.keys)) + rd.payload.CapBytes()
-	rd.res.Grow(newBytes - rd.resBytes)
-	rd.resBytes = newBytes
-	if rd.withCodes {
-		kw := rd.codeWidth
-		if cap(rd.codes) < rows {
-			rd.codes = make([]uint32, rows)
-		} else {
-			rd.codes = rd.codes[:rows]
+		sp := rd.ow.Begin(obs.PhaseSpillRead)
+		var err error
+		b, err = rd.dec.decode(rd.cur)
+		sp.End()
+		if err != nil {
+			rd.err = err
+			return false
 		}
-		blk := mergepath.Run{Data: rd.keys, Width: rw}
-		if rd.blockStart > 0 {
-			rd.codes[0] = mergepath.OVCCode(rd.lastKey, blk.Row(0), kw)
-		} else {
-			rd.codes[0] = 0 // a run's first row: never read by the tree
-		}
-		for i := 1; i < rows; i++ {
-			rd.codes[i] = mergepath.OVCCode(blk.Row(i-1), blk.Row(i), kw)
+		if b == nil {
+			return false
 		}
 	}
+	// Retire the previous block's charge. The prefetcher charged the new
+	// block when it decoded it; in sync mode the buffers are reused, so
+	// charging nets out to the capacity delta.
+	if rd.pf != nil {
+		rd.res.Shrink(rd.resBytes)
+	} else {
+		rd.res.Grow(b.bytes - rd.resBytes)
+	}
+	rd.resBytes = b.bytes
+	rd.cur = b
+	rd.keys = b.keys
+	rd.payload = b.payload
+	rd.codes = b.codes
+	rd.blockStart = b.payloadStart
+	rd.padOff = b.padOff
 	return true
 }
 
-// close releases the reader; with remove set the (fully consumed) spill
-// file is deleted. A failed removal keeps the file tracked, so Close
-// retries it and reports the error.
+// close releases the reader — stopping and draining its prefetcher, giving
+// the decoded blocks' bytes back to the budget, closing the file. With
+// remove set the (fully consumed) spill file is deleted; a failed removal
+// keeps the file tracked, so Close retries it and reports the error.
 func (rd *runReader) close(remove bool) {
-	rd.res.Shrink(rd.resBytes)
-	rd.resBytes = 0
-	if rd.f == nil {
+	if rd.closed {
 		return
 	}
-	rd.f.Close()
-	rd.f = nil
-	if remove {
+	rd.closed = true
+	if rd.pf != nil {
+		rd.pf.close()
+	}
+	if rd.dec != nil {
+		rd.dec.close()
+	}
+	rd.res.Shrink(rd.resBytes)
+	rd.resBytes = 0
+	if rd.run.spill != nil && remove {
 		rd.s.removeSpillFile(rd.run.spill.path)
 		rd.run.spill = nil
 	}
@@ -524,6 +593,15 @@ type extMerge struct {
 // blocks and builds the loser tree. res is charged with the resident block
 // bytes for the merge's lifetime (the caller releases it after close).
 func (s *Sorter) openExtMerge(ids []uint32, mw *obs.Worker, res *mem.Reservation) (*extMerge, error) {
+	return s.openExtMergeRange(ids, mw, res, nil, nil)
+}
+
+// openExtMergeRange is openExtMerge bounded to the key range [lo, hi) on
+// the byte-decisive safe prefix (nil bounds are open): each reader starts
+// at its run's first row >= lo and stops before the first >= hi, so the
+// partitioned external merge's workers each stream a disjoint slice of the
+// output. For range-bounded merges e.total still counts the full runs.
+func (s *Sorter) openExtMergeRange(ids []uint32, mw *obs.Worker, res *mem.Reservation, lo, hi []byte) (*extMerge, error) {
 	useOVC := s.opt.Merge != MergeLoserTreeNoOVC
 	anyTie := false
 	for _, id := range ids {
@@ -539,12 +617,11 @@ func (s *Sorter) openExtMerge(ids []uint32, mw *obs.Worker, res *mem.Reservation
 		readers: make([]*runReader, len(s.runs)),
 	}
 	for _, id := range ids {
-		rd, err := s.openRunReader(s.runs[id], useOVC, ovcWidth, mw)
+		rd, err := s.openRunReaderRange(s.runs[id], useOVC, ovcWidth, mw, res, lo, hi, ovcWidth)
 		if err != nil {
 			e.close(false)
 			return nil, err
 		}
-		rd.res = res
 		e.readers[id] = rd
 		e.total += rd.numRows
 	}
@@ -606,14 +683,16 @@ func (s *Sorter) openExtMerge(ids []uint32, mw *obs.Worker, res *mem.Reservation
 
 // next emits the next merged key row (valid until the following next call)
 // and queues its payload reference for the next flushPend. ok is false at
-// end of input; check readerErr then.
+// end of input; check readerErr then. The winner's position is within its
+// served keys, which on a range-bounded partition-edge block sit padOff
+// rows into the block's payload.
 func (e *extMerge) next() (keyRow []byte, ok bool) {
 	run, pos, keyRow, ok := e.m.Next()
 	if !ok {
 		return nil, false
 	}
 	e.pendWhich = append(e.pendWhich, uint32(run))
-	e.pendIdxs = append(e.pendIdxs, uint32(pos))
+	e.pendIdxs = append(e.pendIdxs, uint32(pos)+e.readers[e.active[run]].padOff)
 	return keyRow, true
 }
 
@@ -655,10 +734,13 @@ func (e *extMerge) close(remove bool) {
 
 // externalFinalize merges all spilled runs in a single streaming pass: each
 // run is read through a fixed-size block reader (resident memory = k runs ×
-// SpillBlockRows), the offset-value-coded loser tree interleaves the key
-// rows, and payload rows are gathered into the final run in block-sized
-// batches with the typed AppendRowsGather kernels. Every spilled byte is
-// read exactly once, versus O(n log k) for the cascaded pairwise merge.
+// (1 + ReadAhead) × SpillBlockRows), the offset-value-coded loser tree
+// interleaves the key rows, and payload rows are gathered into the final
+// run in block-sized batches with the typed AppendRowsGather kernels. When
+// the sort is big enough and ExtMergeThreads allows, the merge itself is
+// partitioned across workers over disjoint key ranges (see extparallel.go);
+// otherwise it runs sequentially, reading every spilled byte exactly once,
+// versus O(n log k) for the cascaded pairwise merge.
 func (s *Sorter) externalFinalize() error {
 	if len(s.runs) == 0 {
 		return nil
@@ -670,6 +752,10 @@ func (s *Sorter) externalFinalize() error {
 	ids := make([]uint32, len(s.runs))
 	for i := range s.runs {
 		ids[i] = uint32(i)
+	}
+	s.mergeFanIn.Store(int64(len(ids)))
+	if done, err := s.externalFinalizeParallel(ids); done || err != nil {
+		return err
 	}
 	res := s.broker.Reserve("merge", 0)
 	defer res.Release()
@@ -752,27 +838,31 @@ func (s *Sorter) planStreamingMerge() error {
 }
 
 // reduceFanIn merges contiguous batches of runs to disk until the remaining
-// budget can hold one block per surviving run (mergepath.PlanFanIn).
-// Batches are contiguous and each merged run takes its batch's position, so
-// the final merge sees runs in original run-id order — ties still resolve
-// to the earlier input run, which keeps budgeted output byte-identical to
-// the unlimited sort.
+// budget can stream the survivors at once (mergepath.PlanMerge: the plan
+// prefers cascading extra passes over healthy-sized blocks to thrashing
+// tiny ones, and sizes each pass for the (1 + ReadAhead) resident blocks
+// per run that read-ahead holds). Batches are contiguous and each merged
+// run takes its batch's position, so the final merge sees runs in original
+// run-id order — ties still resolve to the earlier input run, which keeps
+// budgeted output byte-identical to the unlimited sort. The executed plan
+// is recorded in SortStats (merge passes, final fan-in, pass bytes).
 func (s *Sorter) reduceFanIn(ids []uint32, mw *obs.Worker) ([]uint32, error) {
+	buffers := s.opt.mergeBuffers()
 	for {
 		avg := s.approxRowBytes()
-		blockRows := int64(mergepath.PlanBlockRows(s.broker.Remaining(), avg, s.opt.spillBlockRows()))
-		f := mergepath.PlanFanIn(len(ids), s.broker.Remaining(), blockRows*avg)
-		if f >= len(ids) {
+		plan := mergepath.PlanMerge(len(ids), s.broker.Remaining(), avg, s.opt.spillBlockRows(), buffers)
+		if plan.FanIn >= len(ids) {
+			s.mergeFanIn.Store(int64(len(ids)))
 			return ids, nil
 		}
-		next := make([]uint32, 0, (len(ids)+f-1)/f)
-		for i := 0; i < len(ids); i += f {
-			batch := ids[i:min(i+f, len(ids))]
+		next := make([]uint32, 0, (len(ids)+plan.FanIn-1)/plan.FanIn)
+		for i := 0; i < len(ids); i += plan.FanIn {
+			batch := ids[i:min(i+plan.FanIn, len(ids))]
 			if len(batch) == 1 {
 				next = append(next, batch[0])
 				continue
 			}
-			id, err := s.mergeRunsToSpill(batch, mw)
+			id, err := s.mergeRunsToSpill(batch, plan.BlockRows, mw)
 			if err != nil {
 				return nil, err
 			}
@@ -786,8 +876,12 @@ func (s *Sorter) reduceFanIn(ids []uint32, mw *obs.Worker) ([]uint32, error) {
 // directly into a new spilled run (blocked format, refs rewritten to the
 // merged run), registers it — Finalize already holds s.mu, so no locking —
 // and releases the consumed inputs. Resident memory is the readers' blocks
-// plus one output block.
-func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) {
+// plus one output block. blockRows sizes the output blocks; 0 plans them
+// from the remaining budget. Each pass is one PhaseMergePass span and is
+// counted in SortStats (passes, input runs, bytes rewritten).
+func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (uint32, error) {
+	psp := mw.Begin(obs.PhaseMergePass)
+	defer psp.End()
 	res := s.broker.Reserve("fan-in-merge", 0)
 	defer res.Release()
 	e, err := s.openExtMerge(ids, mw, res)
@@ -818,7 +912,9 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) 
 	}
 
 	rw := s.rowWidth
-	blockRows := s.spillBlockRowsFor(merged)
+	if blockRows <= 0 {
+		blockRows = s.spillBlockRowsFor(merged)
+	}
 	bw := bufio.NewWriter(f)
 	cw := &countingWriter{w: bw}
 	var hdr [spillHeaderLen]byte
@@ -829,6 +925,7 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) 
 		return fail(err)
 	}
 
+	sf := &spillFile{path: path, blockRows: blockRows}
 	staging := s.getRowSet()
 	defer s.putRowSet(staging)
 	e.dst = staging
@@ -838,6 +935,8 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) 
 		if len(keyBlock) == 0 {
 			return nil
 		}
+		sf.offs = append(sf.offs, cw.n)
+		sf.fences = append(sf.fences, keyBlock[:rw]...)
 		if _, err := cw.Write(keyBlock); err != nil {
 			return err
 		}
@@ -883,7 +982,7 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) 
 	}
 
 	s.spillWritten.Add(cw.n)
-	merged.spill = &spillFile{path: path}
+	merged.spill = sf
 	consumed = true
 	for _, id := range ids {
 		s.releaseRun(s.runs[id])
@@ -891,6 +990,9 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, mw *obs.Worker) (uint32, error) 
 	st := e.m.Stats()
 	st.BytesMoved = uint64(outPos * rw)
 	s.mergeStats.Add(st)
+	s.mergePasses.Add(1)
+	s.mergePassRuns.Add(int64(len(ids)))
+	s.mergePassBytes.Add(cw.n)
 	return merged.id, nil
 }
 
@@ -900,7 +1002,7 @@ func (r *sortedRun) unspill(s *Sorter, ow *obs.Worker) error {
 	if r.spill == nil {
 		return nil
 	}
-	rd, err := s.openRunReader(r, false, 0, ow)
+	rd, err := s.openRunReader(r, false, 0, ow, nil)
 	if err != nil {
 		return err
 	}

@@ -54,6 +54,26 @@ type SortStats struct {
 	PressureSpills       int64
 	// Merge is the merge phase's comparison counters (see mergepath.Stats).
 	Merge mergepath.Stats
+	// PrefetchedBlocks counts spill blocks decoded by read-ahead goroutines;
+	// PrefetchHits counts merge block requests served from the read-ahead
+	// queue without blocking (hits/prefetched is the read-ahead hit rate);
+	// MergeStall is the total time the merge spent blocked waiting for a
+	// block that was not decoded yet. All zero with ReadAhead disabled.
+	PrefetchedBlocks int64
+	PrefetchHits     int64
+	MergeStall       time.Duration
+	// MergePasses, MergePassRuns and MergePassBytes describe the executed
+	// multi-pass merge plan: how many intermediate fan-in-reducing passes
+	// ran, how many input runs they consumed, and how many bytes they
+	// rewrote to disk. MergeFanIn is the final merge's fan-in (the
+	// surviving run count); zero when no external merge ran.
+	MergePasses    int64
+	MergePassRuns  int64
+	MergePassBytes int64
+	MergeFanIn     int64
+	// ExtMergeParts is the partitioned external merge's worker count (0 =
+	// the final merge ran sequentially or in memory).
+	ExtMergeParts int64
 	// DurRunGen, DurMerge and DurGather are the wall-clock durations of the
 	// three sequential pipeline stages: first Append to Finalize (run
 	// generation, including spill writes), Finalize itself (merge, including
@@ -86,6 +106,14 @@ func (s *Sorter) Stats() SortStats {
 		MemoryLimit:          s.opt.MemoryLimit,
 		MemoryPressureEvents: s.broker.PressureEvents(),
 		PressureSpills:       s.pressureSpills.Load(),
+		PrefetchedBlocks:     s.prefetchBlocks.Load(),
+		PrefetchHits:         s.prefetchHits.Load(),
+		MergeStall:           time.Duration(s.prefetchStallNs.Load()),
+		MergePasses:          s.mergePasses.Load(),
+		MergePassRuns:        s.mergePassRuns.Load(),
+		MergePassBytes:       s.mergePassBytes.Load(),
+		MergeFanIn:           s.mergeFanIn.Load(),
+		ExtMergeParts:        s.extMergeParts.Load(),
 		DurGather:            time.Duration(s.durGather.Load()),
 		Phases:               s.rec.Summary(),
 	}
@@ -144,6 +172,23 @@ func (st SortStats) String() string {
 	}
 	row("merge comparisons", fmt.Sprintf("%d (%d ovc hits, %d full, %d tie-breaks)",
 		st.Merge.Comparisons, st.Merge.OVCHits, st.Merge.FullCompares, st.Merge.TieBreaks))
+	if st.PrefetchedBlocks > 0 {
+		row("spill read-ahead", fmt.Sprintf("%d blocks, %d hits (%.0f%%), %s stalled",
+			st.PrefetchedBlocks, st.PrefetchHits,
+			100*float64(st.PrefetchHits)/float64(st.PrefetchedBlocks),
+			st.MergeStall.Round(time.Microsecond)))
+	}
+	if st.MergePasses > 0 {
+		row("merge passes", fmt.Sprintf("%d (%d runs, %d bytes rewritten)",
+			st.MergePasses, st.MergePassRuns, st.MergePassBytes))
+	}
+	if st.MergeFanIn > 0 {
+		fan := fmt.Sprintf("%d-way", st.MergeFanIn)
+		if st.ExtMergeParts > 0 {
+			fan += fmt.Sprintf(" x %d partitions", st.ExtMergeParts)
+		}
+		row("final merge", fan)
+	}
 	row("run generation", st.DurRunGen.Round(time.Microsecond).String())
 	row("merge", st.DurMerge.Round(time.Microsecond).String())
 	row("gather", st.DurGather.Round(time.Microsecond).String())
@@ -180,6 +225,14 @@ func (st SortStats) WritePrometheus(w io.Writer) error {
 	counter("rowsort_merge_comparisons_total", "Two-row matches played in the merge.", float64(st.Merge.Comparisons))
 	counter("rowsort_merge_ovc_hits_total", "Matches decided by offset-value codes alone.", float64(st.Merge.OVCHits))
 	counter("rowsort_merge_tie_breaks_total", "Matches resolved by the tie-break comparator.", float64(st.Merge.TieBreaks))
+	counter("rowsort_prefetch_blocks_total", "Spill blocks decoded by read-ahead goroutines.", float64(st.PrefetchedBlocks))
+	counter("rowsort_prefetch_hits_total", "Merge block requests served without blocking.", float64(st.PrefetchHits))
+	gauge("rowsort_merge_stall_seconds", "Time the merge spent waiting for spill blocks.", st.MergeStall.Seconds())
+	counter("rowsort_merge_passes_total", "Intermediate fan-in-reducing merge passes.", float64(st.MergePasses))
+	counter("rowsort_merge_pass_runs_total", "Input runs consumed by intermediate merge passes.", float64(st.MergePassRuns))
+	counter("rowsort_merge_pass_bytes_total", "Bytes rewritten to disk by intermediate merge passes.", float64(st.MergePassBytes))
+	gauge("rowsort_merge_fan_in", "The final external merge's fan-in (0 = none ran).", float64(st.MergeFanIn))
+	gauge("rowsort_ext_merge_partitions", "Partitioned external merge worker count (0 = sequential).", float64(st.ExtMergeParts))
 	gauge("rowsort_stage_run_generation_seconds", "Wall time of the run-generation stage.", st.DurRunGen.Seconds())
 	gauge("rowsort_stage_merge_seconds", "Wall time of the merge stage.", st.DurMerge.Seconds())
 	gauge("rowsort_stage_gather_seconds", "Wall time of the materialization stage.", st.DurGather.Seconds())

@@ -13,16 +13,21 @@ import (
 )
 
 // spillSortStats runs a spilling multi-run sort with telemetry and returns
-// its stats.
+// its stats. It pins the scalar external path (no read-ahead, sequential
+// final merge) so the strict invariants below — every spilled byte read
+// exactly once, decode time on the spill-read phase — stay checkable; the
+// pipelined and partitioned paths have their own tests in parallel_test.go.
 func spillSortStats(t *testing.T, rows int) SortStats {
 	t.Helper()
 	tbl := workload.CatalogSales(rows, 10, 7)
 	keys := []SortColumn{{Column: 0}, {Column: 1}, {Column: 2}, {Column: 3}}
 	opt := Options{
-		Threads:   2,
-		RunSize:   max(1, rows/8),
-		SpillDir:  t.TempDir(),
-		Telemetry: obs.NewRecorder(),
+		Threads:         2,
+		RunSize:         max(1, rows/8),
+		SpillDir:        t.TempDir(),
+		Telemetry:       obs.NewRecorder(),
+		ReadAhead:       -1,
+		ExtMergeThreads: 1,
 	}
 	out, st, err := SortTableStats(tbl, keys, opt)
 	if err != nil {
@@ -283,8 +288,10 @@ func TestSortStatsRendering(t *testing.T) {
 
 func TestTraceFromSpillingSort(t *testing.T) {
 	// End-to-end: the recorder of a spilling sort must export a Chrome
-	// trace whose spans cover run generation, spill write, streamed merge
-	// and materialization, with one lane per worker.
+	// trace whose spans cover run generation, spill write, read-ahead block
+	// decoding (the default merge path prefetches, so spill decode time
+	// lands on the prefetch lanes), streamed merge and materialization,
+	// with one lane per worker.
 	rec := obs.NewRecorder()
 	tbl := workload.CatalogSales(16_000, 10, 7)
 	keys := []SortColumn{{Column: 0}, {Column: 1}}
@@ -300,7 +307,7 @@ func TestTraceFromSpillingSort(t *testing.T) {
 	}
 	out := buf.String()
 	for _, want := range []string{
-		`"name":"run-sort"`, `"name":"spill-write"`, `"name":"spill-read"`,
+		`"name":"run-sort"`, `"name":"spill-write"`, `"name":"prefetch"`,
 		`"name":"merge"`, `"name":"gather"`, `"name":"thread_name"`,
 	} {
 		if !strings.Contains(out, want) {

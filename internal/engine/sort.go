@@ -28,9 +28,12 @@ func (s *SortOp) Schema() vector.Schema { return s.child.Schema() }
 
 // Open implements Operator: it drains the child into the sorter, runs the
 // parallel merge, and readies the sorted scan as a chunked row iterator
-// (core.Sorter.Rows). Chunks are gathered on demand with the typed
-// vectorized kernels, so a consumer that stops early — LIMIT without the
-// TopN rewrite, a probe that finds its match — never pays for
+// (core.Sorter.Rows). The child is pulled from this goroutine (iterators
+// are single-threaded), but ingestion fans out through a ParallelSink, so
+// key normalization, run sorting and spilling overlap the child's Next
+// calls across Options.Threads workers. Chunks are gathered on demand with
+// the typed vectorized kernels, so a consumer that stops early — LIMIT
+// without the TopN rewrite, a probe that finds its match — never pays for
 // materializing the tail; under a memory budget the final external merge
 // itself streams through Next.
 func (s *SortOp) Open() error {
@@ -42,20 +45,27 @@ func (s *SortOp) Open() error {
 		return err
 	}
 	s.sorter = sorter
-	sink := sorter.NewSink()
-	for {
-		c, err := s.child.Next()
-		if err != nil {
-			return err
+	sink := sorter.NewParallelSink()
+	err = func() error {
+		for {
+			c, err := s.child.Next()
+			if err != nil {
+				return err
+			}
+			if c == nil {
+				return nil
+			}
+			if err := sink.Append(c); err != nil {
+				return err
+			}
 		}
-		if c == nil {
-			break
-		}
-		if err := sink.Append(c); err != nil {
-			return err
-		}
+	}()
+	// Close always runs — even after an error — so the ingest workers join
+	// and their reservations release before this returns.
+	if cerr := sink.Close(); err == nil {
+		err = cerr
 	}
-	if err := sink.Close(); err != nil {
+	if err != nil {
 		return err
 	}
 	if err := sorter.Finalize(); err != nil {

@@ -49,6 +49,79 @@ func PlanBlockRows(remaining, rowBytes int64, maxRows int) int {
 	return rows
 }
 
+// minHealthyBlockRows is the block size below which a multi-pass merge
+// beats shrinking blocks further: a pass over blocks this small already
+// pays more in per-block overhead (syscalls, header decode, code
+// recompute) than a full extra read-write pass over healthy blocks would.
+const minHealthyBlockRows = 512
+
+// MergePlan is the resolved shape of one external merge pass: how many
+// runs it may read at once and the block size each reader streams with.
+// FanIn < the run count means intermediate passes must reduce the run
+// count first (the multi-pass cascade the budget forces).
+type MergePlan struct {
+	FanIn     int
+	BlockRows int
+}
+
+// PlanMerge sizes one external merge pass for k runs under the remaining
+// budget (bytes), given the average row footprint, the unbudgeted block
+// default maxRows, and buffers — the resident blocks held per run (1
+// synchronous, 2 with read-ahead). It prefers cascading intermediate
+// passes over healthy-sized blocks to thrashing tiny blocks: when the
+// naive per-run share would push blocks below minHealthyBlockRows, the
+// fan-in shrinks (forcing passes) before the block size does, and only a
+// budget too small for even a 2-way merge of healthy blocks degrades the
+// block size toward minBlockRows.
+func PlanMerge(k int, remaining, rowBytes int64, maxRows, buffers int) MergePlan {
+	if rowBytes <= 0 {
+		rowBytes = 1
+	}
+	if buffers < 1 {
+		buffers = 1
+	}
+	if maxRows < minBlockRows {
+		maxRows = minBlockRows
+	}
+	healthy := min(maxRows, minHealthyBlockRows)
+	healthyBytes := int64(healthy) * rowBytes * int64(buffers)
+
+	// Fan-in at healthy blocks: how many runs can stream healthy-sized
+	// blocks at once within the budget.
+	f := PlanFanIn(k, remaining, healthyBytes)
+	if f >= k {
+		// Everything fits at healthy blocks — grow the blocks into the
+		// spare headroom (up to the unbudgeted default) for larger reads.
+		share := remaining / int64(k*buffers)
+		if share > maxBlockBytes {
+			share = maxBlockBytes
+		}
+		rows := int(share / rowBytes)
+		if rows > maxRows {
+			rows = maxRows
+		}
+		if rows < healthy {
+			rows = healthy
+		}
+		return MergePlan{FanIn: k, BlockRows: rows}
+	}
+	// The budget forces passes. Keep blocks healthy unless even minFanIn
+	// healthy blocks exceed the budget, in which case shrink the blocks as
+	// the last resort (floored at minBlockRows).
+	rows := healthy
+	if remaining < int64(minFanIn)*healthyBytes {
+		rows = int(remaining / int64(minFanIn*buffers) / rowBytes)
+		if rows > healthy {
+			rows = healthy
+		}
+		if rows < minBlockRows {
+			rows = minBlockRows
+		}
+		f = PlanFanIn(k, remaining, int64(rows)*rowBytes*int64(buffers))
+	}
+	return MergePlan{FanIn: f, BlockRows: rows}
+}
+
 // PlanFanIn picks how many of k runs one streaming merge pass may read at
 // once: each run holds about blockBytes resident, so the fan-in is the
 // remaining budget divided by the per-run block footprint, clamped to

@@ -28,6 +28,32 @@ func TestPlanBlockRows(t *testing.T) {
 	}
 }
 
+func TestPlanMerge(t *testing.T) {
+	// rowBytes 100, maxRows 4096 → healthy blocks are 512 rows (51200
+	// bytes per buffer).
+	cases := []struct {
+		name      string
+		k         int
+		remaining int64
+		buffers   int
+		want      MergePlan
+	}{
+		{"huge budget merges flat at max blocks", 4, 1 << 30, 1, MergePlan{4, 4096}},
+		{"exact healthy budget merges flat", 4, 4 * 51200, 1, MergePlan{4, 512}},
+		{"tight budget forces passes, blocks stay healthy", 64, 8 * 51200, 1, MergePlan{8, 512}},
+		{"read-ahead doubles the footprint, halving fan-in", 64, 8 * 51200, 2, MergePlan{4, 512}},
+		{"starved budget shrinks blocks last", 64, 51200, 1, MergePlan{2, 256}},
+		{"zero budget clamps to floors", 8, 0, 1, MergePlan{2, 16}},
+		{"negative headroom clamps to floors", 8, -4096, 2, MergePlan{2, 16}},
+	}
+	for _, c := range cases {
+		if got := PlanMerge(c.k, c.remaining, 100, 4096, c.buffers); got != c.want {
+			t.Errorf("%s: PlanMerge(%d, %d, 100, 4096, %d) = %+v, want %+v",
+				c.name, c.k, c.remaining, c.buffers, got, c.want)
+		}
+	}
+}
+
 func TestPlanFanIn(t *testing.T) {
 	cases := []struct {
 		name       string

@@ -50,14 +50,22 @@ const (
 	// broker reported budget pressure (the adaptive-spill path, as opposed
 	// to PhaseSpillWrite spans inside it which cover the file writes).
 	PhasePressureSpill
+	// PhasePrefetch is a spill read-ahead goroutine decoding the next block
+	// of a run while the merge consumes the current one; its spans cover
+	// the decode work that overlaps merge compute.
+	PhasePrefetch
+	// PhaseMergePass is one intermediate external merge pass: a batch of
+	// spilled runs rewritten as a single wider run because the budget
+	// cannot stream all of them at once (the multi-pass merge plan).
+	PhaseMergePass
 
 	// NumPhases is the number of distinct phases.
-	NumPhases = int(PhasePressureSpill) + 1
+	NumPhases = int(PhaseMergePass) + 1
 )
 
 var phaseNames = [NumPhases]string{
 	"sort", "ingest", "run-sort", "spill-write", "spill-read", "merge", "gather",
-	"pressure-spill",
+	"pressure-spill", "prefetch", "merge-pass",
 }
 
 // String returns the phase's trace/metric name.
