@@ -12,7 +12,12 @@
 //     XORed with the sign bit of the same width (the `uint64(v) ^ 1<<63`
 //     idiom), or that changes width so the flip lands on the wrong bit;
 //   - any direct math.Float32bits/Float64bits call — float columns must
-//     go through the package's total-order float helpers instead.
+//     go through the package's total-order float helpers instead;
+//   - any strings case-folding call (ToLower/ToUpper/EqualFold and the
+//     Special variants) — those fold full Unicode while the sort's
+//     comparator folds ASCII through normkey's Collation.Apply, so an
+//     encoder folding on its own produces keys the tie-break disagrees
+//     with. Collation must go through Collation.Apply.
 package keyorder
 
 import (
@@ -122,6 +127,11 @@ func checkEncodingCall(pass *analysis.Pass, info *types.Info, call *ast.CallExpr
 	case "math":
 		if fn.Name() == "Float32bits" || fn.Name() == "Float64bits" {
 			pass.Reportf(call.Pos(), "raw math.%s does not order negative floats; use the total-order float helpers", fn.Name())
+		}
+	case "strings":
+		switch fn.Name() {
+		case "ToLower", "ToUpper", "EqualFold", "ToLowerSpecial", "ToUpperSpecial":
+			pass.Reportf(call.Pos(), "strings.%s folds full Unicode, diverging from the comparator's ASCII collation; use Collation.Apply", fn.Name())
 		}
 	}
 }

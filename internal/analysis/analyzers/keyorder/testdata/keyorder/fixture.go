@@ -4,6 +4,7 @@ package fixture
 import (
 	"encoding/binary"
 	"math"
+	"strings"
 )
 
 //rowsort:keyencoder
@@ -43,3 +44,23 @@ func goodU16(dst []byte, v int16) {
 func plain(dst []byte, v int32) {
 	binary.LittleEndian.PutUint32(dst, uint32(v))
 }
+
+//rowsort:keyencoder
+func badFold(dst []byte, s string) {
+	copy(dst, strings.ToLower(s)) // want "strings.ToLower folds full Unicode"
+}
+
+//rowsort:keyencoder
+func badFoldEq(a, b string) bool {
+	return strings.EqualFold(a, b) // want "strings.EqualFold folds full Unicode"
+}
+
+// goodCompare: non-folding strings functions stay allowed in encoders.
+//
+//rowsort:keyencoder
+func goodCompare(a, b string) int {
+	return strings.Compare(a, b)
+}
+
+// plainFold is unannotated: case folding is fine outside key encoders.
+func plainFold(s string) string { return strings.ToUpper(s) }

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"rowsort/internal/normkey"
+	"rowsort/internal/obs"
+	"rowsort/internal/vector"
+)
+
+// DefaultKeyCompSampleRows is the number of rows SortTable samples to decide
+// compressed key encodings. A few thousand rows are enough to find shared
+// prefixes, low cardinality and discriminating lengths; the sample never has
+// to be right for correctness — values it mispredicts escape or tie, and the
+// tie-break restores the exact order.
+const DefaultKeyCompSampleRows = 4096
+
+// PlanCompression inspects sample chunks and, when Options.KeyComp enables
+// dictionary or truncation encoding, rebuilds the sorter's key encoder with
+// a compression plan. It must run before the first Append: the normalized
+// key layout (width, stride) changes with the plan, so rows encoded earlier
+// would be incomparable. SortTable calls it automatically; streaming callers
+// (engine operators, TopN) may call it themselves with whatever prefix of
+// the input they are willing to buffer.
+//
+// A sample that compresses nothing leaves the sorter unchanged — the full
+// encoding is the fallback, not an error.
+func (s *Sorter) PlanCompression(sample []*vector.Chunk) error {
+	if s.opt.KeyComp&(KeyCompDict|KeyCompTrunc) == 0 || len(sample) == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.finalized || len(s.runs) > 0 || s.rowsIn.Load() != 0 {
+		return fmt.Errorf("core: PlanCompression must run before ingestion starts")
+	}
+	sp := s.rec.Worker("main").Begin(obs.PhaseKeyPlan)
+	defer sp.End()
+
+	cols := make([][]*vector.Vector, len(s.keys))
+	for _, c := range sample {
+		if len(c.Vectors) != len(s.schema) {
+			return fmt.Errorf("core: sample chunk has %d columns, schema has %d", len(c.Vectors), len(s.schema))
+		}
+		for i, kc := range s.keys {
+			cols[i] = append(cols[i], c.Vectors[kc.Column])
+		}
+	}
+	cfg := normkey.PlanConfig{
+		Dict:  s.opt.KeyComp&KeyCompDict != 0,
+		Trunc: s.opt.KeyComp&KeyCompTrunc != 0,
+	}
+	plan, err := normkey.AnalyzeSample(s.enc.Keys(), cols, cfg)
+	if err != nil {
+		return err
+	}
+	if plan == nil {
+		return nil
+	}
+	enc, err := normkey.NewEncoderPlan(s.enc.Keys(), plan)
+	if err != nil {
+		return err
+	}
+	s.enc = enc
+	s.keyWidth = enc.Width()
+	s.rowWidth = (s.keyWidth + refBytes + 7) &^ 7
+	return nil
+}
+
+// fullSegWidth is the uncompressed width of one key's segment, validity
+// byte included (the core-side mirror of the encoder's layout rule), used
+// to report per-column savings in SortStats.KeyEncodings.
+func fullSegWidth(nk normkey.SortKey) int {
+	if nk.Type == vector.Varchar {
+		p := nk.PrefixLen
+		if p <= 0 {
+			p = normkey.DefaultStringPrefixLen
+		}
+		return 1 + p
+	}
+	return 1 + nk.Type.Width()
+}
+
+// keySampleChunks picks a spread of chunks covering about target rows, so
+// the plan sees the whole table rather than its (possibly clustered) start.
+func keySampleChunks(chunks []*vector.Chunk, target int) []*vector.Chunk {
+	if target <= 0 {
+		target = DefaultKeyCompSampleRows
+	}
+	n := len(chunks)
+	if n == 0 {
+		return nil
+	}
+	per := chunks[0].Len()
+	if per <= 0 {
+		per = 1
+	}
+	want := (target + per - 1) / per
+	if want >= n {
+		return chunks
+	}
+	out := make([]*vector.Chunk, 0, want)
+	for i := 0; i < want; i++ {
+		out = append(out, chunks[i*n/want])
+	}
+	return out
+}

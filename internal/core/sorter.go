@@ -89,6 +89,11 @@ type Sorter struct {
 	rowsIn          atomic.Int64
 	runsGen         atomic.Int64
 	normKeyBytes    atomic.Int64
+	physKeyBytes    atomic.Int64
+	dictEscapes     atomic.Int64
+	runsGrouped     atomic.Int64
+	dupGroupRows    atomic.Int64
+	runsTieRepaired atomic.Int64
 	gatherBytes     atomic.Int64
 	durGather       atomic.Int64
 	spillRemoved    atomic.Int64
@@ -337,7 +342,8 @@ func (k *Sink) Append(c *vector.Chunk) error {
 		keyCols[i] = c.Vectors[kc.Column]
 	}
 	start := k.growKeys(n)
-	if err := s.enc.Encode(keyCols, k.keys[start:], s.rowWidth, 0); err != nil {
+	st, err := s.enc.EncodeChunk(keyCols, k.keys[start:], s.rowWidth, 0)
+	if err != nil {
 		sp.End()
 		return err
 	}
@@ -347,8 +353,15 @@ func (k *Sink) Append(c *vector.Chunk) error {
 	k.n += n
 	s.rowsIn.Add(int64(n))
 
-	if s.enc.TiesPossible() && !k.tieBreak {
-		k.tieBreak = stringTiesPossible(s, keyCols)
+	// The encoder reports per-chunk whether any encoded key could byte-tie
+	// with a different value's encoding (overlong or NUL-bearing string
+	// prefixes, dictionary escapes, truncation collisions) — runs built only
+	// from lossless chunks keep the comparison-free radix path.
+	if st.Ties {
+		k.tieBreak = true
+	}
+	if st.Escapes != 0 {
+		s.dictEscapes.Add(st.Escapes)
 	}
 	overBudget := !k.account()
 	sp.End()
@@ -362,41 +375,6 @@ func (k *Sink) Append(c *vector.Chunk) error {
 		return k.flush()
 	}
 	return nil
-}
-
-// stringTiesPossible reports whether any string key value could collide
-// with a different string under prefix encoding: it is longer than the
-// prefix or contains a NUL byte (which the padding cannot distinguish).
-func stringTiesPossible(s *Sorter, keyCols []*vector.Vector) bool {
-	for i, nk := range s.enc.Keys() {
-		if nk.Type != vector.Varchar {
-			continue
-		}
-		prefix := nk.PrefixLen
-		if prefix <= 0 {
-			prefix = normkey.DefaultStringPrefixLen
-		}
-		col := keyCols[i]
-		vals := col.Strings()
-		for r := range vals {
-			if !col.Valid(r) {
-				continue
-			}
-			if len(vals[r]) > prefix || hasNUL(vals[r]) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
-func hasNUL(s string) bool {
-	for i := 0; i < len(s); i++ {
-		if s[i] == 0 {
-			return true
-		}
-	}
-	return false
 }
 
 // Close flushes the sink's remaining rows as a final (possibly short) run
@@ -435,17 +413,30 @@ func (k *Sink) flush() error {
 	// tuple order; pdqsort with a tie-breaking comparator when truncated
 	// string prefixes may collide (the paper's algorithm choice). With
 	// Adaptive set, the Future Work heuristic may pick pdqsort for inputs
-	// where radix is weak (long effective keys, nearly sorted data).
+	// where radix is weak (long effective keys, nearly sorted data). Two
+	// compressed-key refinements: a lossy compressed run whose tie-capable
+	// segment is last radix-sorts its bytes and repairs the byte-equal
+	// blocks, and a byte-decisive duplicate-heavy run may sort grouped
+	// (KeyCompRLE) — both byte-identical to the baseline paths.
 	usePdq := tb || s.opt.ForcePdqsort
 	if !usePdq && s.opt.Adaptive {
 		usePdq = !chooseRadix(keys, s.rowWidth, s.keyWidth, n)
 	}
-	if usePdq {
+	switch {
+	case tb && !s.opt.ForcePdqsort && s.enc.Plan().Active() && s.ovcSafeWidth(true) == s.keyWidth:
+		// Byte order is exact between rows whose bytes differ (the sole
+		// tie-capable segment is the last one), so only full byte-equal
+		// blocks — dictionary escapes sharing a gap, truncation collisions
+		// — can be misordered after a plain byte sort.
+		radix.Sort(keys, s.rowWidth, s.keyWidth)
+		s.repairTies(keys, n, payload)
+		s.runsTieRepaired.Add(1)
+	case usePdq:
 		r := sortalgo.NewRows(keys, s.rowWidth)
 		r.Compare = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return payload, int(idx) })
 		r.Pdqsort()
-	} else {
-		radix.Sort(keys, s.rowWidth, s.keyWidth)
+	default:
+		keys = s.radixSortRun(keys, n)
 	}
 
 	// Register the run id first (so merge order is stable), then physically
@@ -477,7 +468,11 @@ func (k *Sink) flush() error {
 	sp.End()
 
 	s.runsGen.Add(1)
-	s.normKeyBytes.Add(int64(n * s.keyWidth))
+	// NormKeyBytes stays in logical (uncompressed) terms so the number is
+	// comparable across encodings; PhysKeyBytes is what was actually
+	// emitted — the gap is the compression saving.
+	s.normKeyBytes.Add(int64(n) * int64(s.enc.FullWidth()))
+	s.physKeyBytes.Add(int64(n) * int64(s.keyWidth))
 
 	if s.opt.limited() {
 		if !withinBudget || s.broker.OverBudget() {
@@ -493,61 +488,193 @@ func (k *Sink) flush() error {
 	return nil
 }
 
+// radixSortRun sorts a byte-decisive run. Under KeyCompRLE a
+// duplicate-heavy run (adjacent byte-equal key groups averaging two or more
+// rows) sorts one representative row per group and expands, moving each
+// distinct key through the radix sort once; because radix.Sort is stable,
+// the expansion is byte-identical to sorting row at a time. Returns the
+// buffer now holding the sorted run — the expansion writes into a recycled
+// buffer and returns the input buffer to the pool.
+func (s *Sorter) radixSortRun(keys []byte, n int) []byte {
+	if s.opt.KeyComp&KeyCompRLE != 0 {
+		if reps, groups, ok := sortalgo.CollectDupGroups(keys, s.rowWidth, s.keyWidth); ok {
+			radix.Sort(reps, s.keyWidth+sortalgo.GroupTagBytes, s.keyWidth)
+			dst := s.getKeyBuf()
+			if cap(dst) < len(keys) {
+				s.putKeyBuf(dst)
+				dst = make([]byte, len(keys))
+			} else {
+				dst = dst[:len(keys)]
+			}
+			sortalgo.ExpandDupGroups(dst, keys, s.rowWidth, reps, s.keyWidth)
+			s.putKeyBuf(keys)
+			s.runsGrouped.Add(1)
+			s.dupGroupRows.Add(int64(n - groups))
+			return dst
+		}
+	}
+	radix.Sort(keys, s.rowWidth, s.keyWidth)
+	return keys
+}
+
+// repairTies restores semantic order inside each maximal block of rows
+// whose full key bytes tie, after a plain byte sort of a lossy compressed
+// run. Sound only when the sole tie-capable segment is the last one
+// (ovcSafeWidth == keyWidth): then a byte difference anywhere decides the
+// semantic order, so misordered pairs are confined to byte-equal blocks.
+// Blocks are expected small (escapes sharing one dictionary gap, truncation
+// collisions), so an insertion sort with the semantic comparator suffices.
+func (s *Sorter) repairTies(keys []byte, n int, payload *row.RowSet) {
+	cmp := s.comparator(func(_, idx uint32) (*row.RowSet, int) { return payload, int(idx) })
+	rw, kw := s.rowWidth, s.keyWidth
+	var tmp []byte
+	for i := 0; i < n; {
+		j := i + 1
+		for j < n && bytes.Equal(keys[(j-1)*rw:(j-1)*rw+kw], keys[j*rw:j*rw+kw]) {
+			j++
+		}
+		if j-i > 1 {
+			if tmp == nil {
+				tmp = make([]byte, rw)
+			}
+			for p := i + 1; p < j; p++ {
+				if cmp(keys[p*rw:(p+1)*rw], keys[(p-1)*rw:p*rw]) >= 0 {
+					continue
+				}
+				copy(tmp, keys[p*rw:(p+1)*rw])
+				q := p
+				for q > i && cmp(tmp, keys[(q-1)*rw:q*rw]) < 0 {
+					copy(keys[q*rw:(q+1)*rw], keys[(q-1)*rw:q*rw])
+					q--
+				}
+				copy(keys[q*rw:(q+1)*rw], tmp)
+			}
+		}
+		i = j
+	}
+}
+
 // comparator returns the key-row comparator: a single bytes.Compare when no
 // tie-break is needed, otherwise a segment-wise compare that resolves tied
-// string prefixes against the full strings fetched through the payload
-// reference. lookup maps a payload reference to the RowSet holding it and
-// the row's index there (the streaming external merge keeps only one block
-// of each run resident, so the index is block-local).
+// lossy segments against the payload fetched through the row's reference.
+// lookup maps a payload reference to the RowSet holding it and the row's
+// index there (the streaming external merge keeps only one block of each
+// run resident, so the index is block-local).
+//
+// Per-encoding tie handling, decided per segment at build time:
+//
+//   - Full varchar / truncated varchar: tied prefixes fall back to the
+//     collated full strings (the original rule).
+//   - Dictionary: an odd (exact) code is a dictionary member, so equal codes
+//     are equal values and the payload fetch is skipped; even (escape gap)
+//     codes compare the strings.
+//   - Shared-prefix-elided fixed segments whose class-1 arm keeps the whole
+//     remaining encoding: tied class-1 segments are equal, no fetch; escape
+//     classes compare the values.
+//   - Other truncated fixed segments: compare the values through their
+//     order-preserving integer form (normkey.OrdFixed), no boxing.
+//
+// NULLs never fetch: byte-tied segments share their validity byte, so one
+// leading-byte probe classifies both rows as NULL (equal) or both valid.
 //
 //rowsort:pure
 func (s *Sorter) comparator(lookup func(runID, idx uint32) (*row.RowSet, int)) func(a, b []byte) int {
 	keys := s.enc.Keys()
 	type seg struct {
-		off, end  int
-		varcharAt int // schema column of a Varchar key, else -1
-		desc      bool
-		coll      normkey.Collation
+		off, end int
+		col      int // schema column, for the payload fetch
+		typ      vector.Type
+		desc     bool
+		canTie   bool
+		enc      normkey.ColumnEncoding
+		exact1   bool // EncTrunc fixed with an exact class-1 suffix
+		nullB    byte // the segment's leading byte when the value is NULL
+		coll     normkey.Collation
 	}
 	segs := make([]seg, len(keys))
 	for i, nk := range keys {
-		sg := seg{off: s.enc.Offset(i), varcharAt: -1, desc: nk.Order == normkey.Descending, coll: nk.Collation}
+		sg := seg{
+			off:    s.enc.Offset(i),
+			col:    nk.Column,
+			typ:    nk.Type,
+			desc:   nk.Order == normkey.Descending,
+			canTie: s.enc.SegCanTie(i),
+			exact1: s.enc.SegExactSuffix(i),
+			coll:   nk.Collation,
+		}
+		if p := s.enc.Plan(); p != nil {
+			sg.enc = p.Cols[i].Enc
+		}
 		if i+1 < len(keys) {
 			sg.end = s.enc.Offset(i + 1)
 		} else {
 			sg.end = s.keyWidth
 		}
-		if nk.Type == vector.Varchar {
-			sg.varcharAt = nk.Column
+		// The encoder pre-swaps NULL placement for DESC and then inverts
+		// the segment; reproduce that to recognize NULL from the key byte.
+		effFirst := (nk.Nulls == normkey.NullsFirst) != sg.desc
+		if !effFirst {
+			sg.nullB = 0x01
+		}
+		if sg.desc {
+			sg.nullB = ^sg.nullB
 		}
 		segs[i] = sg
 	}
 	return func(a, b []byte) int {
 		for _, sg := range segs {
 			c := compareBytes(a[sg.off:sg.end], b[sg.off:sg.end])
-			if sg.varcharAt < 0 {
-				if c != 0 {
-					return c
-				}
-				continue
-			}
 			if c != 0 {
 				return c
 			}
-			// Prefixes tied: both NULL (equal) or both valid strings that
-			// may differ beyond the prefix.
+			if !sg.canTie {
+				continue
+			}
+			// Segment bytes tied; both rows share the validity byte, so
+			// they are both NULL (equal) or both valid.
+			if a[sg.off] == sg.nullB {
+				continue
+			}
+			switch sg.enc {
+			case normkey.EncDict:
+				last := a[sg.end-1]
+				if sg.desc {
+					last = ^last
+				}
+				if last&1 == 1 {
+					continue // exact code: equal dictionary members
+				}
+			case normkey.EncTrunc:
+				if sg.exact1 {
+					cls := a[sg.off+1]
+					if sg.desc {
+						cls = ^cls
+					}
+					if cls == 1 {
+						continue // the whole remaining encoding was kept
+					}
+				}
+			}
 			ra, ia := s.getRef(a)
 			rb, ib := s.getRef(b)
 			pa, la := lookup(ra, ia)
 			pb, lb := lookup(rb, ib)
-			va := pa.Valid(la, sg.varcharAt)
-			vb := pb.Valid(lb, sg.varcharAt)
-			if !va || !vb {
-				continue // both NULL (validity bytes matched)
+			if sg.typ == vector.Varchar {
+				sa := sg.coll.Apply(pa.String(la, sg.col))
+				sb := sg.coll.Apply(pb.String(lb, sg.col))
+				c = compareStrings(sa, sb)
+			} else {
+				ua := normkey.OrdFixed(sg.typ, pa.Row(la)[pa.Layout().Offset(sg.col):])
+				ub := normkey.OrdFixed(sg.typ, pb.Row(lb)[pb.Layout().Offset(sg.col):])
+				switch {
+				case ua < ub:
+					c = -1
+				case ua > ub:
+					c = 1
+				default:
+					c = 0
+				}
 			}
-			sa := sg.coll.Apply(pa.String(la, sg.varcharAt))
-			sb := sg.coll.Apply(pb.String(lb, sg.varcharAt))
-			c = compareStrings(sa, sb)
 			if sg.desc {
 				c = -c
 			}
@@ -563,9 +690,10 @@ func (s *Sorter) comparator(lookup func(runID, idx uint32) (*row.RowSet, int)) f
 func compareBytes(a, b []byte) int { return bytes.Compare(a, b) }
 
 // ovcSafeWidth returns the normalized-key prefix width over which plain
-// byte order is the sort order: the whole key when no string can exceed its
-// prefix, else only up to the end of the first varchar segment. Beyond a
-// tied varchar prefix the full strings decide before any later segment's
+// byte order is the sort order: the whole key when no segment encoded a
+// possible tie, else only up to the end of the first tie-capable segment
+// (a varchar prefix, or any lossy compressed encoding). Beyond a tied
+// lossy segment the semantic values decide before any later segment's
 // bytes, so byte (and offset-value-code) comparisons must stop there and
 // byte-equal rows fall to the segment-wise tie comparator.
 func (s *Sorter) ovcSafeWidth(anyTieBreak bool) int {
@@ -573,8 +701,8 @@ func (s *Sorter) ovcSafeWidth(anyTieBreak bool) int {
 		return s.keyWidth
 	}
 	keys := s.enc.Keys()
-	for i, nk := range keys {
-		if nk.Type == vector.Varchar {
+	for i := range keys {
+		if s.enc.SegCanTie(i) {
 			if i+1 < len(keys) {
 				return s.enc.Offset(i + 1)
 			}
@@ -860,6 +988,11 @@ func sortTable(s *Sorter, t *vector.Table) (*vector.Table, error) {
 	root := s.rec.Worker("main")
 	sp := root.Begin(obs.PhaseSort)
 	defer sp.End()
+	if s.opt.KeyComp&(KeyCompDict|KeyCompTrunc) != 0 {
+		if err := s.PlanCompression(keySampleChunks(t.Chunks, s.opt.KeyCompSampleRows)); err != nil {
+			return nil, err
+		}
+	}
 	threads := min(s.opt.threads(), max(1, len(t.Chunks)))
 	errs := make([]error, threads)
 	var wg sync.WaitGroup

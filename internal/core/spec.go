@@ -62,6 +62,36 @@ const (
 	MergeCascade
 )
 
+// KeyComp is a bitmask enabling compressed normalized-key encodings. The
+// zero value disables compression (the seed behavior). Compression is
+// sample-driven: the materialized-table entry points (SortTable, or an
+// explicit Sorter.PlanCompression call) inspect a spread of input chunks
+// before ingestion and shrink the normalized key wherever the sample says a
+// cheaper order-preserving encoding discriminates; lossy encodings are
+// backed by the sorter's semantic tie-break, so the sorted output is
+// byte-identical to the uncompressed sort.
+type KeyComp uint8
+
+// The key-compression features.
+const (
+	// KeyCompDict enables sampled order-preserving dictionary encoding for
+	// low-cardinality varchar keys (out-of-sample values escape to gap
+	// codes resolved by the tie-break).
+	KeyCompDict KeyComp = 1 << iota
+	// KeyCompTrunc enables adaptive prefix truncation and shared-prefix
+	// elision: the key keeps only the sampled discriminating prefix of its
+	// order-preserving encoding.
+	KeyCompTrunc
+	// KeyCompRLE enables duplicate-run group sorting: runs whose adjacent
+	// byte-equal key groups average two or more rows sort one representative
+	// per group and expand, moving each distinct key through the radix sort
+	// once. Output stays byte-identical (the radix sort is stable).
+	KeyCompRLE
+
+	// KeyCompAll enables every key-compression feature.
+	KeyCompAll = KeyCompDict | KeyCompTrunc | KeyCompRLE
+)
+
 // Options tune the sorter; the zero value is a good default.
 type Options struct {
 	// Threads bounds the sorter's parallelism; 0 means GOMAXPROCS.
@@ -132,6 +162,16 @@ type Options struct {
 	// instead of OOMing. When nil, a private broker is created; peak
 	// accounting (Stats().PeakResidentRunBytes) works either way.
 	Broker *mem.Broker
+	// KeyComp enables compressed normalized-key encodings (see the KeyComp
+	// constants); 0 keeps the full encoding. Dictionary and truncation
+	// require an ingest-time sample: SortTable samples automatically, and
+	// streaming callers opt in with Sorter.PlanCompression before the first
+	// Append. KeyCompRLE needs no sample and applies to any run whose key
+	// bytes are decisive.
+	KeyComp KeyComp
+	// KeyCompSampleRows bounds the rows SortTable samples for the
+	// compression plan; 0 means DefaultKeyCompSampleRows.
+	KeyCompSampleRows int
 	// Telemetry, when non-nil, records phase spans (ingest, run sort, spill
 	// I/O, merge, gather) and per-thread timelines into the recorder,
 	// exportable as Chrome trace_event JSON and Prometheus text; it also
@@ -216,6 +256,12 @@ func (o Options) Validate() error {
 	}
 	if o.ExtMergeThreads < 0 {
 		return fmt.Errorf("core: Options.ExtMergeThreads is negative (%d); use 0 for Threads or 1 for the sequential merge", o.ExtMergeThreads)
+	}
+	if o.KeyComp&^KeyCompAll != 0 {
+		return fmt.Errorf("core: Options.KeyComp has unknown bits %#x", uint8(o.KeyComp&^KeyCompAll))
+	}
+	if o.KeyCompSampleRows < 0 {
+		return fmt.Errorf("core: Options.KeyCompSampleRows is negative (%d); use 0 for the default (%d)", o.KeyCompSampleRows, DefaultKeyCompSampleRows)
 	}
 	return nil
 }

@@ -23,10 +23,30 @@ type SortStats struct {
 	RowsIngested int64
 	// RunsGenerated is the number of thread-local sorted runs cut.
 	RunsGenerated int64
-	// NormKeyBytes is the volume of normalized key bytes produced during
-	// run generation (keyWidth bytes per row; excludes payload refs and
-	// alignment padding).
+	// NormKeyBytes is the logical (uncompressed) volume of normalized key
+	// bytes produced during run generation: full-encoding key width per
+	// row, excluding payload refs and alignment padding. It is
+	// encoding-independent, so the number stays comparable across
+	// Options.KeyComp settings; PhysKeyBytes is what was actually emitted
+	// (the compressed key width per row), and the gap between the two is
+	// the key-compression saving.
 	NormKeyBytes int64
+	PhysKeyBytes int64
+	// KeyEncodings records the sampled per-column encoding decisions, one
+	// entry per sort key; empty when no compression plan is active.
+	KeyEncodings []KeyEncodingStat
+	// DictEscapes counts encoded values the sampled dictionaries and
+	// shared prefixes did not cover (dictionary escape codes and
+	// shared-prefix class-0/2 encodings).
+	DictEscapes int64
+	// RunsGroupSorted counts runs sorted via duplicate-run grouping
+	// (KeyCompRLE); DupGroupRows is the rows those runs did not move
+	// through the radix sort individually (run rows minus groups).
+	RunsGroupSorted int64
+	DupGroupRows    int64
+	// RunsTieRepaired counts lossy compressed runs sorted with the
+	// radix-plus-block-repair path instead of comparator pdqsort.
+	RunsTieRepaired int64
 	// SpillBytesWritten and SpillBytesRead account spill-file I/O. The
 	// streaming merge reads every spilled byte exactly once, so after
 	// Finalize read equals written; the cascaded ablation re-spills
@@ -90,6 +110,18 @@ type SortStats struct {
 	Phases obs.Summary
 }
 
+// KeyEncodingStat is one sort key's sampled compression decision.
+type KeyEncodingStat struct {
+	// Column is the key's schema column index.
+	Column int
+	// Encoding describes the decision, e.g. "dict(n=12,w=1)",
+	// "trunc(skip=7,keep=1)" or "full".
+	Encoding string
+	// Width and FullWidth are the emitted and uncompressed segment widths
+	// in bytes, validity byte included.
+	Width, FullWidth int
+}
+
 // Stats snapshots the sorter's telemetry. It is safe to call at any point
 // in the sorter's life, including concurrently with ingestion.
 func (s *Sorter) Stats() SortStats {
@@ -97,6 +129,11 @@ func (s *Sorter) Stats() SortStats {
 		RowsIngested:         s.rowsIn.Load(),
 		RunsGenerated:        s.runsGen.Load(),
 		NormKeyBytes:         s.normKeyBytes.Load(),
+		PhysKeyBytes:         s.physKeyBytes.Load(),
+		DictEscapes:          s.dictEscapes.Load(),
+		RunsGroupSorted:      s.runsGrouped.Load(),
+		DupGroupRows:         s.dupGroupRows.Load(),
+		RunsTieRepaired:      s.runsTieRepaired.Load(),
 		SpillBytesWritten:    s.spillWritten.Load(),
 		SpillBytesRead:       s.spillRead.Load(),
 		SpillFilesRemoved:    s.spillRemoved.Load(),
@@ -119,6 +156,22 @@ func (s *Sorter) Stats() SortStats {
 	}
 	s.mu.Lock()
 	st.Merge = s.mergeStats
+	if p := s.enc.Plan(); p != nil {
+		nkeys := s.enc.Keys()
+		st.KeyEncodings = make([]KeyEncodingStat, len(nkeys))
+		for i, nk := range nkeys {
+			end := s.enc.Width()
+			if i+1 < len(nkeys) {
+				end = s.enc.Offset(i + 1)
+			}
+			st.KeyEncodings[i] = KeyEncodingStat{
+				Column:    nk.Column,
+				Encoding:  p.Cols[i].String(),
+				Width:     end - s.enc.Offset(i),
+				FullWidth: fullSegWidth(nk),
+			}
+		}
+	}
 	s.mu.Unlock()
 
 	// Stage durations from the lifecycle timestamps (ns since s.epoch,
@@ -159,6 +212,27 @@ func (st SortStats) String() string {
 	row("rows ingested", fmt.Sprintf("%d", st.RowsIngested))
 	row("runs generated", fmt.Sprintf("%d", st.RunsGenerated))
 	row("normalized key bytes", fmt.Sprintf("%d", st.NormKeyBytes))
+	if len(st.KeyEncodings) > 0 {
+		parts := make([]string, len(st.KeyEncodings))
+		for i, ke := range st.KeyEncodings {
+			parts[i] = fmt.Sprintf("col%d=%s %d/%dB", ke.Column, ke.Encoding, ke.Width, ke.FullWidth)
+		}
+		row("key encodings", strings.Join(parts, ", "))
+		pct := float64(0)
+		if st.NormKeyBytes > 0 {
+			pct = 100 * float64(st.PhysKeyBytes) / float64(st.NormKeyBytes)
+		}
+		row("physical key bytes", fmt.Sprintf("%d (%.0f%% of logical)", st.PhysKeyBytes, pct))
+	}
+	if st.DictEscapes > 0 {
+		row("dict/prefix escapes", fmt.Sprintf("%d", st.DictEscapes))
+	}
+	if st.RunsGroupSorted > 0 {
+		row("rle group sort", fmt.Sprintf("%d runs, %d duplicate rows grouped", st.RunsGroupSorted, st.DupGroupRows))
+	}
+	if st.RunsTieRepaired > 0 {
+		row("tie-repaired runs", fmt.Sprintf("%d", st.RunsTieRepaired))
+	}
 	row("spill written / read", fmt.Sprintf("%d / %d bytes", st.SpillBytesWritten, st.SpillBytesRead))
 	row("spill files removed", fmt.Sprintf("%d (%d errors)", st.SpillFilesRemoved, st.SpillRemoveErrors))
 	row("gather bytes moved", fmt.Sprintf("%d", st.GatherBytesMoved))
@@ -172,6 +246,9 @@ func (st SortStats) String() string {
 	}
 	row("merge comparisons", fmt.Sprintf("%d (%d ovc hits, %d full, %d tie-breaks)",
 		st.Merge.Comparisons, st.Merge.OVCHits, st.Merge.FullCompares, st.Merge.TieBreaks))
+	if st.Merge.DupRunHits > 0 {
+		row("merge dup-run hits", fmt.Sprintf("%d", st.Merge.DupRunHits))
+	}
 	if st.PrefetchedBlocks > 0 {
 		row("spill read-ahead", fmt.Sprintf("%d blocks, %d hits (%.0f%%), %s stalled",
 			st.PrefetchedBlocks, st.PrefetchHits,
@@ -212,7 +289,12 @@ func (st SortStats) WritePrometheus(w io.Writer) error {
 	}
 	counter("rowsort_rows_ingested_total", "Rows appended through sinks.", float64(st.RowsIngested))
 	counter("rowsort_runs_generated_total", "Thread-local sorted runs cut.", float64(st.RunsGenerated))
-	counter("rowsort_normalized_key_bytes_total", "Normalized key bytes produced.", float64(st.NormKeyBytes))
+	counter("rowsort_normalized_key_bytes_total", "Logical (uncompressed) normalized key bytes produced.", float64(st.NormKeyBytes))
+	counter("rowsort_physical_key_bytes_total", "Normalized key bytes actually emitted (compressed encodings).", float64(st.PhysKeyBytes))
+	counter("rowsort_key_escapes_total", "Values outside the sampled dictionary or shared prefix.", float64(st.DictEscapes))
+	counter("rowsort_rle_runs_total", "Runs sorted via duplicate-run grouping.", float64(st.RunsGroupSorted))
+	counter("rowsort_rle_dup_rows_total", "Rows grouped away from individual sorting.", float64(st.DupGroupRows))
+	counter("rowsort_tie_repaired_runs_total", "Lossy compressed runs sorted radix-plus-repair.", float64(st.RunsTieRepaired))
 	counter("rowsort_spill_written_bytes_total", "Bytes written to spill files.", float64(st.SpillBytesWritten))
 	counter("rowsort_spill_read_bytes_total", "Bytes read back from spill files.", float64(st.SpillBytesRead))
 	counter("rowsort_spill_files_removed_total", "Spill files deleted.", float64(st.SpillFilesRemoved))
@@ -225,6 +307,7 @@ func (st SortStats) WritePrometheus(w io.Writer) error {
 	counter("rowsort_merge_comparisons_total", "Two-row matches played in the merge.", float64(st.Merge.Comparisons))
 	counter("rowsort_merge_ovc_hits_total", "Matches decided by offset-value codes alone.", float64(st.Merge.OVCHits))
 	counter("rowsort_merge_tie_breaks_total", "Matches resolved by the tie-break comparator.", float64(st.Merge.TieBreaks))
+	counter("rowsort_merge_dup_run_hits_total", "Merge steps decided by the duplicate-run fast path.", float64(st.Merge.DupRunHits))
 	counter("rowsort_prefetch_blocks_total", "Spill blocks decoded by read-ahead goroutines.", float64(st.PrefetchedBlocks))
 	counter("rowsort_prefetch_hits_total", "Merge block requests served without blocking.", float64(st.PrefetchHits))
 	gauge("rowsort_merge_stall_seconds", "Time the merge spent waiting for spill blocks.", st.MergeStall.Seconds())

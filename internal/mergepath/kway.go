@@ -40,6 +40,11 @@ type Stats struct {
 	// TieBreaks is how many matches fell through byte-equal keys into the
 	// tie-break comparator (truncated varchar prefixes).
 	TieBreaks uint64
+	// DupRunHits is how many output rows were emitted by the duplicate-run
+	// fast path: the winner's successor was byte-equal to the row just
+	// emitted (within-run code 0), so the winner kept the tournament
+	// without replaying a single match.
+	DupRunHits uint64
 	// BytesMoved is the output volume written by the merge.
 	BytesMoved uint64
 }
@@ -50,6 +55,7 @@ func (s *Stats) Add(o Stats) {
 	s.OVCHits += o.OVCHits
 	s.FullCompares += o.FullCompares
 	s.TieBreaks += o.TieBreaks
+	s.DupRunHits += o.DupRunHits
 	s.BytesMoved += o.BytesMoved
 }
 
@@ -197,6 +203,19 @@ func (m *Merger) advance(r int) {
 		}
 	} else if m.keyWidth > 0 {
 		c.code = c.codes[c.pos]
+	}
+	// Duplicate-run fast path: a within-run (or cross-block carry) code of 0
+	// means the new row is byte-equal to the row just emitted. That row beat
+	// every other candidate, and with no tie-break byte-equal rows from a
+	// higher run index cannot outrank it (ties go to the lower run), so the
+	// winner keeps the tournament — no matches replayed. Loser codes stay
+	// valid: they are relative to the old winner's bytes, which the new
+	// winner repeats. With a tie-break installed byte-equal rows may still
+	// order semantically, so the tree must replay.
+	if m.keyWidth > 0 && m.tie == nil && !c.done && c.code == 0 {
+		m.stats.DupRunHits++
+		m.winner = r
+		return
 	}
 	x := r
 	for node := (r + m.k) / 2; node >= 1; node /= 2 {

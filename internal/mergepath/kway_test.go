@@ -316,3 +316,61 @@ func TestOVCSkipsSharedPrefixes(t *testing.T) {
 		t.Fatalf("long shared prefixes should be code-dominated: %+v", st)
 	}
 }
+
+// TestMergerDupRunFastPath checks the duplicate-run fast path: with no tie
+// comparator, a winner whose successor is byte-equal (within-run code 0)
+// keeps the tournament without replaying matches — and the output must stay
+// byte-identical to the stable merge order.
+func TestMergerDupRunFastPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(58))
+	type tagged struct {
+		row []byte
+		run int
+	}
+	var runs []Run
+	var all []tagged
+	total := 0
+	for r := 0; r < 5; r++ {
+		n := 200 + rng.Intn(200)
+		// Domain of 8 distinct keys: long duplicate stretches inside runs.
+		run := sortedRun(randVals(n, 8, rng), 8, uint32(r)*100000)
+		runs = append(runs, run)
+		for i := 0; i < run.Len(); i++ {
+			all = append(all, tagged{run.Row(i), r})
+		}
+		total += n
+	}
+	// Oracle: stable sort by key prefix, ties to the lower run index,
+	// within-run order preserved (SliceStable over rows listed in run order).
+	sort.SliceStable(all, func(i, j int) bool {
+		if c := bytes.Compare(all[i].row[:4], all[j].row[:4]); c != 0 {
+			return c < 0
+		}
+		return all[i].run < all[j].run
+	})
+	want := make([]byte, 0, total*8)
+	for _, tr := range all {
+		want = append(want, tr.row...)
+	}
+
+	got := make([]byte, total*8)
+	st := KWayMergeOVC(got, runs, 4, nil, nil)
+	if !bytes.Equal(got, want) {
+		t.Fatal("dup fast path changed the merge output")
+	}
+	if st.DupRunHits == 0 {
+		t.Fatalf("duplicate-heavy runs never hit the fast path: %+v", st)
+	}
+	// Every fast-path emit skipped its tree replay entirely.
+	if st.DupRunHits+st.Comparisons < uint64(total) {
+		t.Fatalf("emits unaccounted for: %+v, total %d", st, total)
+	}
+
+	// With a tie comparator installed byte-equal rows may order
+	// semantically: the fast path must stay off.
+	got2 := make([]byte, total*8)
+	st2 := KWayMergeOVC(got2, runs, 4, nil, bytes.Compare)
+	if st2.DupRunHits != 0 {
+		t.Fatalf("fast path fired with a tie comparator: %+v", st2)
+	}
+}

@@ -1,0 +1,434 @@
+package normkey
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"rowsort/internal/vector"
+)
+
+// stringsVec builds a varchar vector; "\x00NULL" entries become NULLs.
+func stringsVec(vals ...string) *vector.Vector {
+	v := vector.New(vector.Varchar, len(vals))
+	for _, s := range vals {
+		if s == "\x00NULL" {
+			v.AppendNull()
+		} else {
+			v.AppendString(s)
+		}
+	}
+	return v
+}
+
+func int64Vec(vals ...int64) *vector.Vector {
+	v := vector.New(vector.Int64, len(vals))
+	for _, x := range vals {
+		v.AppendInt64(x)
+	}
+	return v
+}
+
+func TestDictionaryCodeOrder(t *testing.T) {
+	dict, err := NewDictionary([]string{"ca", "ny", "tx", "wa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Width() != 1 {
+		t.Fatalf("Width = %d, want 1", dict.Width())
+	}
+	// Every probe, in and out of dictionary, in sorted order with the
+	// expected gap codes interleaved.
+	probes := []struct {
+		s     string
+		code  uint16
+		exact bool
+	}{
+		{"", 0, false},
+		{"az", 0, false},
+		{"ca", 1, true},
+		{"ca2", 2, false},
+		{"mn", 2, false},
+		{"ny", 3, true},
+		{"or", 4, false},
+		{"tx", 5, true},
+		{"ut", 6, false},
+		{"wa", 7, true},
+		{"wy", 8, false},
+	}
+	for _, p := range probes {
+		code, exact := dict.Code(p.s)
+		if code != p.code || exact != p.exact {
+			t.Errorf("Code(%q) = (%d, %v), want (%d, %v)", p.s, code, exact, p.code, p.exact)
+		}
+	}
+	// Codes must order like the strings, with ties only between escapes.
+	for i, a := range probes {
+		for _, b := range probes[i+1:] {
+			ca, ea := dict.Code(a.s)
+			cb, eb := dict.Code(b.s)
+			if ca > cb {
+				t.Fatalf("Code(%q)=%d > Code(%q)=%d but %q < %q", a.s, ca, b.s, cb, a.s, b.s)
+			}
+			if ca == cb && (ea || eb) {
+				t.Fatalf("Code(%q)=Code(%q)=%d with an exact member in the tie", a.s, b.s, ca)
+			}
+		}
+	}
+	if _, err := NewDictionary([]string{"b", "a"}); err == nil {
+		t.Fatal("unsorted dictionary accepted")
+	}
+	if _, err := NewDictionary(nil); err == nil {
+		t.Fatal("empty dictionary accepted")
+	}
+}
+
+func TestDictionaryTwoByteWidth(t *testing.T) {
+	vals := make([]string, 200)
+	for i := range vals {
+		vals[i] = fmt.Sprintf("v%08d", i)
+	}
+	dict, err := NewDictionary(vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dict.Width() != 2 {
+		t.Fatalf("Width = %d, want 2 for %d entries", dict.Width(), len(vals))
+	}
+}
+
+// repeatVec repeats each of vals enough times to clear the MinSample floor.
+func repeatVec(reps int, vals ...string) *vector.Vector {
+	v := vector.New(vector.Varchar, len(vals)*reps)
+	for i := 0; i < reps; i++ {
+		for _, s := range vals {
+			v.AppendString(s)
+		}
+	}
+	return v
+}
+
+func TestAnalyzeSampleDecisions(t *testing.T) {
+	cfg := PlanConfig{Dict: true, Trunc: true}
+
+	t.Run("lowcard varchar becomes dict", func(t *testing.T) {
+		key := SortKey{Type: vector.Varchar}
+		sample := [][]*vector.Vector{{repeatVec(40, "ca", "ny", "tx", "wa")}}
+		plan, err := AnalyzeSample([]SortKey{key}, sample, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan == nil || plan.Cols[0].Enc != EncDict {
+			t.Fatalf("plan = %+v, want dict", plan)
+		}
+		if plan.Cols[0].Width != 1 {
+			t.Fatalf("dict width = %d, want 1", plan.Cols[0].Width)
+		}
+	})
+
+	t.Run("shared-prefix varchar elides prefix", func(t *testing.T) {
+		key := SortKey{Type: vector.Varchar}
+		urls := make([]string, 128)
+		for i := range urls {
+			urls[i] = fmt.Sprintf("https://example.com/item/%06d", (i*7919)%1000000)
+		}
+		sample := [][]*vector.Vector{{stringsVec(urls...)}}
+		plan, err := AnalyzeSample([]SortKey{key}, sample, PlanConfig{Trunc: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := plan.Cols[0]
+		if cp.Enc != EncTrunc || len(cp.Skip) == 0 {
+			t.Fatalf("plan = %v, want skip-trunc", cp)
+		}
+		if cp.Skip != "https://example.com/item/" {
+			t.Fatalf("Skip = %q", cp.Skip)
+		}
+		if cp.Width >= key.prefixLen() {
+			t.Fatalf("Width %d does not beat full prefix %d", cp.Width, key.prefixLen())
+		}
+	})
+
+	t.Run("small-domain int64 elides encoded prefix exactly", func(t *testing.T) {
+		key := SortKey{Type: vector.Int64}
+		v := vector.New(vector.Int64, 256)
+		for i := 0; i < 256; i++ {
+			v.AppendInt64(int64(i % 97))
+		}
+		plan, err := AnalyzeSample([]SortKey{key}, [][]*vector.Vector{{v}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := plan.Cols[0]
+		if cp.Enc != EncTrunc || len(cp.Skip) != 7 {
+			t.Fatalf("plan = %v, want skip-trunc eliding 7 bytes", cp)
+		}
+		if !cp.exactSuffix(key) {
+			t.Fatal("class-1 arm should be exact")
+		}
+	})
+
+	t.Run("uniform int64 truncates to discriminating prefix", func(t *testing.T) {
+		key := SortKey{Type: vector.Int64}
+		v := vector.New(vector.Int64, 4096)
+		x := int64(1)
+		for i := 0; i < 4096; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+			v.AppendInt64(x)
+		}
+		plan, err := AnalyzeSample([]SortKey{key}, [][]*vector.Vector{{v}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := plan.Cols[0]
+		if cp.Enc != EncTrunc || len(cp.Skip) != 0 {
+			t.Fatalf("plan = %v, want plain trunc", cp)
+		}
+		// 4096 uniform samples: the closest adjacent pair shares ~3 bytes,
+		// so the discriminating prefix plus margin lands at 4-5 of 8 bytes.
+		if cp.Width > 5 {
+			t.Fatalf("kept %d bytes of a uniform int64, want <= 5", cp.Width)
+		}
+	})
+
+	t.Run("tiny sample stays full", func(t *testing.T) {
+		key := SortKey{Type: vector.Varchar}
+		sample := [][]*vector.Vector{{stringsVec("a", "b")}}
+		plan, err := AnalyzeSample([]SortKey{key}, sample, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan != nil {
+			t.Fatalf("plan = %+v, want nil", plan)
+		}
+	})
+
+	t.Run("uint8 never compresses", func(t *testing.T) {
+		key := SortKey{Type: vector.Uint8}
+		v := vector.New(vector.Uint8, 128)
+		for i := 0; i < 128; i++ {
+			v.AppendUint8(uint8(i % 3))
+		}
+		plan, err := AnalyzeSample([]SortKey{key}, [][]*vector.Vector{{v}}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plan != nil {
+			t.Fatalf("plan = %+v, want nil", plan)
+		}
+	})
+}
+
+// checkPlanSound encodes every vector (each one row) under the plan and
+// verifies the compressed-key contract against the oracle for every pair:
+// byte order never inverts the semantic order, and any byte-tie between
+// semantically unequal rows was flagged lossy by at least one side's
+// EncodeStats (that flag is what arms the sorter's tie-break).
+func checkPlanSound(t *testing.T, key SortKey, plan *Plan, vecs []*vector.Vector) {
+	t.Helper()
+	enc, err := NewEncoderPlan([]SortKey{key}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if enc.Width() > enc.FullWidth() {
+		t.Fatalf("Width %d > FullWidth %d", enc.Width(), enc.FullWidth())
+	}
+	type encRow struct {
+		b    []byte
+		ties bool
+	}
+	rows := make([]encRow, len(vecs))
+	for i, v := range vecs {
+		b := make([]byte, enc.Width())
+		st, err := enc.EncodeChunk([]*vector.Vector{v}, b, enc.Width(), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows[i] = encRow{b, st.Ties}
+	}
+	for i := range vecs {
+		for j := range vecs {
+			got := cmpSign(bytes.Compare(rows[i].b, rows[j].b))
+			want := cmpSign(CompareValues(key, vecs[i], 0, vecs[j], 0))
+			if got == want {
+				continue
+			}
+			if got != 0 {
+				t.Fatalf("pair (%d,%d): bytes.Compare = %d but oracle = %d\nkey %+v\na = % x\nb = % x",
+					i, j, got, want, key, rows[i].b, rows[j].b)
+			}
+			if !rows[i].ties && !rows[j].ties {
+				t.Fatalf("pair (%d,%d): unreported lossy tie (oracle = %d)\nkey %+v\nbytes = % x",
+					i, j, want, key, rows[i].b)
+			}
+		}
+	}
+}
+
+// planVariants runs a soundness check across ASC/DESC and NULLS FIRST/LAST.
+func planVariants(t *testing.T, base SortKey, plan *Plan, vecs []*vector.Vector) {
+	t.Helper()
+	for _, ord := range []Order{Ascending, Descending} {
+		for _, nl := range []NullOrder{NullsFirst, NullsLast} {
+			key := base
+			key.Order, key.Nulls = ord, nl
+			t.Run(fmt.Sprintf("%v-%v", ord, nl), func(t *testing.T) {
+				checkPlanSound(t, key, plan, vecs)
+			})
+		}
+	}
+}
+
+func TestDictEncodingSound(t *testing.T) {
+	dict, err := NewDictionary([]string{"ca", "ny", "tx", "wa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Cols: []ColumnPlan{{Enc: EncDict, Dict: dict, Width: 1}}}
+	var vecs []*vector.Vector
+	for _, s := range []string{"", "az", "ca", "cb", "mn", "mo", "ny", "nz", "tx", "wa", "wz", "\x00NULL"} {
+		vecs = append(vecs, stringsVec(s))
+	}
+	planVariants(t, SortKey{Type: vector.Varchar}, plan, vecs)
+}
+
+func TestTruncVarcharSound(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		plan := &Plan{Cols: []ColumnPlan{{Enc: EncTrunc, Width: 3}}}
+		var vecs []*vector.Vector
+		for _, s := range []string{"", "a", "ab", "abc", "abcd", "abce", "abd", "ab\x00x", "b", "\x00NULL"} {
+			vecs = append(vecs, stringsVec(s))
+		}
+		planVariants(t, SortKey{Type: vector.Varchar}, plan, vecs)
+	})
+	t.Run("skip", func(t *testing.T) {
+		plan := &Plan{Cols: []ColumnPlan{{Enc: EncTrunc, Skip: "id-", Width: 1 + 2}}}
+		var vecs []*vector.Vector
+		for _, s := range []string{"", "a", "id", "id-", "id-0", "id-00", "id-0001", "id-0002", "id-01", "id-zz", "id.", "zz", "\x00NULL"} {
+			vecs = append(vecs, stringsVec(s))
+		}
+		planVariants(t, SortKey{Type: vector.Varchar}, plan, vecs)
+	})
+	t.Run("skip collated", func(t *testing.T) {
+		plan := &Plan{Cols: []ColumnPlan{{Enc: EncTrunc, Skip: "id-", Width: 1 + 2}}}
+		var vecs []*vector.Vector
+		for _, s := range []string{"ID-7", "id-7", "Id-8", "IA", "JA", "\x00NULL"} {
+			vecs = append(vecs, stringsVec(s))
+		}
+		planVariants(t, SortKey{Type: vector.Varchar, Collation: CollationNoCase}, plan, vecs)
+	})
+}
+
+func TestTruncFixedSound(t *testing.T) {
+	vals := []int64{-1 << 62, -3, -1, 0, 1, 2, 3, 95, 96, 97, 1 << 40, 1<<62 + 1, 1<<62 + 2}
+	var vecs []*vector.Vector
+	for _, x := range vals {
+		vecs = append(vecs, int64Vec(x))
+	}
+	nv := vector.New(vector.Int64, 1)
+	nv.AppendNull()
+	vecs = append(vecs, nv)
+
+	t.Run("plain", func(t *testing.T) {
+		plan := &Plan{Cols: []ColumnPlan{{Enc: EncTrunc, Width: 3}}}
+		planVariants(t, SortKey{Type: vector.Int64}, plan, vecs)
+	})
+	t.Run("skip", func(t *testing.T) {
+		// Skip the 7 leading bytes of the small-domain encodings; values
+		// outside [0, 255] escape to classes 0 and 2.
+		key := SortKey{Type: vector.Int64}
+		skipV := int64Vec(0)
+		var scratch [8]byte
+		encodeValue(key, skipV, 0, scratch[:])
+		plan := &Plan{Cols: []ColumnPlan{{Enc: EncTrunc, Skip: string(scratch[:7]), Width: 1 + 1}}}
+		if !plan.Cols[0].exactSuffix(key) {
+			t.Fatal("expected exact class-1 suffix")
+		}
+		planVariants(t, key, plan, vecs)
+	})
+}
+
+func TestEncodeStatsReporting(t *testing.T) {
+	dict, err := NewDictionary([]string{"ca", "ny", "tx", "wa"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &Plan{Cols: []ColumnPlan{{Enc: EncDict, Dict: dict, Width: 1}}}
+	enc, err := NewEncoderPlan([]SortKey{{Type: vector.Varchar}}, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16*enc.Width())
+
+	st, err := enc.EncodeChunk([]*vector.Vector{stringsVec("ca", "wa", "ny", "ny")}, buf, enc.Width(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ties || st.Escapes != 0 {
+		t.Fatalf("exact-only chunk reported %+v", st)
+	}
+
+	st, err = enc.EncodeChunk([]*vector.Vector{stringsVec("ca", "oops", "zz")}, buf, enc.Width(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ties || st.Escapes != 2 {
+		t.Fatalf("escaping chunk reported %+v, want ties with 2 escapes", st)
+	}
+
+	// Exact-suffix fixed elision: in-range rows are lossless.
+	key := SortKey{Type: vector.Int64}
+	var scratch [8]byte
+	encodeValue(key, int64Vec(0), 0, scratch[:])
+	fp := &Plan{Cols: []ColumnPlan{{Enc: EncTrunc, Skip: string(scratch[:6]), Width: 1 + 2}}}
+	fenc, err := NewEncoderPlan([]SortKey{key}, fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fbuf := make([]byte, 8*fenc.Width())
+	st, err = fenc.EncodeChunk([]*vector.Vector{int64Vec(1, 500, 65000)}, fbuf, fenc.Width(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Ties || st.Escapes != 0 {
+		t.Fatalf("in-range exact-suffix chunk reported %+v", st)
+	}
+	st, err = fenc.EncodeChunk([]*vector.Vector{int64Vec(1, -5, 1<<50)}, fbuf, fenc.Width(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Ties || st.Escapes != 2 {
+		t.Fatalf("out-of-range chunk reported %+v, want ties with 2 escapes", st)
+	}
+}
+
+func TestPlannedEncoderMatchesFullWhenInactive(t *testing.T) {
+	keys := []SortKey{{Type: vector.Int32}, {Type: vector.Varchar, PrefixLen: 4}}
+	full, err := NewEncoder(keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planned, err := NewEncoderPlan(keys, &Plan{Cols: []ColumnPlan{{Enc: EncFull}, {Enc: EncFull}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planned.Width() != full.Width() || planned.FullWidth() != full.Width() {
+		t.Fatalf("widths differ: %d/%d vs %d", planned.Width(), planned.FullWidth(), full.Width())
+	}
+	iv := vector.New(vector.Int32, 3)
+	iv.AppendInt32(-7)
+	iv.AppendNull()
+	iv.AppendInt32(9)
+	sv := stringsVec("abc", "abcdef", "z")
+	a := make([]byte, 3*full.Width())
+	b := make([]byte, 3*full.Width())
+	if err := full.Encode([]*vector.Vector{iv, sv}, a, full.Width(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := planned.Encode([]*vector.Vector{iv, sv}, b, planned.Width(), 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("inactive plan changed the encoding")
+	}
+}

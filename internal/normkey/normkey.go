@@ -26,6 +26,7 @@ package normkey
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"rowsort/internal/vector"
 )
@@ -153,46 +154,138 @@ func (k SortKey) prefixLen() int {
 // Encoder turns tuples of key-column values into normalized keys. It is
 // built once per sort (interpreting the type and order of each key exactly
 // once) and then applied vector at a time, which is how a vectorized engine
-// amortizes interpretation overhead.
+// amortizes interpretation overhead. An encoder built with a compression
+// Plan emits the planned per-column encodings instead of the full ones.
 type Encoder struct {
-	keys    []SortKey
-	offsets []int
-	width   int
-	varchar bool
+	keys      []SortKey
+	offsets   []int
+	width     int
+	fullWidth int
+	canTie    bool
+	plan      *Plan
 }
 
-// NewEncoder validates the key specification and returns an encoder.
+// NewEncoder validates the key specification and returns an uncompressed
+// encoder.
 func NewEncoder(keys []SortKey) (*Encoder, error) {
+	return NewEncoderPlan(keys, nil)
+}
+
+// NewEncoderPlan validates the key specification and returns an encoder
+// applying the given compression plan. A nil plan (or one whose columns are
+// all EncFull) reproduces the full encoding byte for byte.
+func NewEncoderPlan(keys []SortKey, plan *Plan) (*Encoder, error) {
 	if len(keys) == 0 {
 		return nil, fmt.Errorf("normkey: no sort keys")
 	}
-	e := &Encoder{keys: append([]SortKey(nil), keys...)}
+	if plan != nil && len(plan.Cols) != len(keys) {
+		return nil, fmt.Errorf("normkey: plan has %d columns for %d keys", len(plan.Cols), len(keys))
+	}
+	e := &Encoder{keys: append([]SortKey(nil), keys...), plan: plan}
 	for i, k := range e.keys {
 		if !k.Type.IsValid() {
 			return nil, fmt.Errorf("normkey: key %d has invalid type %v", i, k.Type)
 		}
+		cp := e.colPlan(i)
+		if err := validateColPlan(k, cp, i); err != nil {
+			return nil, err
+		}
 		e.offsets = append(e.offsets, e.width)
-		e.width += k.segWidth()
-		if k.Type == vector.Varchar {
-			e.varchar = true
+		e.width += 1 + cp.valueWidth(k)
+		e.fullWidth += k.segWidth()
+		if cp.canTie(k) {
+			e.canTie = true
 		}
 	}
 	return e, nil
 }
 
-// Width returns the total normalized key width in bytes.
+// validateColPlan rejects plans the encoder cannot honor.
+func validateColPlan(k SortKey, cp ColumnPlan, i int) error {
+	switch cp.Enc {
+	case EncFull:
+		return nil
+	case EncDict:
+		if k.Type != vector.Varchar {
+			return fmt.Errorf("normkey: key %d: dictionary encoding requires varchar, got %v", i, k.Type)
+		}
+		if cp.Dict == nil || cp.Width != cp.Dict.Width() {
+			return fmt.Errorf("normkey: key %d: invalid dictionary plan", i)
+		}
+	case EncTrunc:
+		// A lone class byte (width 1, skip set) is legal: it encodes a
+		// sampled-constant column in two segment bytes.
+		if cp.Width < 1 {
+			return fmt.Errorf("normkey: key %d: truncation width %d too small", i, cp.Width)
+		}
+		if k.Type != vector.Varchar {
+			w := k.Type.Width()
+			if len(cp.Skip) >= w {
+				return fmt.Errorf("normkey: key %d: skip %d covers whole %d-byte value", i, len(cp.Skip), w)
+			}
+			kept := cp.Width
+			if len(cp.Skip) > 0 {
+				kept = cp.Width - 1
+			}
+			if kept > w {
+				return fmt.Errorf("normkey: key %d: truncation keeps %d of %d bytes", i, kept, w)
+			}
+		}
+	default:
+		return fmt.Errorf("normkey: key %d: unknown encoding %d", i, cp.Enc)
+	}
+	return nil
+}
+
+// colPlan returns key k's column plan (EncFull when no plan is set).
+func (e *Encoder) colPlan(k int) ColumnPlan {
+	if e.plan == nil {
+		return ColumnPlan{Enc: EncFull}
+	}
+	return e.plan.Cols[k]
+}
+
+// Width returns the total normalized key width in bytes as emitted.
 func (e *Encoder) Width() int { return e.width }
+
+// FullWidth returns the uncompressed key width — what Width would be with
+// no compression plan. The gap is the per-row key-byte saving.
+func (e *Encoder) FullWidth() int { return e.fullWidth }
 
 // Keys returns the encoder's key specification.
 func (e *Encoder) Keys() []SortKey { return e.keys }
 
+// Plan returns the encoder's compression plan, nil when uncompressed.
+func (e *Encoder) Plan() *Plan { return e.plan }
+
 // TiesPossible reports whether byte-equal normalized keys may belong to
-// unequal tuples, requiring a tie-break against the original values. This is
-// the case exactly when a string key is present (its prefix may truncate).
-func (e *Encoder) TiesPossible() bool { return e.varchar }
+// unequal tuples, requiring a tie-break against the original values: a
+// string key's prefix may truncate, and every compressed encoding is
+// potentially lossy.
+func (e *Encoder) TiesPossible() bool { return e.canTie }
+
+// SegCanTie reports whether key k's segment alone may byte-tie between
+// unequal values.
+func (e *Encoder) SegCanTie(k int) bool { return e.colPlan(k).canTie(e.keys[k]) }
+
+// SegExactSuffix reports whether key k is a shared-prefix-elided fixed
+// segment whose class-1 arm is exact (byte-equal class-1 segments are
+// semantically equal).
+func (e *Encoder) SegExactSuffix(k int) bool { return e.colPlan(k).exactSuffix(e.keys[k]) }
 
 // Offset returns the byte offset of key k's segment within the key.
 func (e *Encoder) Offset(k int) int { return e.offsets[k] }
+
+// EncodeStats reports what one Encode call observed about lossiness.
+type EncodeStats struct {
+	// Ties is set when some encoded row could byte-tie with a different
+	// value's encoding — the run holding these rows needs the semantic
+	// tie-break.
+	Ties bool
+	// Escapes counts dictionary escapes and shared-prefix class-0/2
+	// encodings (values the sample did not cover).
+	Escapes int64
+}
 
 // Encode writes one normalized key per row into out. cols[i] supplies the
 // values for keys[i]; all columns must share a length. Row r's key is
@@ -200,40 +293,51 @@ func (e *Encoder) Offset(k int) int { return e.offsets[k] }
 // column at a time over the whole vector — the vectorized, cache-friendly
 // conversion of Figure 11.
 func (e *Encoder) Encode(cols []*vector.Vector, out []byte, stride, offset int) error {
+	_, err := e.EncodeChunk(cols, out, stride, offset)
+	return err
+}
+
+// EncodeChunk is Encode returning per-chunk lossiness stats, letting the
+// sorter enable its tie-break per run instead of per sort.
+func (e *Encoder) EncodeChunk(cols []*vector.Vector, out []byte, stride, offset int) (EncodeStats, error) {
+	var st EncodeStats
 	if len(cols) != len(e.keys) {
-		return fmt.Errorf("normkey: got %d columns for %d keys", len(cols), len(e.keys))
+		return st, fmt.Errorf("normkey: got %d columns for %d keys", len(cols), len(e.keys))
 	}
 	if stride < offset+e.width {
-		return fmt.Errorf("normkey: stride %d too small for offset %d + width %d", stride, offset, e.width)
+		return st, fmt.Errorf("normkey: stride %d too small for offset %d + width %d", stride, offset, e.width)
 	}
 	n := -1
 	for i, c := range cols {
 		if c.Type() != e.keys[i].Type {
-			return fmt.Errorf("normkey: column %d is %v, key wants %v", i, c.Type(), e.keys[i].Type)
+			return st, fmt.Errorf("normkey: column %d is %v, key wants %v", i, c.Type(), e.keys[i].Type)
 		}
 		if n == -1 {
 			n = c.Len()
 		} else if c.Len() != n {
-			return fmt.Errorf("normkey: column %d has %d rows, want %d", i, c.Len(), n)
+			return st, fmt.Errorf("normkey: column %d has %d rows, want %d", i, c.Len(), n)
 		}
 	}
 	if len(out) < n*stride {
-		return fmt.Errorf("normkey: out has %d bytes, need %d", len(out), n*stride)
+		return st, fmt.Errorf("normkey: out has %d bytes, need %d", len(out), n*stride)
 	}
 	for i, c := range cols {
-		e.encodeColumn(i, c, out, stride, offset)
+		cs := e.encodeColumn(i, c, out, stride, offset)
+		st.Ties = st.Ties || cs.Ties
+		st.Escapes += cs.Escapes
 	}
-	return nil
+	return st, nil
 }
 
-// encodeColumn encodes all rows of key k from vec.
+// encodeColumn encodes all rows of key k from vec, reporting lossiness.
 //
 //rowsort:hotpath
 //rowsort:keyencoder
-func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, offset int) {
+func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, offset int) EncodeStats {
 	key := e.keys[k]
+	cp := e.colPlan(k)
 	segOff := offset + e.offsets[k]
-	segW := key.segWidth()
+	segW := 1 + cp.valueWidth(key)
 	n := vec.Len()
 
 	// The validity byte is chosen in "pre-inversion" terms: if the column is
@@ -247,6 +351,7 @@ func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, of
 		nullByte, validByte = 0x01, 0x00
 	}
 
+	var st EncodeStats
 	for r := 0; r < n; r++ {
 		seg := out[r*stride+segOff : r*stride+segOff+segW]
 		if !vec.Valid(r) {
@@ -257,7 +362,18 @@ func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, of
 			continue
 		}
 		seg[0] = validByte
-		encodeValue(key, vec, r, seg[1:])
+		switch cp.Enc {
+		case EncDict:
+			encodeDict(key, cp, vec, r, seg[1:], &st)
+		case EncTrunc:
+			encodeTrunc(key, cp, vec, r, seg[1:], &st)
+		default:
+			encodeValue(key, vec, r, seg[1:])
+			if key.Type == vector.Varchar && !st.Ties {
+				s := key.Collation.Apply(vec.Strings()[r])
+				st.Ties = lossyString(s, key.prefixLen())
+			}
+		}
 	}
 
 	if key.Order == Descending {
@@ -266,6 +382,108 @@ func (e *Encoder) encodeColumn(k int, vec *vector.Vector, out []byte, stride, of
 			for i := range seg {
 				seg[i] = ^seg[i]
 			}
+		}
+	}
+	return st
+}
+
+// encodeDict writes row r's order-preserving dictionary code into dst.
+//
+//rowsort:hotpath
+//rowsort:keyencoder
+func encodeDict(key SortKey, cp ColumnPlan, vec *vector.Vector, r int, dst []byte, st *EncodeStats) {
+	s := key.Collation.Apply(vec.Strings()[r])
+	code, exact := cp.Dict.Code(s)
+	if !exact {
+		// Escaped values share their gap code with every other value in
+		// the same gap; the run needs the semantic tie-break.
+		st.Escapes++
+		st.Ties = true
+	}
+	if cp.Width == 1 {
+		dst[0] = byte(code)
+	} else {
+		putU16(dst, code)
+	}
+}
+
+// encodeTrunc writes row r's truncated encoding into dst: either a plain
+// discriminating prefix of the full encoding, or (Skip set) a class byte
+// followed by the encoding with the sampled shared prefix removed.
+//
+//rowsort:hotpath
+//rowsort:keyencoder
+func encodeTrunc(key SortKey, cp ColumnPlan, vec *vector.Vector, r int, dst []byte, st *EncodeStats) {
+	if key.Type == vector.Varchar {
+		s := key.Collation.Apply(vec.Strings()[r])
+		if len(cp.Skip) == 0 {
+			kept := cp.Width
+			nc := copy(dst[:kept], s)
+			for i := nc; i < kept; i++ {
+				dst[i] = 0
+			}
+			if lossyString(s, kept) {
+				st.Ties = true
+			}
+			return
+		}
+		kept := cp.Width - 1
+		var part string
+		switch {
+		case strings.HasPrefix(s, cp.Skip):
+			dst[0] = 1
+			part = s[len(cp.Skip):]
+		case s < cp.Skip:
+			dst[0] = 0
+			part = s
+			st.Escapes++
+		default:
+			dst[0] = 2
+			part = s
+			st.Escapes++
+		}
+		nc := copy(dst[1:1+kept], part)
+		for i := nc; i < kept; i++ {
+			dst[1+i] = 0
+		}
+		if lossyString(part, kept) {
+			st.Ties = true
+		}
+		return
+	}
+
+	var scratch [8]byte
+	w := key.Type.Width()
+	encodeValue(key, vec, r, scratch[:w])
+	if len(cp.Skip) == 0 {
+		copy(dst[:cp.Width], scratch[:cp.Width])
+		// Any dropped suffix may have discriminated; the run must
+		// tie-break.
+		st.Ties = true
+		return
+	}
+	skip := len(cp.Skip)
+	kept := cp.Width - 1
+	switch cmp := compareBytesStr(scratch[:skip], cp.Skip); {
+	case cmp == 0:
+		dst[0] = 1
+		copy(dst[1:1+kept], scratch[skip:skip+kept])
+		if skip+kept < w {
+			st.Ties = true
+		}
+	case cmp < 0:
+		dst[0] = 0
+		copy(dst[1:1+kept], scratch[:kept])
+		st.Escapes++
+		if kept < w {
+			st.Ties = true
+		}
+	default:
+		dst[0] = 2
+		copy(dst[1:1+kept], scratch[:kept])
+		st.Escapes++
+		if kept < w {
+			st.Ties = true
 		}
 	}
 }
@@ -311,6 +529,52 @@ func encodeValue(key SortKey, vec *vector.Vector, r int, dst []byte) {
 			dst[i] = 0
 		}
 	}
+}
+
+// OrdFixed maps the native little-endian bytes of a fixed-width value — the
+// payload row format of package row — to a uint64 whose unsigned order is
+// the value's ascending sort order: the integer form of encodeValue. The
+// sorter's tie-break compares truncated fixed segments against the payload
+// through it, without boxing the value. Varchar has no fixed encoding and
+// returns 0; callers dispatch strings to the collated comparison instead.
+//
+//rowsort:pure
+//rowsort:hotpath
+func OrdFixed(typ vector.Type, raw []byte) uint64 {
+	switch typ {
+	case vector.Bool, vector.Uint8:
+		return uint64(raw[0])
+	case vector.Int8:
+		return uint64(raw[0] ^ 0x80)
+	case vector.Uint16:
+		return uint64(leU16(raw))
+	case vector.Int16:
+		return uint64(leU16(raw) ^ 0x8000)
+	case vector.Uint32:
+		return uint64(leU32(raw))
+	case vector.Int32:
+		return uint64(leU32(raw) ^ 0x80000000)
+	case vector.Uint64:
+		return leU64(raw)
+	case vector.Int64:
+		return leU64(raw) ^ 0x8000000000000000
+	case vector.Float32:
+		return uint64(encodeFloat32(math.Float32frombits(leU32(raw))))
+	case vector.Float64:
+		return encodeFloat64(math.Float64frombits(leU64(raw)))
+	}
+	return 0
+}
+
+func leU16(b []byte) uint16 { return uint16(b[0]) | uint16(b[1])<<8 }
+
+func leU32(b []byte) uint32 {
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func leU64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 }
 
 // encodeFloat32 maps a float32 to a uint32 whose unsigned order equals the

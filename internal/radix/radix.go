@@ -55,6 +55,14 @@ type Stats struct {
 // Rows are rowWidth bytes each, stored back to back in data; bytes beyond
 // keyWidth travel with their row. LSD is used for keyWidth <= LSDThreshold,
 // MSD otherwise.
+//
+// Sort is STABLE: rows with byte-equal key prefixes keep their input order.
+// Every default path preserves order — LSD and MSD scatter with counting
+// sort, and the insertion fallback only moves strictly-smaller rows. The
+// duplicate-group run sort (sortalgo.CollectDupGroups) relies on this to
+// make grouped sorting byte-identical to sorting row-at-a-time. The one
+// exception is the opt-in Options.PdqCutoff hybrid, which hands buckets to
+// an unstable pdqsort.
 func Sort(data []byte, rowWidth, keyWidth int) Stats {
 	return SortOpts(data, rowWidth, keyWidth, Options{})
 }

@@ -262,3 +262,41 @@ func TestHybridDisabledByDefault(t *testing.T) {
 		t.Fatal("hybrid should be off by default")
 	}
 }
+
+// TestSortStable pins the stability guarantee the duplicate-group run sort
+// depends on: rows with byte-equal key prefixes keep their input order, in
+// both the LSD and MSD variants and through the insertion fallback.
+func TestSortStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, tc := range []struct {
+		name     string
+		keyWidth int
+		opt      Options
+	}{
+		{"lsd", 4, Options{}},
+		{"msd", 8, Options{}},
+		{"msd-insertion", 8, Options{InsertionCutoff: 64}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			const rowWidth, n = 16, 3000
+			data := make([]byte, n*rowWidth)
+			for i := 0; i < n; i++ {
+				row := data[i*rowWidth:]
+				// Tiny key domain: massive duplicate groups.
+				binary.BigEndian.PutUint64(row, uint64(rng.Intn(7)))
+				binary.BigEndian.PutUint64(row[8:], uint64(i)) // input order tag
+			}
+			SortOpts(data, rowWidth, tc.keyWidth, tc.opt)
+			for i := 1; i < n; i++ {
+				prev, cur := data[(i-1)*rowWidth:i*rowWidth], data[i*rowWidth:(i+1)*rowWidth]
+				c := bytes.Compare(prev[:tc.keyWidth], cur[:tc.keyWidth])
+				if c > 0 {
+					t.Fatalf("out of order at %d", i)
+				}
+				if c == 0 && binary.BigEndian.Uint64(prev[8:]) > binary.BigEndian.Uint64(cur[8:]) {
+					t.Fatalf("stability violated at %d", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+
+	"rowsort/internal/vector"
+)
+
+// Key-compression workloads: each generator stresses one compressed
+// normalized-key encoding (dictionary, duplicate-run grouping, prefix
+// truncation) plus a uniform high-cardinality control where compression
+// must decline. Payload columns are deterministic functions of the key
+// value, so two sorts that order equal keys differently still produce
+// byte-identical tables — the property the keycomp equivalence tests and
+// the `sortbench -exp keycomp` ablation both rely on.
+
+// KeyCompStringSchema is the schema of the string-keyed generators:
+// a Varchar key and an Int64 payload derived from it.
+var KeyCompStringSchema = vector.Schema{
+	{Name: "k", Type: vector.Varchar},
+	{Name: "v", Type: vector.Int64},
+}
+
+// KeyCompIntSchema is the schema of the integer-keyed generators:
+// an Int64 key and an Int64 payload derived from it.
+var KeyCompIntSchema = vector.Schema{
+	{Name: "k", Type: vector.Int64},
+	{Name: "v", Type: vector.Int64},
+}
+
+// mixPayload maps a key's ordinal to its payload value: an invertible
+// multiply-xorshift so the payload looks arbitrary but is a pure function
+// of the key.
+func mixPayload(x uint64) int64 {
+	x *= 0x9E3779B97F4A7C15
+	x ^= x >> 32
+	return int64(x)
+}
+
+// LowCardStrings generates n rows keyed by card distinct strings drawn
+// uniformly — the dictionary-encoding sweet spot. The values share a
+// common prefix and differ only in their numeric suffix, so the full
+// normalized prefix wastes most of its bytes; a sampled dictionary
+// collapses each value to one code byte (two when card is large).
+func LowCardStrings(n, card int, seed uint64) *vector.Table {
+	rng := NewRNG(seed)
+	pool := make([]string, card)
+	for i := range pool {
+		pool[i] = fmt.Sprintf("warehouse-%04d", i)
+	}
+	t := vector.NewTable(KeyCompStringSchema)
+	appendRows(t, n, func(c *vector.Chunk) {
+		j := rng.Intn(card)
+		c.Vectors[0].AppendString(pool[j])
+		c.Vectors[1].AppendInt64(mixPayload(uint64(j)))
+	})
+	return t
+}
+
+// DupHeavyInts generates n rows keyed by Int64 values in [0, domain),
+// emitted in runs of 4..64 equal keys — the shape of data clustered by an
+// upstream operator (a previous sort, a time-ordered status column) and
+// the duplicate-run sweet spot. The unsorted input already consists of
+// adjacent byte-equal groups, so RLE group sorting moves each group
+// through the radix sort once, and after sorting the merge's
+// duplicate-run fast path skips most comparisons.
+func DupHeavyInts(n, domain int, seed uint64) *vector.Table {
+	rng := NewRNG(seed)
+	t := vector.NewTable(KeyCompIntSchema)
+	k, left := 0, 0
+	appendRows(t, n, func(c *vector.Chunk) {
+		if left == 0 {
+			k = rng.Intn(domain)
+			left = 4 + rng.Intn(61)
+		}
+		left--
+		c.Vectors[0].AppendInt64(int64(k))
+		c.Vectors[1].AppendInt64(mixPayload(uint64(k)))
+	})
+	return t
+}
+
+// SharedPrefixStrings generates n rows keyed by URL-like strings with a
+// long constant prefix and a high-cardinality numeric tail — the
+// prefix-truncation sweet spot. The default normalized prefix is consumed
+// entirely by the shared prefix (every key ties, forcing the tie-break);
+// shared-prefix elision spends one class byte and keeps the
+// discriminating tail instead. Keys spread over a million ids via a
+// coprime stride so every leading digit occurs.
+func SharedPrefixStrings(n int, seed uint64) *vector.Table {
+	rng := NewRNG(seed)
+	t := vector.NewTable(KeyCompStringSchema)
+	appendRows(t, n, func(c *vector.Chunk) {
+		id := (rng.Intn(1_000_000) * 7919) % 1_000_000
+		c.Vectors[0].AppendString(fmt.Sprintf("https://shop.example.com/item/%06d", id))
+		c.Vectors[1].AppendInt64(mixPayload(uint64(id)))
+	})
+	return t
+}
+
+// UniformInt64s generates n rows keyed by uniform 64-bit integers — the
+// control arm. Nearly every byte discriminates and cardinality is ~n, so
+// dictionary and truncation must decline (or shave at most the sampled
+// margin) and duplicate-run grouping finds nothing: compressed arms must
+// match the uncompressed sort's wall time within noise.
+func UniformInt64s(n int, seed uint64) *vector.Table {
+	rng := NewRNG(seed)
+	t := vector.NewTable(KeyCompIntSchema)
+	appendRows(t, n, func(c *vector.Chunk) {
+		k := rng.Uint64()
+		c.Vectors[0].AppendInt64(int64(k))
+		c.Vectors[1].AppendInt64(mixPayload(k))
+	})
+	return t
+}
