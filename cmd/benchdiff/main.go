@@ -1,0 +1,70 @@
+// Command benchdiff compares two perf-trajectory reports (BENCH_sort.json,
+// written by `sortbench -exp trajectory -json ...`) and exits non-zero when
+// the new report regresses beyond the noise thresholds — the CI gate that
+// keeps the committed baseline honest.
+//
+// Usage:
+//
+//	benchdiff [flags] base.json new.json
+//
+// Timing metrics (wall time, and peak resident bytes, which depends on
+// scheduling) are gated by -time-threshold and -peak-threshold as relative
+// slack; setting either to 0 disables that gate. Byte and count metrics of
+// workloads the report marks deterministic (spill bytes, normalized-key
+// bytes, runs generated, merge passes) are exact functions of the code, so
+// they get the much tighter -bytes-threshold, and row counts must match
+// exactly. Non-deterministic workloads (budgeted sorts, where spilling is
+// pressure-driven) are gated on time only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rowsort/internal/bench"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		timeThresh  = flag.Float64("time-threshold", 0.30, "allowed relative wall-time increase before failing (0 disables)")
+		peakThresh  = flag.Float64("peak-threshold", 0.50, "allowed relative peak-resident increase before failing (0 disables)")
+		bytesThresh = flag.Float64("bytes-threshold", 0.02, "allowed relative increase of deterministic byte/count metrics before failing")
+	)
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [flags] base.json new.json")
+		return 2
+	}
+	base, err := bench.ReadTrajectoryJSON(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	next, err := bench.ReadTrajectoryJSON(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	regs, err := bench.DiffTrajectory(base, next, bench.DiffThresholds{
+		Time: *timeThresh, Peak: *peakThresh, Bytes: *bytesThresh,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	if len(regs) == 0 {
+		fmt.Printf("benchdiff: %d workloads within thresholds (time %+.0f%%, peak %+.0f%%, bytes %+.1f%%)\n",
+			len(next.Workloads), *timeThresh*100, *peakThresh*100, *bytesThresh*100)
+		return 0
+	}
+	fmt.Fprintf(os.Stderr, "benchdiff: %d regression(s) vs %s:\n", len(regs), flag.Arg(0))
+	for _, r := range regs {
+		fmt.Fprintf(os.Stderr, "  %s\n", r)
+	}
+	return 1
+}

@@ -17,16 +17,26 @@
 // budgets the sort's resident bytes: over budget it degrades by spilling
 // runs to a temp directory and streaming the final merge, instead of
 // growing without bound.
+//
+// The -serve flag mounts the live observability plane while the sort runs:
+// /debug/rowsort/ shows the sort's per-phase progress and ETA, /metrics its
+// Prometheus counters. The server stays up after the sort completes (the
+// finished snapshot stays queryable) until interrupted.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"rowsort/internal/core"
 	"rowsort/internal/obs"
@@ -39,19 +49,42 @@ func main() {
 	memLimit := flag.Int64("mem", 0, "memory budget in bytes for the sort (0 = unlimited); over budget the sort spills adaptively to a temp directory")
 	traceFile := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	metrics := flag.String("metrics", "", "write Prometheus-text sort metrics to this file (\"-\" = stderr)")
+	serve := flag.String("serve", "", "serve the live observability plane (/debug/rowsort/, /metrics) on this address while sorting, e.g. :6060; stays up after the sort until interrupted")
 	flag.Parse()
 
 	if *by == "" || flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: csvsort -by \"col[:desc][:nullslast],...\" input.csv")
 		os.Exit(2)
 	}
-	if err := run(flag.Arg(0), *by, *threads, *memLimit, *traceFile, *metrics, os.Stdout); err != nil {
+
+	var reg *obs.Registry
+	if *serve != "" {
+		reg = obs.NewRegistry(obs.DefaultKeepDone)
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "csvsort: -serve: %v\n", err)
+			os.Exit(1)
+		}
+		srv := &http.Server{Handler: reg.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "csvsort: serving http://%s/debug/rowsort/ and /metrics\n", ln.Addr())
+	}
+
+	if err := run(flag.Arg(0), *by, *threads, *memLimit, *traceFile, *metrics, reg, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "csvsort: %v\n", err)
 		os.Exit(1)
 	}
+
+	if *serve != "" {
+		fmt.Fprintln(os.Stderr, "csvsort: sort done; still serving the finished snapshot (interrupt to exit)")
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		<-ctx.Done()
+	}
 }
 
-func run(path, by string, threads int, memLimit int64, traceFile, metrics string, out io.Writer) error {
+func run(path, by string, threads int, memLimit int64, traceFile, metrics string, reg *obs.Registry, out io.Writer) error {
 	f, err := os.Open(path)
 	if err != nil {
 		return err
@@ -70,8 +103,8 @@ func run(path, by string, threads int, memLimit int64, traceFile, metrics string
 	if err != nil {
 		return err
 	}
-	opt := core.Options{Threads: threads, MemoryLimit: memLimit}
-	if traceFile != "" || metrics != "" {
+	opt := core.Options{Threads: threads, MemoryLimit: memLimit, Registry: reg, RunLabel: "csvsort"}
+	if traceFile != "" || metrics != "" || reg != nil {
 		opt.Telemetry = obs.NewRecorder()
 	}
 	sorted, stats, err := core.SortTableStats(table, keys, opt)

@@ -22,7 +22,7 @@ func writeTemp(t *testing.T, content string) string {
 func TestRunSortsByStringAndNumber(t *testing.T) {
 	path := writeTemp(t, "name,score\nbob,3\nalice,10\ncarol,3\n")
 	var sb strings.Builder
-	if err := run(path, "score:desc,name", 1, 0, "", "", &sb); err != nil {
+	if err := run(path, "score:desc,name", 1, 0, "", "", nil, &sb); err != nil {
 		t.Fatal(err)
 	}
 	want := "name,score\nalice,10\nbob,3\ncarol,3\n"
@@ -36,7 +36,7 @@ func TestRunNullsAndFloats(t *testing.T) {
 	// blank lines, so a single empty column cannot express one.
 	path := writeTemp(t, "id,v\nx,2.5\ny,\nz,-1\n")
 	var sb strings.Builder
-	if err := run(path, "v:nullslast", 1, 0, "", "", &sb); err != nil {
+	if err := run(path, "v:nullslast", 1, 0, "", "", nil, &sb); err != nil {
 		t.Fatal(err)
 	}
 	want := "id,v\nz,-1\nx,2.5\ny,\n"
@@ -51,7 +51,7 @@ func TestRunWritesTraceAndMetrics(t *testing.T) {
 	tracePath := filepath.Join(dir, "trace.json")
 	metricsPath := filepath.Join(dir, "metrics.txt")
 	var sb strings.Builder
-	if err := run(path, "score:desc", 1, 0, tracePath, metricsPath, &sb); err != nil {
+	if err := run(path, "score:desc", 1, 0, tracePath, metricsPath, nil, &sb); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(tracePath)
@@ -123,30 +123,30 @@ func TestRunWithMemoryBudget(t *testing.T) {
 	}
 	path := writeTemp(t, rows.String())
 	var unlimited, budgeted strings.Builder
-	if err := run(path, "score:desc,name", 1, 0, "", "", &unlimited); err != nil {
+	if err := run(path, "score:desc,name", 1, 0, "", "", nil, &unlimited); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(path, "score:desc,name", 1, 1, "", "", &budgeted); err != nil {
+	if err := run(path, "score:desc,name", 1, 1, "", "", nil, &budgeted); err != nil {
 		t.Fatal(err)
 	}
 	if unlimited.String() != budgeted.String() {
 		t.Fatal("budgeted sort output differs from unlimited")
 	}
-	if err := run(path, "score:desc", 1, -5, "", "", &strings.Builder{}); err == nil {
+	if err := run(path, "score:desc", 1, -5, "", "", nil, &strings.Builder{}); err == nil {
 		t.Fatal("negative -mem should error")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("/nonexistent.csv", "a", 1, 0, "", "", &strings.Builder{}); err == nil {
+	if err := run("/nonexistent.csv", "a", 1, 0, "", "", nil, &strings.Builder{}); err == nil {
 		t.Fatal("missing file should error")
 	}
 	ragged := writeTemp(t, "a,b\n1\n")
-	if err := run(ragged, "a", 1, 0, "", "", &strings.Builder{}); err == nil {
+	if err := run(ragged, "a", 1, 0, "", "", nil, &strings.Builder{}); err == nil {
 		t.Fatal("ragged rows should error")
 	}
 	ok := writeTemp(t, "a\n1\n")
-	if err := run(ok, "nope", 1, 0, "", "", &strings.Builder{}); err == nil {
+	if err := run(ok, "nope", 1, 0, "", "", nil, &strings.Builder{}); err == nil {
 		t.Fatal("unknown key column should error")
 	}
 }

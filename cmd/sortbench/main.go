@@ -27,17 +27,41 @@
 // degrade by adaptively spilling instead of growing, and the "memory"
 // experiment reports that single budget instead of its default sweep of
 // 1/2, 1/4 and 1/8 of the measured unlimited peak.
+//
+// The -serve flag mounts the live observability plane on an HTTP listener:
+// /debug/rowsort/ is an HTML index of every sort in flight (per-phase
+// progress, ETA, memory pressure, a phase waterfall), /debug/rowsort/run?id=
+// the JSON snapshot of one run, /debug/rowsort/trace?id= its Chrome trace
+// once finished, and /metrics the Prometheus exposition. With -exp the
+// experiments' sorts appear there as they run (the server stays up after
+// the experiment until interrupted); without -exp, sortbench loops a
+// budgeted forced-spill demo sort until interrupted so there is always
+// something live to look at:
+//
+//	sortbench -serve :6060
+//
+// The -json flag makes the trajectory experiment write its machine-readable
+// report (BENCH_sort.json) there; `benchdiff base.json new.json` compares
+// two such reports and fails on regression.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"syscall"
+	"time"
 
 	"rowsort/internal/bench"
+	"rowsort/internal/core"
 	"rowsort/internal/obs"
+	"rowsort/internal/workload"
 )
 
 func main() {
@@ -58,10 +82,12 @@ func run() int {
 		metrics    = flag.String("metrics", "", "write Prometheus-text phase metrics to this file (\"-\" = stderr)")
 		phases     = flag.Bool("phases", false, "print per-phase span tables after end-to-end experiments")
 		memLimit   = flag.Int64("mem", 0, "memory budget in bytes for the experiments' sorts (0 = unlimited; the \"memory\" experiment measures this single budget instead of its sweep)")
+		serve      = flag.String("serve", "", "serve the live observability plane (/debug/rowsort/, /metrics) on this address, e.g. :6060; without -exp, loops a forced-spill demo sort until interrupted")
+		jsonOut    = flag.String("json", "", "write the trajectory experiment's machine-readable report (BENCH_sort.json) to this file")
 	)
 	flag.Parse()
 
-	if *list || *exp == "" {
+	if *list || (*exp == "" && *serve == "") {
 		fmt.Println("experiments:")
 		for _, e := range bench.Registry() {
 			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
@@ -116,10 +142,39 @@ func run() int {
 		Seed:           *seed,
 		MemoryLimit:    *memLimit,
 		PhaseBreakdown: *phases,
+		BenchJSON:      *jsonOut,
 	}
 	if *traceFile != "" || *metrics != "" {
 		cfg.Telemetry = obs.NewRecorder()
 		cfg.Telemetry.PublishExpvar("rowsort")
+	}
+
+	ctx := context.Background()
+	if *serve != "" {
+		reg := obs.NewRegistry(obs.DefaultKeepDone)
+		cfg.Registry = reg
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: -serve: %v\n", err)
+			return 1
+		}
+		srv := &http.Server{Handler: reg.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "sortbench: serving http://%s/debug/rowsort/ and /metrics (interrupt to stop)\n", ln.Addr())
+		var stop context.CancelFunc
+		ctx, stop = signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
+		defer stop()
+	}
+
+	if *exp == "" {
+		// Serve-only mode: keep a forced-spill sort in flight so the
+		// endpoints always have a live run to show.
+		if err := demoLoop(ctx, cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
+			return 1
+		}
+		return 0
 	}
 
 	var err error
@@ -138,6 +193,10 @@ func run() int {
 		fmt.Fprintf(os.Stderr, "sortbench: %v\n", err)
 		return 1
 	}
+	if *serve != "" {
+		fmt.Fprintf(os.Stderr, "sortbench: experiment done; still serving completed-run snapshots (interrupt to exit)\n")
+		<-ctx.Done()
+	}
 
 	if *traceFile != "" {
 		if err := writeTrace(cfg.Telemetry, *traceFile); err != nil {
@@ -152,6 +211,43 @@ func run() int {
 		}
 	}
 	return 0
+}
+
+// demoLoop sorts a budgeted TPC-DS catalog_sales workload over and over
+// until ctx is cancelled, registering every run with cfg.Registry. The
+// budget forces pressure-driven spilling and a multi-pass external merge,
+// so the served endpoints show every phase and counter moving.
+func demoLoop(ctx context.Context, cfg bench.Config) error {
+	n := 1 << 20
+	switch cfg.Scale {
+	case bench.ScaleTiny:
+		n = 1 << 14
+	case bench.ScalePaper:
+		n = 1 << 22
+	}
+	limit := cfg.MemoryLimit
+	if limit <= 0 {
+		limit = int64(n) * 8
+	}
+	tbl := workload.CatalogSales(n, 10, cfg.Seed)
+	keys := []core.SortColumn{{Column: 0}, {Column: 1}, {Column: 2}}
+	for i := 1; ctx.Err() == nil; i++ {
+		opt := core.Options{
+			Threads:     cfg.Threads,
+			MemoryLimit: limit,
+			Registry:    cfg.Registry,
+			RunLabel:    fmt.Sprintf("demo-%d", i),
+			Telemetry:   obs.NewRecorder(), // per-run recorder: each run gets its own waterfall and trace
+		}
+		if _, _, err := core.SortTableStats(tbl, keys, opt); err != nil {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+		case <-time.After(time.Second):
+		}
+	}
+	return nil
 }
 
 func writeTrace(rec *obs.Recorder, path string) error {

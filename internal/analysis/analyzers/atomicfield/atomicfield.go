@@ -7,6 +7,12 @@
 // The analyzer makes the property structural: it collects every address
 // passed to a sync/atomic call, then flags every other plain access to the
 // same variable or field.
+//
+// It also covers the typed API (atomic.Int64, atomic.Bool, ...), which the
+// progress counters of obs.Progress and the recorder's phase arrays use:
+// any expression of a sync/atomic struct type that is not the receiver of
+// a method call or explicitly addressed is a by-value copy — the copy is
+// racy to produce and useless to keep — and is flagged.
 package atomicfield
 
 import (
@@ -36,10 +42,11 @@ func run(pass *analysis.Pass) {
 	facts := pass.U.Memo("atomicfield.facts", func() any {
 		return collect(pass.U)
 	}).(*atomicFacts)
-	if len(facts.vars) == 0 {
-		return
-	}
 	for _, file := range pass.Pkg.Files {
+		checkTypedValues(pass, file)
+		if len(facts.vars) == 0 {
+			continue
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.SelectorExpr:
@@ -56,6 +63,69 @@ func run(pass *analysis.Pass) {
 			return true
 		})
 	}
+}
+
+// checkTypedValues flags by-value uses of the sync/atomic struct types
+// (atomic.Int64 and friends). Two passes over the file: the first marks the
+// contexts where an atomic value legitimately appears without its address
+// escaping — as the receiver of a selector (p.RowsIngested.Add(1)) or the
+// operand of an explicit & — and the second reports every other expression
+// of an atomic type: those are copies, which tear under concurrent Store
+// and decouple the copy from the shared counter.
+func checkTypedValues(pass *analysis.Pass, file *ast.File) {
+	info := pass.Pkg.Info
+	allowed := map[ast.Node]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			x := ast.Unparen(n.X)
+			if isAtomicType(info.TypeOf(x)) {
+				allowed[x] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				x := ast.Unparen(n.X)
+				if isAtomicType(info.TypeOf(x)) {
+					allowed[x] = true
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(file, func(n ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok || allowed[n] {
+			return true
+		}
+		switch e := expr.(type) {
+		case *ast.SelectorExpr, *ast.IndexExpr:
+		case *ast.Ident:
+			// Only value uses: skip declarations and the Sel half of
+			// selectors (neither has a value entry in Types).
+			if info.Defs[e] != nil {
+				return true
+			}
+		default:
+			return true
+		}
+		tv, ok := info.Types[expr]
+		if !ok || !tv.IsValue() || !isAtomicType(tv.Type) {
+			return true
+		}
+		pass.Reportf(expr.Pos(), "sync/atomic value of type %s copied or accessed by value; use its methods or take its address", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg.Types)))
+		return false
+	})
+}
+
+// isAtomicType reports whether t is one of sync/atomic's struct types
+// (Int32, Int64, Uint32, Uint64, Uintptr, Bool, Value, Pointer[T]).
+func isAtomicType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync/atomic"
 }
 
 // collect sweeps the whole universe for &target arguments of sync/atomic

@@ -38,3 +38,34 @@ type plainOnly struct{ n int64 }
 func (p *plainOnly) inc() { p.n++ }
 
 func (p *plainOnly) get() int64 { return p.n }
+
+// progress uses the typed sync/atomic API, like obs.Progress.
+type progress struct {
+	rows  atomic.Int64
+	done  atomic.Bool
+	ticks [3]atomic.Int64
+}
+
+// methods and explicit addresses are the legitimate uses: clean.
+func (p *progress) advance(n int64) {
+	p.rows.Add(n)
+	p.ticks[0].Add(1)
+	p.done.Store(true)
+	sink(&p.rows)
+}
+
+func sink(*atomic.Int64) {}
+
+func (p *progress) snapshot() int64 {
+	_ = p.rows     // want "sync/atomic value of type sync/atomic.Int64 copied"
+	_ = p.ticks[1] // want "sync/atomic value of type sync/atomic.Int64 copied"
+	return p.rows.Load()
+}
+
+func swap(p *progress) {
+	var scratch atomic.Int64 // a declaration is not a copy: clean
+	scratch.Store(p.rows.Load())
+	// Assigning copies both sides: the write tears, the read races.
+	scratch = p.rows // want "sync/atomic value" "sync/atomic value"
+	_ = scratch.Load()
+}

@@ -40,6 +40,16 @@ type Config struct {
 	// PhaseBreakdown makes experiments that sort end to end print the
 	// per-phase span table after their result rows.
 	PhaseBreakdown bool
+
+	// Registry, when non-nil, registers the experiments' sorts with the
+	// live observability plane (core.Options.Registry), so a run served
+	// over HTTP (cmd/sortbench -serve) exposes progress, ETA and metrics
+	// for every sort in flight. Nil costs nothing.
+	Registry *obs.Registry
+	// BenchJSON, when non-empty, is where the trajectory experiment writes
+	// its machine-readable report (the BENCH_sort.json the benchdiff
+	// comparator consumes). Other experiments ignore it.
+	BenchJSON string
 }
 
 // DefaultConfig returns the small-scale configuration.

@@ -1,0 +1,95 @@
+package bench
+
+import (
+	"fmt"
+)
+
+// DiffThresholds are benchdiff's noise allowances, each a relative
+// increase (0.30 = +30%). Time and Peak at 0 disable that gate — useful
+// for smoke runs where only the deterministic metrics are meaningful.
+// Bytes applies only to metrics of workloads marked deterministic.
+type DiffThresholds struct {
+	Time  float64
+	Peak  float64
+	Bytes float64
+}
+
+// Regression is one metric of one workload exceeding its threshold.
+type Regression struct {
+	Workload  string
+	Metric    string
+	Base, New int64
+	Threshold float64
+}
+
+func (r Regression) String() string {
+	var rel string
+	if r.Base > 0 {
+		rel = fmt.Sprintf("%+.1f%%", 100*(float64(r.New)/float64(r.Base)-1))
+	} else {
+		rel = "from zero"
+	}
+	return fmt.Sprintf("%s: %s %d -> %d (%s, threshold %+.1f%%)",
+		r.Workload, r.Metric, r.Base, r.New, rel, 100*r.Threshold)
+}
+
+// DiffTrajectory compares two reports workload by workload and returns the
+// metrics of next that regressed past the thresholds. The reports must
+// have been produced by the same pinned configuration (scale, threads,
+// seed) and cover the same workloads, or it errors: a diff across
+// configurations gates nothing.
+func DiffTrajectory(base, next *TrajectoryReport, th DiffThresholds) ([]Regression, error) {
+	if base.Scale != next.Scale || base.Threads != next.Threads || base.Seed != next.Seed {
+		return nil, fmt.Errorf("reports not comparable: base %s/%dt/seed%d vs new %s/%dt/seed%d",
+			base.Scale, base.Threads, base.Seed, next.Scale, next.Threads, next.Seed)
+	}
+	byName := make(map[string]TrajectoryWorkload, len(base.Workloads))
+	for _, wl := range base.Workloads {
+		byName[wl.Name] = wl
+	}
+	var regs []Regression
+	for _, nw := range next.Workloads {
+		bw, ok := byName[nw.Name]
+		if !ok {
+			return nil, fmt.Errorf("workload %q missing from base report", nw.Name)
+		}
+		delete(byName, nw.Name)
+		if bw.Rows != nw.Rows {
+			return nil, fmt.Errorf("workload %q rows differ: base %d vs new %d (inputs not pinned?)",
+				nw.Name, bw.Rows, nw.Rows)
+		}
+		if th.Time > 0 {
+			regs = appendExceeding(regs, nw.Name, "wall_ns", bw.WallNs, nw.WallNs, th.Time)
+		}
+		if th.Peak > 0 {
+			regs = appendExceeding(regs, nw.Name, "peak_resident_bytes",
+				bw.PeakResidentBytes, nw.PeakResidentBytes, th.Peak)
+		}
+		if !nw.Deterministic || !bw.Deterministic {
+			continue
+		}
+		regs = appendExceeding(regs, nw.Name, "spill_bytes_written",
+			bw.SpillBytesWritten, nw.SpillBytesWritten, th.Bytes)
+		regs = appendExceeding(regs, nw.Name, "norm_key_bytes", bw.NormKeyBytes, nw.NormKeyBytes, th.Bytes)
+		regs = appendExceeding(regs, nw.Name, "phys_key_bytes", bw.PhysKeyBytes, nw.PhysKeyBytes, th.Bytes)
+		regs = appendExceeding(regs, nw.Name, "runs_generated", bw.RunsGenerated, nw.RunsGenerated, th.Bytes)
+		regs = appendExceeding(regs, nw.Name, "merge_passes", bw.MergePasses, nw.MergePasses, th.Bytes)
+	}
+	for name := range byName {
+		return nil, fmt.Errorf("workload %q missing from new report", name)
+	}
+	return regs, nil
+}
+
+// appendExceeding records a regression when next exceeds base by more than
+// the relative threshold. A metric growing from zero is always a
+// regression (no relative slack is meaningful there); shrinking never is.
+func appendExceeding(regs []Regression, wl, metric string, base, next int64, th float64) []Regression {
+	if next <= base {
+		return regs
+	}
+	if base == 0 || float64(next) > float64(base)*(1+th) {
+		regs = append(regs, Regression{Workload: wl, Metric: metric, Base: base, New: next, Threshold: th})
+	}
+	return regs
+}

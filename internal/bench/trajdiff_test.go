@@ -1,0 +1,124 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func diffReport(wls ...TrajectoryWorkload) *TrajectoryReport {
+	return &TrajectoryReport{Schema: TrajectorySchema, Scale: "tiny", Threads: 2, Seed: 1, Workloads: wls}
+}
+
+func TestDiffTrajectoryRejectsIncomparableReports(t *testing.T) {
+	base := diffReport(TrajectoryWorkload{Name: "a", Rows: 100})
+
+	other := diffReport(TrajectoryWorkload{Name: "a", Rows: 100})
+	other.Threads = 4
+	if _, err := DiffTrajectory(base, other, DiffThresholds{}); err == nil ||
+		!strings.Contains(err.Error(), "not comparable") {
+		t.Fatalf("threads mismatch: err = %v", err)
+	}
+
+	if _, err := DiffTrajectory(base, diffReport(TrajectoryWorkload{Name: "b", Rows: 100}),
+		DiffThresholds{}); err == nil || !strings.Contains(err.Error(), "missing from base") {
+		t.Fatalf("new-only workload: err = %v", err)
+	}
+
+	if _, err := DiffTrajectory(
+		diffReport(TrajectoryWorkload{Name: "a", Rows: 100}, TrajectoryWorkload{Name: "b", Rows: 1}),
+		diffReport(TrajectoryWorkload{Name: "a", Rows: 100}),
+		DiffThresholds{}); err == nil || !strings.Contains(err.Error(), "missing from new") {
+		t.Fatalf("base-only workload: err = %v", err)
+	}
+
+	if _, err := DiffTrajectory(base, diffReport(TrajectoryWorkload{Name: "a", Rows: 99}),
+		DiffThresholds{}); err == nil || !strings.Contains(err.Error(), "rows differ") {
+		t.Fatalf("rows mismatch: err = %v", err)
+	}
+}
+
+func TestDiffTrajectoryTimeAndPeakGates(t *testing.T) {
+	base := diffReport(TrajectoryWorkload{Name: "a", Rows: 100, WallNs: 1000, PeakResidentBytes: 1 << 20})
+	slow := diffReport(TrajectoryWorkload{Name: "a", Rows: 100, WallNs: 1500, PeakResidentBytes: 1 << 21})
+
+	// Thresholds at zero disable the wall/peak gates entirely — that is how
+	// CI compares against a baseline committed from a different machine.
+	regs, err := DiffTrajectory(base, slow, DiffThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("disabled gates still flagged %v", regs)
+	}
+
+	regs, err = DiffTrajectory(base, slow, DiffThresholds{Time: 0.30, Peak: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("want wall_ns and peak_resident_bytes flagged, got %v", regs)
+	}
+	if s := regs[0].String(); !strings.Contains(s, "wall_ns") || !strings.Contains(s, "+50.0%") {
+		t.Fatalf("regression rendering off: %q", s)
+	}
+
+	// +20% wall is inside a 30% allowance.
+	mild := diffReport(TrajectoryWorkload{Name: "a", Rows: 100, WallNs: 1200, PeakResidentBytes: 1 << 20})
+	regs, err = DiffTrajectory(base, mild, DiffThresholds{Time: 0.30, Peak: 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("within-threshold change flagged %v", regs)
+	}
+}
+
+func TestDiffTrajectoryDeterministicByteGates(t *testing.T) {
+	det := func(spill, runs int64) TrajectoryWorkload {
+		return TrajectoryWorkload{Name: "d", Deterministic: true, Rows: 100,
+			SpillBytesWritten: spill, NormKeyBytes: 800, PhysKeyBytes: 200,
+			RunsGenerated: runs, MergePasses: 1}
+	}
+	th := DiffThresholds{Bytes: 0.02}
+
+	regs, err := DiffTrajectory(diffReport(det(1000, 8)), diffReport(det(1050, 8)), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "spill_bytes_written" {
+		t.Fatalf("+5%% spill bytes should flag at 2%%: %v", regs)
+	}
+
+	// Growth from zero always flags: no relative slack is meaningful.
+	regs, err = DiffTrajectory(diffReport(det(0, 8)), diffReport(det(1, 8)), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Base != 0 {
+		t.Fatalf("growth from zero not flagged: %v", regs)
+	}
+
+	// Shrinking is an improvement, never a regression.
+	regs, err = DiffTrajectory(diffReport(det(1000, 8)), diffReport(det(1, 4)), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("improvement flagged: %v", regs)
+	}
+
+	// Non-deterministic workloads skip the byte gates even when the bytes
+	// moved a lot.
+	loose := func(spill int64) TrajectoryWorkload {
+		w := det(spill, 8)
+		w.Deterministic = false
+		return w
+	}
+	regs, err = DiffTrajectory(diffReport(loose(1000)), diffReport(loose(5000)), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("non-deterministic workload byte-gated: %v", regs)
+	}
+}

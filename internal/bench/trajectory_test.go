@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func tinyTrajectory(t *testing.T) *TrajectoryReport {
+	t.Helper()
+	rep, err := Trajectory(Config{Scale: ScaleTiny, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestTrajectoryReportShape(t *testing.T) {
+	rep := tinyTrajectory(t)
+	if rep.Schema != TrajectorySchema {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Threads != trajectoryThreads {
+		t.Fatalf("threads = %d, want pinned %d", rep.Threads, trajectoryThreads)
+	}
+	want := map[string]bool{ // name -> deterministic
+		"uniform-int64": true, "lowcard-dict": true, "prefix-trunc": true,
+		"dup-rle": true, "spill-ext": true, "budget-multipass": false,
+	}
+	if len(rep.Workloads) != len(want) {
+		t.Fatalf("suite has %d workloads, want %d", len(rep.Workloads), len(want))
+	}
+	for _, wl := range rep.Workloads {
+		det, ok := want[wl.Name]
+		if !ok {
+			t.Errorf("unexpected workload %q", wl.Name)
+			continue
+		}
+		if wl.Deterministic != det {
+			t.Errorf("%s: deterministic = %v, want %v", wl.Name, wl.Deterministic, det)
+		}
+		if wl.Rows <= 0 || wl.WallNs <= 0 || wl.NsPerRow <= 0 {
+			t.Errorf("%s: empty measurement: %+v", wl.Name, wl)
+		}
+		if wl.RunsGenerated <= 0 || wl.NormKeyBytes <= 0 {
+			t.Errorf("%s: counters not recorded: %+v", wl.Name, wl)
+		}
+		switch wl.Name {
+		case "spill-ext":
+			if wl.SpillBytesWritten <= 0 {
+				t.Errorf("spill-ext wrote no spill bytes")
+			}
+		case "budget-multipass":
+			if wl.SpillBytesWritten <= 0 {
+				t.Errorf("budget-multipass never spilled under pressure")
+			}
+		}
+	}
+}
+
+func TestTrajectoryJSONRoundTrip(t *testing.T) {
+	rep := tinyTrajectory(t)
+	path := filepath.Join(t.TempDir(), "BENCH_sort.json")
+	if err := WriteTrajectoryJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTrajectoryJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Workloads) != len(rep.Workloads) || back.Seed != rep.Seed || back.Scale != rep.Scale {
+		t.Fatalf("round trip lost data:\nwrote %+v\nread  %+v", rep, back)
+	}
+	// A report that went through the pipeline must diff cleanly against
+	// itself, whatever the thresholds.
+	regs, err := DiffTrajectory(rep, back, DiffThresholds{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("self-diff flagged %v", regs)
+	}
+}
+
+func TestReadTrajectoryJSONRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.json")
+	if err := WriteTrajectoryJSON(path, &TrajectoryReport{Schema: "rowsort-bench/v0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadTrajectoryJSON(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}

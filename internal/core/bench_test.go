@@ -90,7 +90,11 @@ func BenchmarkWindowRank(b *testing.B) {
 // BenchmarkTelemetryOverhead measures what the telemetry layer costs on a
 // 1M-row multi-key sort: "disabled" is the nil-recorder fast path every
 // untraced sort takes, "enabled" records full phase spans into a fresh
-// Recorder per iteration. EXPERIMENTS.md documents the budget (<2%).
+// Recorder per iteration, and "registry" additionally registers every sort
+// with a live observability registry (progress counters are published
+// either way; the registry adds registration, fingerprinting and the
+// Close-time final-stats capture). EXPERIMENTS.md documents the budget
+// (<2%).
 func BenchmarkTelemetryOverhead(b *testing.B) {
 	const rows = 1 << 20
 	cols := workload.Dist{Random: true}.Generate(rows, 2, 11)
@@ -108,6 +112,15 @@ func BenchmarkTelemetryOverhead(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, _, err := SortTableStats(tbl, keys, Options{Threads: 4, Telemetry: obs.NewRecorder()}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("registry", func(b *testing.B) {
+		reg := obs.NewRegistry(4)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := SortTableStats(tbl, keys, Options{Threads: 4, Telemetry: obs.NewRecorder(), Registry: reg}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,263 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"rowsort/internal/obs"
+	"rowsort/internal/workload"
+)
+
+// stageIndex orders the lifecycle stage names a snapshot can report.
+var stageIndex = map[string]int{
+	"pending": 0, "run-generation": 1, "merge": 2, "gather": 3, "done": 4,
+}
+
+// getSnapshot polls one run's JSON endpoint.
+func getSnapshot(t *testing.T, base, id string) obs.RunSnapshot {
+	t.Helper()
+	resp, err := http.Get(base + "/debug/rowsort/run?id=" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run endpoint status %d: %s", resp.StatusCode, body)
+	}
+	var snap obs.RunSnapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		t.Fatalf("snapshot unmarshal: %v\n%s", err, body)
+	}
+	return snap
+}
+
+// monotonicCounters returns a descriptive error when next regressed any
+// counter relative to prev.
+func monotonicCounters(prev, next obs.ProgressCounters) error {
+	type pair struct {
+		name     string
+		old, new int64
+	}
+	for _, c := range []pair{
+		{"rows_ingested", prev.RowsIngested, next.RowsIngested},
+		{"rows_sorted", prev.RowsSorted, next.RowsSorted},
+		{"runs_generated", prev.RunsGenerated, next.RunsGenerated},
+		{"spill_bytes_written", prev.SpillBytesWritten, next.SpillBytesWritten},
+		{"spill_bytes_read", prev.SpillBytesRead, next.SpillBytesRead},
+		{"merge_rows_planned", prev.MergeRowsPlanned, next.MergeRowsPlanned},
+		{"rows_merged", prev.RowsMerged, next.RowsMerged},
+		{"merge_passes", prev.MergePasses, next.MergePasses},
+		{"rows_gathered", prev.RowsGathered, next.RowsGathered},
+		{"prefetched_blocks", prev.PrefetchedBlocks, next.PrefetchedBlocks},
+		{"prefetch_hits", prev.PrefetchHits, next.PrefetchHits},
+		{"pressure_spills", prev.PressureSpills, next.PressureSpills},
+	} {
+		if c.new < c.old {
+			return fmt.Errorf("%s went backwards: %d -> %d", c.name, c.old, c.new)
+		}
+	}
+	if stageIndex[next.Stage] < stageIndex[prev.Stage] {
+		return fmt.Errorf("stage went backwards: %s -> %s", prev.Stage, next.Stage)
+	}
+	return nil
+}
+
+// TestLiveRunEndpointTracksForcedSpillSort is the observability plane's
+// acceptance test: a budgeted (forced-spill, multi-pass) sort is polled
+// mid-flight over HTTP; every poll's counters must be monotonically
+// non-decreasing, and the final snapshot must agree exactly with the
+// sorter's completed SortStats. Run under -race this also pins down that
+// the live snapshot path only touches atomics.
+func TestLiveRunEndpointTracksForcedSpillSort(t *testing.T) {
+	const rows = 60_000
+	tbl := workload.CatalogSales(rows, 10, 7)
+	keys := []SortColumn{{Column: 0}, {Column: 1}, {Column: 2}}
+
+	reg := obs.NewRegistry(0)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	s, err := NewSorter(tbl.Schema, keys, Options{
+		Threads:     2,
+		RunSize:     600,
+		MemoryLimit: 64 << 10, // far below fan-in × healthy blocks: forces pressure spills and merge passes
+		Registry:    reg,
+		RunLabel:    "acceptance",
+		Telemetry:   obs.NewRecorder(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := s.obsRun.ID()
+	if id == "" {
+		t.Fatal("sorter did not register with the registry")
+	}
+
+	done := make(chan error, 1)
+	var sorted int
+	go func() {
+		done <- func() error {
+			sink := s.NewSink()
+			for _, c := range tbl.Chunks {
+				if err := sink.Append(c); err != nil {
+					return err
+				}
+			}
+			if err := sink.Close(); err != nil {
+				return err
+			}
+			if err := s.Finalize(); err != nil {
+				return err
+			}
+			out, err := s.Result()
+			if err != nil {
+				return err
+			}
+			sorted = out.NumRows()
+			return s.Close()
+		}()
+	}()
+
+	// Poll mid-flight until the sort completes; every observation must be
+	// consistent with the previous one.
+	prev := getSnapshot(t, srv.URL, id)
+	polls := 1
+	for running := true; running; {
+		select {
+		case err = <-done:
+			running = false
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Millisecond):
+		}
+		snap := getSnapshot(t, srv.URL, id)
+		if merr := monotonicCounters(prev.Counters, snap.Counters); merr != nil {
+			t.Fatalf("poll %d: %v", polls, merr)
+		}
+		if snap.Fraction < 0 || snap.Fraction > 1 {
+			t.Fatalf("poll %d: fraction %v out of range", polls, snap.Fraction)
+		}
+		prev, polls = snap, polls+1
+	}
+	if sorted != rows {
+		t.Fatalf("sorted %d rows, want %d", sorted, rows)
+	}
+
+	// The completed snapshot agrees with the sorter's own stats, field by
+	// field.
+	final := getSnapshot(t, srv.URL, id)
+	if !final.Done || final.Stage != "done" || final.Fraction != 1 || final.ETA != 0 {
+		t.Fatalf("final snapshot not settled: %+v", final)
+	}
+	st := s.Stats()
+	if st.MergePasses == 0 || st.PressureSpills == 0 {
+		t.Fatalf("budget forced no multi-pass/pressure work (passes=%d, pressure spills=%d); the test lost its teeth",
+			st.MergePasses, st.PressureSpills)
+	}
+	c := final.Counters
+	for _, chk := range []struct {
+		name      string
+		got, want int64
+	}{
+		{"rows_ingested", c.RowsIngested, st.RowsIngested},
+		{"rows_sorted", c.RowsSorted, st.RowsIngested}, // every ingested row leaves run generation sorted
+		{"runs_generated", c.RunsGenerated, st.RunsGenerated},
+		{"spill_bytes_written", c.SpillBytesWritten, st.SpillBytesWritten},
+		{"spill_bytes_read", c.SpillBytesRead, st.SpillBytesRead},
+		{"merge_passes", c.MergePasses, st.MergePasses},
+		{"pressure_spills", c.PressureSpills, st.PressureSpills},
+		{"prefetched_blocks", c.PrefetchedBlocks, st.PrefetchedBlocks},
+		{"prefetch_hits", c.PrefetchHits, st.PrefetchHits},
+		{"rows_gathered", c.RowsGathered, int64(rows)},
+	} {
+		if chk.got != chk.want {
+			t.Errorf("final %s = %d, want %d (SortStats)", chk.name, chk.got, chk.want)
+		}
+	}
+
+	// The frozen Final record is the authoritative SortStats, captured once
+	// at Close: it must round-trip through JSON into an equal struct.
+	finalJSON, err := json.Marshal(final.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var frozen SortStats
+	if err := json.Unmarshal(finalJSON, &frozen); err != nil {
+		t.Fatalf("Final is not a SortStats: %v", err)
+	}
+	if !reflect.DeepEqual(frozen, st) {
+		t.Errorf("frozen final stats diverge from Stats():\nfrozen: %+v\nstats:  %+v", frozen, st)
+	}
+}
+
+// TestStageDurationsSumWithRegistryEnabled re-checks the stage-duration
+// accounting invariant of stats_test.go with the full observability plane
+// attached: publishing progress and registering the run must not perturb
+// how the wall time is attributed.
+func TestStageDurationsSumWithRegistryEnabled(t *testing.T) {
+	tbl := workload.CatalogSales(20_000, 10, 7)
+	keys := []SortColumn{{Column: 0}, {Column: 1}, {Column: 2}}
+	reg := obs.NewRegistry(0)
+	_, st, err := SortTableStats(tbl, keys, Options{
+		Threads:   2,
+		RunSize:   2_500,
+		SpillDir:  t.TempDir(),
+		Telemetry: obs.NewRecorder(),
+		Registry:  reg,
+		RunLabel:  "durations",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := st.DurRunGen + st.DurMerge + st.DurGather
+	if st.DurTotal <= 0 || sum <= 0 {
+		t.Fatalf("durations not recorded: stages=%v total=%v", sum, st.DurTotal)
+	}
+	diff := st.DurTotal - sum
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > st.DurTotal/10+5*time.Millisecond {
+		t.Errorf("with registry enabled, stage durations %v vs total %v: off by %v", sum, st.DurTotal, diff)
+	}
+	snaps := reg.Snapshots()
+	if len(snaps) != 1 || !snaps[0].Done {
+		t.Fatalf("registry did not record the completed run: %+v", snaps)
+	}
+}
+
+// TestDisabledObservabilityHooksAllocateNothing pins the disabled fast
+// path: with no registry, the hooks the hot paths call — progress counter
+// adds, stage advances, nil-registry registration and the nil handle's
+// Done — must not allocate.
+func TestDisabledObservabilityHooksAllocateNothing(t *testing.T) {
+	tbl := workload.CatalogSales(16, 10, 7)
+	s, err := NewSorter(tbl.Schema, []SortColumn{{Column: 0}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var reg *obs.Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		h := reg.Register(obs.RunOptions{Label: "off"})
+		h.Done()
+		s.prog.RowsIngested.Add(1)
+		s.prog.SpillBytesWritten.Add(64)
+		s.prog.AdvanceTo(obs.StageRunGen)
+		_ = s.prog.Stage()
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled observability hooks allocate %v per run, want 0", allocs)
+	}
+}

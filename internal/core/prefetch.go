@@ -264,6 +264,7 @@ func (pf *prefetcher) run() {
 		}
 		pf.res.Grow(b.bytes)
 		pf.dec.s.prefetchBlocks.Add(1)
+		pf.dec.s.prog.PrefetchedBlocks.Add(1)
 		select {
 		case pf.out <- b:
 		case <-pf.stop:
@@ -281,6 +282,7 @@ func (pf *prefetcher) next(s *Sorter) *spillBlock {
 	case b, ok := <-pf.out:
 		if ok {
 			s.prefetchHits.Add(1)
+			s.prog.PrefetchHits.Add(1)
 			return b
 		}
 		return nil

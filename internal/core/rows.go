@@ -51,6 +51,7 @@ func (s *Sorter) Rows() (*RowIter, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Rows before Finalize")
 	}
+	s.prog.AdvanceTo(obs.StageGather)
 	it := &RowIter{s: s, gw: s.rec.Worker("gather"), started: s.sinceEpoch()}
 	if !s.streamMerge {
 		it.n = s.NumRows()
@@ -129,6 +130,7 @@ func (it *RowIter) Next() (*vector.Chunk, error) {
 	}
 	it.em.flushPend()
 	chunk := &vector.Chunk{Vectors: it.staging.GatherChunk(0, got)}
+	it.s.prog.RowsGathered.Add(int64(got))
 	it.pos += got
 	if it.pos >= it.n {
 		it.finish()

@@ -12,6 +12,7 @@ import (
 	"rowsort/internal/mergepath"
 	"rowsort/internal/normkey"
 	"rowsort/internal/obs"
+	"rowsort/internal/perfmodel"
 	"rowsort/internal/radix"
 	"rowsort/internal/row"
 	"rowsort/internal/sortalgo"
@@ -84,7 +85,15 @@ type Sorter struct {
 	// disables span recording at zero cost); the counters below feed
 	// SortStats and are maintained unconditionally. Lifecycle timestamps
 	// are nanoseconds since epoch, stored +1 so zero means "not reached".
+	//
+	// prog is the live progress block the observability registry serves:
+	// the hot paths mirror their counters into it with plain atomic adds.
+	// It is always allocated (so hooks never nil-check); obsRun is non-nil
+	// only when Options.Registry registered the run, and Close marks it
+	// done, freezing the final SortStats into the registry.
 	rec             *obs.Recorder
+	prog            *obs.Progress
+	obsRun          *obs.RunHandle
 	epoch           time.Time
 	rowsIn          atomic.Int64
 	runsGen         atomic.Int64
@@ -125,6 +134,7 @@ func (s *Sorter) sinceEpoch() int64 { return int64(time.Since(s.epoch)) }
 func (s *Sorter) markStart() {
 	if s.tFirstAppend.Load() == 0 {
 		s.tFirstAppend.CompareAndSwap(0, s.sinceEpoch()+1)
+		s.prog.AdvanceTo(obs.StageRunGen)
 	}
 }
 
@@ -214,6 +224,7 @@ func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, e
 		layout:   row.NewLayout(schema.Types()),
 		keyWidth: enc.Width(),
 		rec:      opt.Telemetry,
+		prog:     &obs.Progress{},
 		epoch:    time.Now(),
 	}
 	s.rowWidth = (s.keyWidth + refBytes + 7) &^ 7
@@ -230,8 +241,32 @@ func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, e
 	if opt.limited() {
 		s.unsub = s.broker.Subscribe(func(int64) { s.pressured.Store(true) })
 	}
+	if opt.Registry != nil {
+		external := opt.SpillDir != "" || opt.limited()
+		w := perfmodel.SortPhaseWeights(s.keyWidth, s.layout.Width(), external)
+		s.obsRun = opt.Registry.Register(obs.RunOptions{
+			Label:          opt.RunLabel,
+			Fingerprint:    opt.Fingerprint(),
+			Progress:       s.prog,
+			Recorder:       s.rec,
+			Weights:        obs.PhaseWeights{Ingest: w.Ingest, RunSort: w.RunSort, Merge: w.Merge, Gather: w.Gather},
+			MemUsed:        s.broker.Used,
+			MemPeak:        s.broker.Peak,
+			MemLimit:       opt.MemoryLimit,
+			PressureEvents: s.broker.PressureEvents,
+			FinalStats: func() any {
+				st := s.Stats()
+				return &st
+			},
+		})
+	}
 	return s, nil
 }
+
+// SetExpectedRows declares the total input rows up front, when the caller
+// knows them (SortTable does), so the registry's progress estimation has a
+// denominator before ingestion finishes. Optional; harmless to skip.
+func (s *Sorter) SetExpectedRows(n int64) { s.prog.RowsExpected.Store(n) }
 
 // refBytes is the payload reference appended to every key row: the run id
 // and the row index within the run's payload.
@@ -352,6 +387,7 @@ func (k *Sink) Append(c *vector.Chunk) error {
 	}
 	k.n += n
 	s.rowsIn.Add(int64(n))
+	s.prog.RowsIngested.Add(int64(n))
 
 	// The encoder reports per-chunk whether any encoded key could byte-tie
 	// with a different value's encoding (overlong or NUL-bearing string
@@ -468,6 +504,8 @@ func (k *Sink) flush() error {
 	sp.End()
 
 	s.runsGen.Add(1)
+	s.prog.RowsSorted.Add(int64(n))
+	s.prog.RunsGenerated.Add(1)
 	// NormKeyBytes stays in logical (uncompressed) terms so the number is
 	// comparable across encodings; PhysKeyBytes is what was actually
 	// emitted — the gap is the compression saving.
@@ -738,6 +776,8 @@ func (s *Sorter) Finalize() error {
 	}
 	s.finalized = true
 	s.tFinalizeStart.Store(s.sinceEpoch() + 1)
+	s.prog.AdvanceTo(obs.StageMerge)
+	s.prog.MergeRowsPlanned.Add(s.rowsIn.Load())
 	defer func() { s.tFinalizeEnd.Store(s.sinceEpoch() + 1) }()
 	var err error
 	s.rec.Do("merge", func() { err = s.finalizeLocked() })
@@ -770,6 +810,7 @@ func (s *Sorter) finalizeLocked() error {
 	}
 	if len(s.runs) == 1 {
 		s.finalKeys = s.runs[0].keys
+		s.prog.RowsMerged.Add(int64(s.runs[0].rows))
 		return nil
 	}
 
@@ -800,6 +841,7 @@ func (s *Sorter) finalizeLocked() error {
 		merged := mergepath.CascadeMerge(runs, cmp, s.opt.threads())
 		s.finalKeys = merged.Data
 		s.mergeStats.BytesMoved = uint64(len(merged.Data))
+		s.prog.RowsMerged.Add(int64(total))
 		return nil
 	}
 
@@ -818,6 +860,7 @@ func (s *Sorter) finalizeLocked() error {
 	s.mergeStats = mergepath.ParallelKWayMergeSpans(dst, runs, s.ovcSafeWidth(anyTieBreak), tie,
 		s.opt.threads(), s.opt.Merge != MergeLoserTreeNoOVC, onWorker)
 	s.finalKeys = dst
+	s.prog.RowsMerged.Add(int64(total))
 	return nil
 }
 
@@ -852,6 +895,7 @@ func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 	if s.streamMerge {
 		return s.resultStreamed()
 	}
+	s.prog.AdvanceTo(obs.StageGather)
 	gatherStart := s.sinceEpoch()
 	defer func() {
 		end := s.sinceEpoch()
@@ -913,6 +957,7 @@ func (s *Sorter) gatherChunk(payloads []*row.RowSet, which, idxs []uint32, start
 		row.GatherRefsColumn(payloads, refW, refI, c, v)
 		chunk.Vectors[c] = v
 	}
+	s.prog.RowsGathered.Add(int64(count))
 	return chunk
 }
 
@@ -926,6 +971,7 @@ func (s *Sorter) ResultScalar() (*vector.Table, error) {
 	if s.streamMerge {
 		return s.resultStreamed()
 	}
+	s.prog.AdvanceTo(obs.StageGather)
 	gatherStart := s.sinceEpoch()
 	defer func() {
 		end := s.sinceEpoch()
@@ -949,6 +995,7 @@ func (s *Sorter) ResultScalar() (*vector.Table, error) {
 		if err := out.AppendChunk(chunk); err != nil {
 			return nil, err
 		}
+		s.prog.RowsGathered.Add(int64(count))
 	}
 	return out, nil
 }
@@ -988,6 +1035,11 @@ func sortTable(s *Sorter, t *vector.Table) (*vector.Table, error) {
 	root := s.rec.Worker("main")
 	sp := root.Begin(obs.PhaseSort)
 	defer sp.End()
+	total := 0
+	for _, c := range t.Chunks {
+		total += c.Len()
+	}
+	s.SetExpectedRows(int64(total))
 	if s.opt.KeyComp&(KeyCompDict|KeyCompTrunc) != 0 {
 		if err := s.PlanCompression(keySampleChunks(t.Chunks, s.opt.KeyCompSampleRows)); err != nil {
 			return nil, err

@@ -17,6 +17,7 @@ package core
 import (
 	"fmt"
 	"runtime"
+	"strings"
 
 	"rowsort/internal/mem"
 	"rowsort/internal/obs"
@@ -179,6 +180,16 @@ type Options struct {
 	// durations are collected either way; nil only disables span recording
 	// (the zero-allocation fast path).
 	Telemetry *obs.Recorder
+	// Registry, when non-nil, registers the sort as a live run in the
+	// observability plane: per-phase progress counters published from the
+	// hot paths, memory-broker gauges, and — at Close — the frozen final
+	// SortStats, all served by the registry's HTTP handler
+	// (/debug/rowsort/). Progress counters are always maintained (plain
+	// atomic adds); nil only means nobody is watching.
+	Registry *obs.Registry
+	// RunLabel names the run in the registry ("csvsort", an experiment
+	// id); empty means "sort".
+	RunLabel string
 }
 
 // DefaultRunSize is the default thread-local run size in rows.
@@ -237,6 +248,53 @@ func (o Options) extMergeThreads() int {
 // limited reports whether a memory budget governs this sort — its own
 // MemoryLimit, a shared Broker, or both.
 func (o Options) limited() bool { return o.MemoryLimit > 0 || o.Broker != nil }
+
+// Fingerprint renders the options as a compact one-line summary — the run's
+// configuration signature in the observability registry, so an operator can
+// tell two concurrent runs' setups apart at a glance.
+func (o Options) Fingerprint() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "threads=%d runsize=%d", o.threads(), o.runSize())
+	switch o.Merge {
+	case MergeLoserTreeNoOVC:
+		b.WriteString(" merge=loser-noovc")
+	case MergeCascade:
+		b.WriteString(" merge=cascade")
+	default:
+		b.WriteString(" merge=loser")
+	}
+	if o.SpillDir != "" {
+		b.WriteString(" spill=eager")
+	}
+	if o.limited() {
+		fmt.Fprintf(&b, " budget=%d", o.MemoryLimit)
+	}
+	if o.SpillDir != "" || o.limited() {
+		fmt.Fprintf(&b, " blockrows=%d readahead=%d extthreads=%d",
+			o.spillBlockRows(), o.readAhead(), o.extMergeThreads())
+	}
+	if o.KeyComp != 0 {
+		b.WriteString(" keycomp=")
+		sep := ""
+		for _, f := range []struct {
+			bit  KeyComp
+			name string
+		}{{KeyCompDict, "dict"}, {KeyCompTrunc, "trunc"}, {KeyCompRLE, "rle"}} {
+			if o.KeyComp&f.bit != 0 {
+				b.WriteString(sep)
+				b.WriteString(f.name)
+				sep = "+"
+			}
+		}
+	}
+	if o.ForcePdqsort {
+		b.WriteString(" pdqsort=forced")
+	}
+	if o.Adaptive {
+		b.WriteString(" adaptive")
+	}
+	return b.String()
+}
 
 // Validate rejects malformed options with a descriptive error. NewSorter
 // calls it up front, so a negative knob can never silently fall through

@@ -132,6 +132,10 @@ func (s *Sorter) Close() error {
 		}
 	}
 	s.closeErr = errors.Join(errs...)
+	// The run is over: freeze its final stats into the observability
+	// registry (idempotent; Stats only takes s.mu, which Close never
+	// holds).
+	s.obsRun.Done()
 	return s.closeErr
 }
 
@@ -157,6 +161,7 @@ type countingReader struct {
 func (c *countingReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	c.s.spillRead.Add(int64(n))
+	c.s.prog.SpillBytesRead.Add(int64(n))
 	return n, err
 }
 
@@ -232,6 +237,7 @@ func (s *Sorter) spillUnderPressure(ow *obs.Worker) error {
 			return nil
 		}
 		s.pressureSpills.Add(1)
+		s.prog.PressureSpills.Add(1)
 		err := run.spillTo(s, ow)
 		s.mu.Lock()
 		run.spilling = false
@@ -316,6 +322,7 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 		return err
 	}
 	s.spillWritten.Add(cw.n)
+	s.prog.SpillBytesWritten.Add(cw.n)
 	sf.path = path
 	r.spill = sf
 	// The in-memory buffers are dead once the run is on disk: give their
@@ -706,6 +713,10 @@ func (e *extMerge) flushPend() {
 		e.srcs[i] = e.readers[id].payload
 	}
 	e.dst.AppendRowsGather(e.srcs, e.pendWhich, e.pendIdxs)
+	// Every merged row drains through here exactly once (eager final merge,
+	// intermediate passes, partitioned workers, and the streamed result),
+	// making it the single live merge-progress publication point.
+	e.s.prog.RowsMerged.Add(int64(len(e.pendIdxs)))
 	e.pendWhich = e.pendWhich[:0]
 	e.pendIdxs = e.pendIdxs[:0]
 }
@@ -888,6 +899,10 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 	if err != nil {
 		return 0, err
 	}
+	// An intermediate pass moves every input row again; grow the plan so
+	// the progress fraction accounts for the extra work instead of jumping
+	// past 100%.
+	s.prog.MergeRowsPlanned.Add(int64(e.total))
 	consumed := false
 	defer func() { e.close(consumed) }()
 
@@ -982,6 +997,7 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 	}
 
 	s.spillWritten.Add(cw.n)
+	s.prog.SpillBytesWritten.Add(cw.n)
 	merged.spill = sf
 	consumed = true
 	for _, id := range ids {
@@ -991,6 +1007,7 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 	st.BytesMoved = uint64(outPos * rw)
 	s.mergeStats.Add(st)
 	s.mergePasses.Add(1)
+	s.prog.MergePasses.Add(1)
 	s.mergePassRuns.Add(int64(len(ids)))
 	s.mergePassBytes.Add(cw.n)
 	return merged.id, nil
@@ -1127,6 +1144,7 @@ func (s *Sorter) mergeRunPair(a, b *sortedRun, ow *obs.Worker) (*sortedRun, erro
 	merged.keys = mergedKeys
 	merged.payload = payload
 	merged.rows = n
+	s.prog.RowsMerged.Add(int64(n))
 	s.runRes.Grow(runBytes(merged))
 
 	// Release the inputs into the pools.

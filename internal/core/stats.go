@@ -278,14 +278,18 @@ func (st SortStats) String() string {
 
 // WritePrometheus writes the stats in Prometheus text exposition format
 // (rowsort_* metrics), including the per-phase busy times when telemetry
-// was enabled.
+// was enabled. All families go through obs.PromWriter, so # HELP/# TYPE
+// metadata and label escaping are uniform; obs.ValidatePrometheus
+// parse-checks the output in the tests.
 func (st SortStats) WritePrometheus(w io.Writer) error {
-	var b strings.Builder
+	var pw obs.PromWriter
 	counter := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %g\n", name, help, name, name, v)
+		pw.Family(name, "counter", help)
+		pw.Sample(nil, v)
 	}
 	gauge := func(name, help string, v float64) {
-		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+		pw.Family(name, "gauge", help)
+		pw.Sample(nil, v)
 	}
 	counter("rowsort_rows_ingested_total", "Rows appended through sinks.", float64(st.RowsIngested))
 	counter("rowsort_runs_generated_total", "Thread-local sorted runs cut.", float64(st.RunsGenerated))
@@ -321,13 +325,10 @@ func (st SortStats) WritePrometheus(w io.Writer) error {
 	gauge("rowsort_stage_gather_seconds", "Wall time of the materialization stage.", st.DurGather.Seconds())
 	gauge("rowsort_stage_total_seconds", "Wall time first Append to end of Result.", st.DurTotal.Seconds())
 	if st.Phases.Workers > 0 {
-		b.WriteString("# HELP rowsort_phase_busy_seconds Summed span time per phase across workers.\n")
-		b.WriteString("# TYPE rowsort_phase_busy_seconds counter\n")
+		pw.Family("rowsort_phase_busy_seconds", "counter", "Summed span time per phase across workers.")
 		for p := 0; p < obs.NumPhases; p++ {
-			fmt.Fprintf(&b, "rowsort_phase_busy_seconds{phase=%q} %g\n",
-				obs.Phase(p).String(), st.Phases.Phases[p].Busy.Seconds())
+			pw.Sample([]string{"phase", obs.Phase(p).String()}, st.Phases.Phases[p].Busy.Seconds())
 		}
 	}
-	_, err := io.WriteString(w, b.String())
-	return err
+	return pw.Flush(w)
 }

@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// PromWriter builds Prometheus text exposition (version 0.0.4): every metric
+// family gets its # HELP and # TYPE lines exactly once, immediately followed
+// by its samples. All rowsort expositions go through it so metadata can't be
+// forgotten and label escaping is uniform.
+type PromWriter struct {
+	b   strings.Builder
+	cur string // family currently open, for the contiguity invariant
+}
+
+// Family opens a new metric family, emitting its metadata lines. typ is
+// "counter" or "gauge".
+func (pw *PromWriter) Family(name, typ, help string) {
+	pw.cur = name
+	fmt.Fprintf(&pw.b, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(&pw.b, "# TYPE %s %s\n", name, typ)
+}
+
+// Sample emits one sample of the open family. labels alternate name, value
+// ("phase", "merge", "run", "run-3"); label values are escaped per the text
+// format.
+func (pw *PromWriter) Sample(labels []string, v float64) {
+	pw.b.WriteString(pw.cur)
+	if len(labels) > 0 {
+		pw.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				pw.b.WriteByte(',')
+			}
+			pw.b.WriteString(labels[i])
+			pw.b.WriteString(`="`)
+			pw.b.WriteString(escapeLabel(labels[i+1]))
+			pw.b.WriteByte('"')
+		}
+		pw.b.WriteByte('}')
+	}
+	fmt.Fprintf(&pw.b, " %g\n", v)
+}
+
+// SampleInt emits one integer-valued sample (rendered without an exponent,
+// matching the historical %d output for counts).
+func (pw *PromWriter) SampleInt(labels []string, v int64) {
+	pw.b.WriteString(pw.cur)
+	if len(labels) > 0 {
+		pw.b.WriteByte('{')
+		for i := 0; i+1 < len(labels); i += 2 {
+			if i > 0 {
+				pw.b.WriteByte(',')
+			}
+			pw.b.WriteString(labels[i])
+			pw.b.WriteString(`="`)
+			pw.b.WriteString(escapeLabel(labels[i+1]))
+			pw.b.WriteByte('"')
+		}
+		pw.b.WriteByte('}')
+	}
+	fmt.Fprintf(&pw.b, " %d\n", v)
+}
+
+// Flush writes the accumulated exposition to w. (Not named WriteTo: the
+// io.WriterTo signature returns the byte count, which no caller here
+// wants, and go vet rightly objects to a lookalike.)
+func (pw *PromWriter) Flush(w io.Writer) error {
+	_, err := io.WriteString(w, pw.b.String())
+	return err
+}
+
+func escapeLabel(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+// ValidatePrometheus parses data as Prometheus text exposition format and
+// reports the first violation of the conventions the rowsort expositions
+// promise: every sample's family declared with # HELP and # TYPE lines
+// before its first sample, family blocks contiguous, metric and label names
+// well-formed, label values properly quoted/escaped, sample values parseable
+// floats, and every rowsort family carrying the rowsort_ prefix. Tests use
+// it as a parse-check against all /metrics and -metrics outputs.
+func ValidatePrometheus(data []byte) error {
+	type family struct {
+		help, typ bool
+		closed    bool // a later family started; more samples are a violation
+	}
+	families := map[string]*family{}
+	var open string // family whose block is currently being emitted
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		ln := i + 1
+		if line == "" {
+			if i != len(lines)-1 {
+				return fmt.Errorf("line %d: empty line inside exposition", ln)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest, kind := "", ""
+			switch {
+			case strings.HasPrefix(line, "# HELP "):
+				rest, kind = line[len("# HELP "):], "help"
+			case strings.HasPrefix(line, "# TYPE "):
+				rest, kind = line[len("# TYPE "):], "type"
+			default:
+				continue // free-form comment
+			}
+			name, arg, _ := strings.Cut(rest, " ")
+			if !validMetricName(name) {
+				return fmt.Errorf("line %d: invalid metric name %q in # %s", ln, name, strings.ToUpper(kind))
+			}
+			f := families[name]
+			if f == nil {
+				f = &family{}
+				families[name] = f
+			}
+			if kind == "help" {
+				if f.help {
+					return fmt.Errorf("line %d: duplicate # HELP for %s", ln, name)
+				}
+				f.help = true
+			} else {
+				if f.typ {
+					return fmt.Errorf("line %d: duplicate # TYPE for %s", ln, name)
+				}
+				switch arg {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: invalid # TYPE %q for %s", ln, arg, name)
+				}
+				f.typ = true
+			}
+			if open != "" && open != name {
+				families[open].closed = true
+			}
+			open = name
+			continue
+		}
+
+		name, labels, value, err := parsePromSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", ln, err)
+		}
+		_ = labels
+		if !validMetricName(name) {
+			return fmt.Errorf("line %d: invalid metric name %q", ln, name)
+		}
+		if strings.HasPrefix(name, "rowsort") && !strings.HasPrefix(name, "rowsort_") {
+			return fmt.Errorf("line %d: metric %q missing rowsort_ prefix", ln, name)
+		}
+		f := families[name]
+		if f == nil || !f.help || !f.typ {
+			return fmt.Errorf("line %d: sample for %s before its # HELP/# TYPE metadata", ln, name)
+		}
+		if f.closed {
+			return fmt.Errorf("line %d: sample for %s outside its contiguous family block", ln, name)
+		}
+		if open != "" && open != name {
+			families[open].closed = true
+		}
+		open = name
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("line %d: invalid sample value %q: %v", ln, value, err)
+		}
+	}
+	return nil
+}
+
+// parsePromSample splits "name{l1=\"v\",l2=\"v\"} value" into its parts,
+// validating label syntax and escape sequences.
+func parsePromSample(line string) (name string, labels map[string]string, value string, err error) {
+	i := 0
+	for i < len(line) && isNameChar(line[i], i == 0) {
+		i++
+	}
+	name = line[:i]
+	if name == "" {
+		return "", nil, "", fmt.Errorf("missing metric name")
+	}
+	labels = map[string]string{}
+	if i < len(line) && line[i] == '{' {
+		i++
+		for {
+			if i >= len(line) {
+				return "", nil, "", fmt.Errorf("unterminated label set")
+			}
+			if line[i] == '}' {
+				i++
+				break
+			}
+			j := i
+			for j < len(line) && isNameChar(line[j], j == i) {
+				j++
+			}
+			lname := line[i:j]
+			if lname == "" || j >= len(line) || line[j] != '=' {
+				return "", nil, "", fmt.Errorf("malformed label name at byte %d", i)
+			}
+			j++ // '='
+			if j >= len(line) || line[j] != '"' {
+				return "", nil, "", fmt.Errorf("label value for %s not quoted", lname)
+			}
+			j++
+			var val strings.Builder
+			for {
+				if j >= len(line) {
+					return "", nil, "", fmt.Errorf("unterminated label value for %s", lname)
+				}
+				c := line[j]
+				if c == '"' {
+					j++
+					break
+				}
+				if c == '\\' {
+					if j+1 >= len(line) {
+						return "", nil, "", fmt.Errorf("dangling escape in label value for %s", lname)
+					}
+					switch line[j+1] {
+					case '\\', '"':
+						val.WriteByte(line[j+1])
+					case 'n':
+						val.WriteByte('\n')
+					default:
+						return "", nil, "", fmt.Errorf("invalid escape \\%c in label value for %s", line[j+1], lname)
+					}
+					j += 2
+					continue
+				}
+				val.WriteByte(c)
+				j++
+			}
+			if _, dup := labels[lname]; dup {
+				return "", nil, "", fmt.Errorf("duplicate label %s", lname)
+			}
+			labels[lname] = val.String()
+			if j < len(line) && line[j] == ',' {
+				j++
+			}
+			i = j
+		}
+	}
+	if i >= len(line) || line[i] != ' ' {
+		return "", nil, "", fmt.Errorf("missing space before sample value")
+	}
+	value = line[i+1:]
+	if value == "" || strings.ContainsAny(value, " \t") {
+		// A trailing timestamp would show up as a second field; the rowsort
+		// expositions never emit one.
+		return "", nil, "", fmt.Errorf("malformed sample value %q", value)
+	}
+	return name, labels, value, nil
+}
+
+// validMetricName reports whether s matches [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if !isNameChar(s[i], i == 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func isNameChar(c byte, first bool) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		return true
+	case c >= '0' && c <= '9':
+		return !first
+	}
+	return false
+}

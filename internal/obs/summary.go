@@ -17,6 +17,10 @@ type PhaseStat struct {
 	Busy time.Duration `json:"busy_ns"`
 	// Wall is the span from the phase's earliest Begin to its latest End.
 	Wall time.Duration `json:"wall_ns"`
+	// Start is the phase's earliest Begin, on the recorder's clock (time
+	// since the recorder epoch). Together with Wall it places the phase on
+	// a waterfall; zero with Count == 0 means the phase never ran.
+	Start time.Duration `json:"start_ns"`
 	// Count is the number of spans recorded for the phase.
 	Count int64 `json:"spans"`
 }
@@ -37,13 +41,17 @@ func (r *Recorder) Summary() Summary {
 	}
 	for p := 0; p < NumPhases; p++ {
 		first, last := r.first[p].Load(), r.last[p].Load()
-		var wall time.Duration
+		var wall, start time.Duration
+		if first != math.MaxInt64 {
+			start = time.Duration(first)
+		}
 		if last >= 0 && first != math.MaxInt64 && last >= first {
 			wall = time.Duration(last - first)
 		}
 		s.Phases[p] = PhaseStat{
 			Busy:  time.Duration(r.busy[p].Load()),
 			Wall:  wall,
+			Start: start,
 			Count: r.count[p].Load(),
 		}
 	}
@@ -79,27 +87,31 @@ func (r *Recorder) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	s := r.Summary()
-	var b strings.Builder
-	b.WriteString("# HELP rowsort_phase_busy_seconds Summed span time per sort phase across workers.\n")
-	b.WriteString("# TYPE rowsort_phase_busy_seconds counter\n")
-	for p := 0; p < NumPhases; p++ {
-		fmt.Fprintf(&b, "rowsort_phase_busy_seconds{phase=%q} %g\n", Phase(p).String(), s.Phases[p].Busy.Seconds())
+	var pw PromWriter
+	s.writePrometheus(&pw, nil)
+	return pw.Flush(w)
+}
+
+// writePrometheus emits the summary's families into pw. extra labels (e.g.
+// a registry run id) are prepended to every sample's label set.
+func (s Summary) writePrometheus(pw *PromWriter, extra []string) {
+	phaseLabels := func(p int) []string {
+		return append(append([]string(nil), extra...), "phase", Phase(p).String())
 	}
-	b.WriteString("# HELP rowsort_phase_wall_seconds Earliest-begin to latest-end wall time per sort phase.\n")
-	b.WriteString("# TYPE rowsort_phase_wall_seconds gauge\n")
+	pw.Family("rowsort_phase_busy_seconds", "counter", "Summed span time per sort phase across workers.")
 	for p := 0; p < NumPhases; p++ {
-		fmt.Fprintf(&b, "rowsort_phase_wall_seconds{phase=%q} %g\n", Phase(p).String(), s.Phases[p].Wall.Seconds())
+		pw.Sample(phaseLabels(p), s.Phases[p].Busy.Seconds())
 	}
-	b.WriteString("# HELP rowsort_phase_spans_total Spans recorded per sort phase.\n")
-	b.WriteString("# TYPE rowsort_phase_spans_total counter\n")
+	pw.Family("rowsort_phase_wall_seconds", "gauge", "Earliest-begin to latest-end wall time per sort phase.")
 	for p := 0; p < NumPhases; p++ {
-		fmt.Fprintf(&b, "rowsort_phase_spans_total{phase=%q} %d\n", Phase(p).String(), s.Phases[p].Count)
+		pw.Sample(phaseLabels(p), s.Phases[p].Wall.Seconds())
 	}
-	fmt.Fprintf(&b, "# HELP rowsort_trace_workers Trace lanes registered.\n")
-	fmt.Fprintf(&b, "# TYPE rowsort_trace_workers gauge\n")
-	fmt.Fprintf(&b, "rowsort_trace_workers %d\n", s.Workers)
-	_, err := io.WriteString(w, b.String())
-	return err
+	pw.Family("rowsort_phase_spans_total", "counter", "Spans recorded per sort phase.")
+	for p := 0; p < NumPhases; p++ {
+		pw.SampleInt(phaseLabels(p), s.Phases[p].Count)
+	}
+	pw.Family("rowsort_trace_workers", "gauge", "Trace lanes registered.")
+	pw.SampleInt(append([]string(nil), extra...), int64(s.Workers))
 }
 
 // PublishExpvar registers the recorder's live Summary under name in the

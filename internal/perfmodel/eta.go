@@ -1,0 +1,61 @@
+package perfmodel
+
+// PhaseWeights are relative per-row costs of the sort pipeline's logical
+// phases, in arbitrary cost units (cache lines touched, roughly). core
+// seeds obs progress estimation with them so a run's overall completion
+// fraction weighs a merged row more than a gathered one when the key is
+// wide or the sort is external.
+type PhaseWeights struct {
+	Ingest  float64
+	RunSort float64
+	Merge   float64
+	Gather  float64
+}
+
+// SortPhaseWeights estimates the pipeline's per-row phase costs from the
+// sort's shape: keyBytes is the normalized key width, payloadBytes the
+// row-format payload width, and external reports whether runs spill to disk
+// (budgeted or forced), which makes the merge move whole rows through the
+// spill format instead of comparing in place.
+//
+// The model is deliberately coarse — line-granularity memory traffic, the
+// same first-order accounting the cache model uses — because the weights
+// only shape a progress bar; they need the right ratios, not the right
+// absolute costs.
+func SortPhaseWeights(keyBytes, payloadBytes int, external bool) PhaseWeights {
+	if keyBytes < 1 {
+		keyBytes = 1
+	}
+	if payloadBytes < 0 {
+		payloadBytes = 0
+	}
+	// lines(b): cache lines a b-byte access touches, plus the access itself.
+	lines := func(b int) float64 { return 1 + float64(b)/float64(DefaultLineSize) }
+
+	// Ingest scatters the payload into the row format and encodes the key:
+	// read columnar, write row — the full row width moves twice.
+	ingest := 2 * lines(keyBytes+payloadBytes)
+
+	// Run sort: LSD radix makes one counting + one permute pass per key
+	// byte over (key, rowref) pairs; approximate pdqsort's log-n compares
+	// the same way. Cap the passes so very wide keys (which radix would
+	// not handle byte-at-a-time anyway) don't dominate the estimate.
+	passes := float64(keyBytes)
+	if passes > 16 {
+		passes = 16
+	}
+	runSort := passes * lines(keyBytes+8) / 4
+
+	// Merge: a handful of loser-tree compares per row (OVC makes most of
+	// them cheap) plus, when external, rewriting the whole row through the
+	// spill format (write on spill, read on merge).
+	merge := 6 + lines(keyBytes)
+	if external {
+		merge += 2 * lines(keyBytes+payloadBytes)
+	}
+
+	// Gather reads row-format payload and writes columns.
+	gather := 2 * lines(payloadBytes)
+
+	return PhaseWeights{Ingest: ingest, RunSort: runSort, Merge: merge, Gather: gather}
+}

@@ -1,0 +1,46 @@
+package perfmodel
+
+import "testing"
+
+func TestSortPhaseWeightsShape(t *testing.T) {
+	w := SortPhaseWeights(8, 32, false)
+	for name, v := range map[string]float64{
+		"ingest": w.Ingest, "run-sort": w.RunSort, "merge": w.Merge, "gather": w.Gather,
+	} {
+		if v <= 0 {
+			t.Errorf("%s weight = %v, want > 0", name, v)
+		}
+	}
+
+	// An external sort's merge rewrites whole rows through the spill
+	// format, so it must weigh strictly more than the in-memory merge.
+	ext := SortPhaseWeights(8, 32, true)
+	if ext.Merge <= w.Merge {
+		t.Errorf("external merge weight %v not above in-memory %v", ext.Merge, w.Merge)
+	}
+	if ext.Ingest != w.Ingest || ext.Gather != w.Gather {
+		t.Error("externality must only change the merge weight")
+	}
+
+	// Wider keys cost more everywhere the key moves.
+	wide := SortPhaseWeights(64, 32, false)
+	if wide.Ingest <= w.Ingest || wide.RunSort <= w.RunSort || wide.Merge <= w.Merge {
+		t.Errorf("64B key weights %+v not above 8B key weights %+v", wide, w)
+	}
+	// ... and a heavier payload costs more to ingest and gather.
+	fat := SortPhaseWeights(8, 256, false)
+	if fat.Ingest <= w.Ingest || fat.Gather <= w.Gather {
+		t.Errorf("256B payload weights %+v not above 32B payload weights %+v", fat, w)
+	}
+
+	// Degenerate shapes clamp instead of exploding: a zero-byte key sorts
+	// like a 1-byte one, and run-sort passes cap at 16.
+	if got := SortPhaseWeights(0, 0, false); got != SortPhaseWeights(1, 0, false) {
+		t.Errorf("zero key not clamped: %+v", got)
+	}
+	huge := SortPhaseWeights(1024, 0, false)
+	capped := 16 * (1 + float64(1024+8)/float64(DefaultLineSize)) / 4
+	if huge.RunSort != capped {
+		t.Errorf("1KiB key run-sort = %v, want pass-capped %v", huge.RunSort, capped)
+	}
+}
