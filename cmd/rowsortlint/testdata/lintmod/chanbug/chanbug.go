@@ -1,0 +1,9 @@
+// Package chanbug contains a deliberate chanclose finding for the CLI
+// golden test.
+package chanbug
+
+// DoubleClose closes the same channel twice.
+func DoubleClose(ch chan int) {
+	close(ch)
+	close(ch)
+}

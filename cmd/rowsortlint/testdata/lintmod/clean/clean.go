@@ -1,0 +1,13 @@
+// Package clean lints clean: its one finding carries a justified
+// suppression, which the CLI golden test counts through -suppressions.
+package clean
+
+// Add is unremarkable on purpose.
+func Add(a, b int) int { return a + b }
+
+// Shutdown double-closes, justified for the golden test.
+func Shutdown(ch chan int) {
+	close(ch)
+	//rowsort:allow chanclose golden-test fixture for the suppression counter
+	close(ch)
+}

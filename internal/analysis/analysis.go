@@ -28,6 +28,10 @@
 //	//rowsort:keyencoder — the function writes normalized key bytes and
 //	                       must use order-preserving encodings only
 //	                       (analyzer keyorder).
+//	//rowsort:pipeline   — the function spawns pipeline goroutines; every
+//	                       go statement must be joined before the pipeline
+//	                       is torn down, and spawned worker loops must be
+//	                       cancelable (analyzers goroutinejoin, ctxdone).
 //
 // A finding that is intentional is suppressed in place, with a mandatory
 // justification:

@@ -1,0 +1,347 @@
+// Package chanclose checks the channel close protocol the pipeline's
+// poisoning discipline depends on: close is the sender's final act. A send
+// that can follow a close panics the whole sort; a double close panics; a
+// receiver closing the channel it drains races the sender. These are the
+// three ways the range-over-channel poisoning idiom (Close closes the
+// input, workers drain until the range ends) goes wrong.
+//
+// The core check is flow-sensitive, per function, over the may-analysis
+// "this channel may already be closed here":
+//
+//   - close(ch) where ch may already be closed (or has a pending deferred
+//     close) — double close panics;
+//   - ch <- v where ch may already be closed — send on closed channel
+//     panics;
+//   - a deferred close is not "closed yet" on the paths that follow it, but
+//     a second deferred close (or a direct close before return) is still a
+//     double close.
+//
+// Channels are identified by their variable, or by base.field for
+// single-level selectors (pf.stop); reassignment (including a range loop
+// rebinding its iteration variable) clears the state, so closing each
+// element of a channel slice in a loop is clean. A separate syntactic rule
+// flags a function that closes a channel it only ever receives from.
+package chanclose
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rowsort/internal/analysis"
+	"rowsort/internal/analysis/flow"
+)
+
+// Analyzer flags close-protocol violations on channels.
+var Analyzer = &analysis.Analyzer{
+	Name: "chanclose",
+	Doc:  "no send or close may follow a close; receivers do not close their input",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBody(pass, fd.Body)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, lit.Body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// chanKey identifies a channel within one function: a plain variable
+// ({nil, v}) or a single-level selector base.field ({base, field}). Deeper
+// paths have no stable identity and are not tracked.
+type chanKey struct {
+	base  types.Object
+	field types.Object
+}
+
+// keyOf resolves a channel expression to its key; ok is false for
+// untrackable expressions.
+func keyOf(info *types.Info, e ast.Expr) (chanKey, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		o := info.Uses[e]
+		if o == nil {
+			o = info.Defs[e]
+		}
+		if v, ok := o.(*types.Var); ok {
+			return chanKey{field: v}, true
+		}
+	case *ast.SelectorExpr:
+		base, ok := ast.Unparen(e.X).(*ast.Ident)
+		if !ok {
+			return chanKey{}, false
+		}
+		bo := info.Uses[base]
+		fo := info.Uses[e.Sel]
+		if bo != nil && fo != nil {
+			return chanKey{base: bo, field: fo}, true
+		}
+	}
+	return chanKey{}, false
+}
+
+// Fact bits per channel key.
+const (
+	closed   = 1 << iota // a close has definitely-or-maybe executed
+	deferred             // a deferred close is registered
+)
+
+type closeFact map[chanKey]uint8
+
+func (f closeFact) clone() closeFact {
+	out := make(closeFact, len(f))
+	for k, v := range f {
+		out[k] = v
+	}
+	return out
+}
+
+// chanOp is one channel operation found in a CFG node.
+type chanOp struct {
+	key  chanKey
+	pos  token.Pos
+	kind int // opClose, opDeferClose, opSend, opKill
+	name string
+}
+
+const (
+	opClose = iota
+	opDeferClose
+	opSend
+	opKill
+)
+
+func checkBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+
+	// nodeOps lists a node's channel operations in order. Nested literals
+	// are their own bodies; a close inside one is not this function's close.
+	// A range head rebinds its key/value per iteration (closing each element
+	// of a channel slice in a loop is clean); the ranged-over expression
+	// itself is untouched.
+	nodeOps := func(n ast.Node) []chanOp {
+		var ops []chanOp
+		if rs, ok := n.(*ast.RangeStmt); ok {
+			for _, e := range []ast.Expr{rs.Key, rs.Value} {
+				if e == nil {
+					continue
+				}
+				if k, ok := keyOf(info, e); ok {
+					ops = append(ops, chanOp{key: k, kind: opKill})
+				}
+			}
+			return ops
+		}
+		part := n
+		deferredPart := false
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferredPart = true
+			part = d.Call
+		}
+		ast.Inspect(part, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.CallExpr:
+				if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "close" && len(m.Args) == 1 {
+					if info.Uses[id] == types.Universe.Lookup("close") {
+						if k, ok := keyOf(info, m.Args[0]); ok {
+							kind := opClose
+							if deferredPart {
+								kind = opDeferClose
+							}
+							ops = append(ops, chanOp{key: k, pos: m.Pos(), kind: kind, name: exprString(m.Args[0])})
+						}
+					}
+				}
+			case *ast.SendStmt:
+				if k, ok := keyOf(info, m.Chan); ok {
+					ops = append(ops, chanOp{key: k, pos: m.Arrow, kind: opSend, name: exprString(m.Chan)})
+				}
+			case *ast.AssignStmt:
+				// Any assignment to a tracked location rebinds it.
+				for _, lhs := range m.Lhs {
+					if k, ok := keyOf(info, lhs); ok {
+						ops = append(ops, chanOp{key: k, kind: opKill})
+					}
+				}
+			}
+			return true
+		})
+		return ops
+	}
+
+	// apply pushes a node's operations through the fact; report is nil while
+	// solving and set during the replay pass over the fixpoint facts.
+	apply := func(in closeFact, ops []chanOp, report func(chanOp, uint8)) closeFact {
+		out := in
+		copied := false
+		mutate := func(f func(closeFact)) {
+			if !copied {
+				out = out.clone()
+				copied = true
+			}
+			f(out)
+		}
+		for _, op := range ops {
+			bits := out[op.key]
+			if report != nil {
+				report(op, bits)
+			}
+			switch op.kind {
+			case opClose:
+				if bits&closed == 0 {
+					mutate(func(f closeFact) { f[op.key] = bits | closed })
+				}
+			case opDeferClose:
+				if bits&deferred == 0 {
+					mutate(func(f closeFact) { f[op.key] = bits | deferred })
+				}
+			case opKill:
+				if bits != 0 {
+					mutate(func(f closeFact) { delete(f, op.key) })
+				}
+			}
+		}
+		return out
+	}
+
+	g := flow.Build(body)
+	in := flow.Solve(g, closeFact{}, flow.Lattice[closeFact]{
+		Join: func(a, b closeFact) closeFact {
+			out := a.clone()
+			for k, v := range b {
+				out[k] |= v
+			}
+			return out
+		},
+		Equal: func(a, b closeFact) bool {
+			if len(a) != len(b) {
+				return false
+			}
+			for k, v := range a {
+				if b[k] != v {
+					return false
+				}
+			}
+			return true
+		},
+		Transfer: func(blk *flow.Block, f closeFact) closeFact {
+			for _, n := range blk.Nodes {
+				f = apply(f, nodeOps(n), nil)
+			}
+			return f
+		},
+	})
+
+	// Replay reachable blocks over the fixpoint facts, reporting this time.
+	report := func(op chanOp, bits uint8) {
+		switch op.kind {
+		case opClose:
+			if bits&closed != 0 {
+				pass.Reportf(op.pos, "close of %s, which may already be closed on this path; double close panics", op.name)
+			} else if bits&deferred != 0 {
+				pass.Reportf(op.pos, "close of %s before its deferred close runs; the defer will close it again and panic", op.name)
+			}
+		case opDeferClose:
+			if bits&(closed|deferred) != 0 {
+				pass.Reportf(op.pos, "deferred close of %s, which may already be closed; double close panics", op.name)
+			}
+		case opSend:
+			if bits&closed != 0 {
+				pass.Reportf(op.pos, "send on %s, which may already be closed on this path; send on closed channel panics", op.name)
+			}
+		}
+	}
+	for blk, f := range in {
+		for _, n := range blk.Nodes {
+			f = apply(f, nodeOps(n), report)
+		}
+	}
+
+	checkReceiverClose(pass, body, nodeOps)
+}
+
+// checkReceiverClose flags a body that closes a channel it only ever
+// receives from: the close belongs to the sender, and a receiver-side close
+// races every in-flight send.
+func checkReceiverClose(pass *analysis.Pass, body *ast.BlockStmt, nodeOps func(ast.Node) []chanOp) {
+	info := pass.Pkg.Info
+	type usage struct {
+		closePos token.Pos
+		name     string
+		closes   bool
+		sends    bool
+		recvs    bool
+	}
+	use := make(map[chanKey]*usage)
+	get := func(k chanKey) *usage {
+		if use[k] == nil {
+			use[k] = &usage{}
+		}
+		return use[k]
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if info.Uses[id] == types.Universe.Lookup("close") {
+					if k, ok := keyOf(info, n.Args[0]); ok {
+						u := get(k)
+						u.closes, u.closePos, u.name = true, n.Pos(), exprString(n.Args[0])
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if k, ok := keyOf(info, n.Chan); ok {
+				get(k).sends = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if k, ok := keyOf(info, n.X); ok {
+					get(k).recvs = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t, ok := info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					if k, ok := keyOf(info, n.X); ok {
+						get(k).recvs = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	for _, u := range use {
+		if u.closes && u.recvs && !u.sends {
+			pass.Reportf(u.closePos, "closes %s, a channel this function only receives from; close belongs to the sender", u.name)
+		}
+	}
+}
+
+// exprString renders a channel expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+			return base.Name + "." + e.Sel.Name
+		}
+	}
+	return "channel"
+}

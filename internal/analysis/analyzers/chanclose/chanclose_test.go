@@ -1,0 +1,12 @@
+package chanclose_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/chanclose"
+)
+
+func TestChanClose(t *testing.T) {
+	analysistest.Run(t, "testdata/chanclose", chanclose.Analyzer)
+}

@@ -1,0 +1,125 @@
+// Package fixture exercises the chanclose analyzer: no send or close may
+// follow a close on any path, deferred closes must stay unique, and a
+// receiver does not close its input.
+package fixture
+
+func produce() int { return 1 }
+
+// badDoubleClose closes twice in a row.
+func badDoubleClose(ch chan int) {
+	close(ch)
+	close(ch) // want "may already be closed"
+}
+
+// badSendAfterClose panics at the send.
+func badSendAfterClose(ch chan int) {
+	close(ch)
+	ch <- produce() // want "send on ch"
+}
+
+// badMaybeClosed closes on one branch, then sends unconditionally: the send
+// panics whenever the branch was taken.
+func badMaybeClosed(ch chan int, done bool) {
+	if done {
+		close(ch)
+	}
+	ch <- produce() // want "may already be closed"
+}
+
+// goodBranchedClose sends and closes on disjoint paths.
+func goodBranchedClose(ch chan int, done bool) {
+	if done {
+		close(ch)
+	} else {
+		ch <- produce()
+	}
+}
+
+// badCloseBeforeDeferred runs a direct close with a deferred close pending.
+func badCloseBeforeDeferred(ch chan int) {
+	defer close(ch)
+	close(ch) // want "before its deferred close"
+}
+
+// badDoubleDeferred registers two deferred closes of the same channel.
+func badDoubleDeferred(ch chan int) {
+	defer close(ch)
+	defer close(ch) // want "deferred close of ch"
+}
+
+// goodDeferredClose: the paths after the defer are not "closed yet" — sends
+// still run before the defer fires at return.
+func goodDeferredClose(ch chan int, n int) {
+	defer close(ch)
+	for i := 0; i < n; i++ {
+		ch <- produce()
+	}
+}
+
+// goodReassigned: rebinding the variable makes it a different channel.
+func goodReassigned(n int) chan int {
+	ch := make(chan int, 1)
+	close(ch)
+	ch = make(chan int, n)
+	ch <- produce()
+	close(ch)
+	return ch
+}
+
+// goodCloseEachElement closes every element of a channel slice: the range
+// rebinds c per iteration, so the closes never stack.
+func goodCloseEachElement(chans []chan int) {
+	for _, c := range chans {
+		close(c)
+	}
+}
+
+// pipe mimics the prefetcher shape: stop and out are struct fields.
+type pipe struct {
+	stop chan struct{}
+	out  chan int
+}
+
+// badFieldDoubleClose: field channels are tracked through their selector.
+func (p *pipe) badFieldDoubleClose(drained bool) {
+	close(p.stop)
+	if drained {
+		close(p.stop) // want "close of p.stop"
+	}
+}
+
+// goodFieldProtocol closes stop once and drains out.
+func (p *pipe) goodFieldProtocol() {
+	close(p.stop)
+	for range p.out {
+	}
+}
+
+// badReceiverClose drains a channel and then closes it: the close belongs
+// to the sender.
+func badReceiverClose(in chan int) int {
+	total := 0
+	for v := range in {
+		total += v
+	}
+	close(in) // want "close belongs to the sender"
+	return total
+}
+
+// goodSenderClose both sends and closes: that is the owner's prerogative.
+func goodSenderClose(out chan int, n int) {
+	for i := 0; i < n; i++ {
+		out <- produce()
+	}
+	close(out)
+}
+
+// goodWorkerLiteral: the literal is its own function; its close of done is
+// the literal's, and the enclosing function only receives.
+func goodWorkerLiteral() {
+	done := make(chan struct{})
+	go func() {
+		close(done)
+	}()
+	<-done
+}

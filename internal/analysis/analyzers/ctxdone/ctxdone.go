@@ -1,0 +1,135 @@
+// Package ctxdone checks that pipeline worker loops can observe
+// cancellation. A goroutine spawned by a //rowsort:pipeline function that
+// loops over channel operations is the pipeline's steady state; if one of
+// those operations blocks unconditionally — a bare send into a full buffer,
+// a bare receive from an idle producer — the worker can never see its stop
+// channel close, and the pipeline's teardown deadlocks waiting for the
+// join that goroutinejoin demanded.
+//
+// Inside each loop of a spawned goroutine body:
+//
+//   - a send or receive outside any select is flagged: it must be wrapped
+//     in a select that also watches the stop/poison channel;
+//   - a select with a single comm case and no default is flagged: it is a
+//     bare operation in disguise and observes nothing else.
+//
+// Ranging over a channel is exempt — closing the channel is its poison, and
+// that close is the sender's obligation (analyzer chanclose). Loops in the
+// pipeline function itself (the spawner) are not checked: a semaphore
+// acquire in a spawn loop blocks the caller, not a worker.
+package ctxdone
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags worker loops that cannot observe cancellation.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxdone",
+	Doc:  "loops in //rowsort:pipeline goroutines must select on their stop channel",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.U.HasAnnotation(fn, analysis.AnnotPipeline) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				body, pkg := spawnedBody(pass, gs)
+				if body != nil {
+					checkWorker(pass, pkg.Info, body)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkWorker examines every loop of one spawned goroutine body.
+func checkWorker(pass *analysis.Pass, info *types.Info, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkWorker(pass, info, n.Body)
+			return false
+		case *ast.ForStmt:
+			checkLoopBody(pass, n.Body)
+		case *ast.RangeStmt:
+			if t, ok := info.Types[n.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					return true // poisoned by the sender's close
+				}
+			}
+			checkLoopBody(pass, n.Body)
+		}
+		return true
+	})
+}
+
+// checkLoopBody flags the unguarded channel operations directly inside one
+// loop body. Nested loops are visited by checkWorker's walk; select
+// subtrees are judged as a whole and not descended into.
+func checkLoopBody(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit, *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case *ast.SelectStmt:
+			comm, hasDefault := 0, false
+			for _, cl := range n.Body.List {
+				if cl.(*ast.CommClause).Comm == nil {
+					hasDefault = true
+				} else {
+					comm++
+				}
+			}
+			if comm == 1 && !hasDefault {
+				pass.Reportf(n.Pos(), "single-case select in a worker loop cannot observe cancellation; add a stop case or a default")
+			}
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(n.Arrow, "blocking send in a worker loop outside select; the goroutine cannot observe cancellation while it waits")
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "blocking receive in a worker loop outside select; the goroutine cannot observe cancellation while it waits")
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// spawnedBody resolves the body a go statement runs: the literal itself, or
+// the declaration of a statically known callee.
+func spawnedBody(pass *analysis.Pass, gs *ast.GoStmt) (*ast.BlockStmt, *analysis.Package) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pass.Pkg
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.Pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if node, ok := pass.U.FuncDecl(fn); ok && node.Decl.Body != nil {
+		return node.Decl.Body, node.Pkg
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package ctxdone_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/ctxdone"
+)
+
+func TestCtxDone(t *testing.T) {
+	analysistest.Run(t, "testdata/ctxdone", ctxdone.Analyzer)
+}

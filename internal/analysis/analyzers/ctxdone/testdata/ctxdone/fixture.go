@@ -1,0 +1,129 @@
+// Package fixture exercises the ctxdone analyzer: loops in goroutines
+// spawned by //rowsort:pipeline functions must be able to observe their
+// stop channel.
+package fixture
+
+func process(v int) int { return v + 1 }
+
+// goodSelectLoop watches the stop channel alongside its input.
+//
+//rowsort:pipeline
+func goodSelectLoop(in chan int, stop chan struct{}) {
+	go func() {
+		for {
+			select {
+			case v := <-in:
+				process(v)
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// goodPollingLoop uses a default-guarded select, the prefetcher's shape.
+//
+//rowsort:pipeline
+func goodPollingLoop(out chan int, stop chan struct{}) {
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			select {
+			case out <- process(i):
+			case <-stop:
+				return
+			}
+		}
+	}()
+}
+
+// goodRangeOverChannel is poisoned by the sender's close.
+//
+//rowsort:pipeline
+func goodRangeOverChannel(in chan int) {
+	go func() {
+		for v := range in {
+			process(v)
+		}
+	}()
+}
+
+// badBareReceive blocks on its input with no way to see the stop.
+//
+//rowsort:pipeline
+func badBareReceive(in chan int, stop chan struct{}) {
+	go func() {
+		for {
+			v := <-in // want "blocking receive in a worker loop"
+			process(v)
+		}
+	}()
+}
+
+// badBareSend blocks on a full output buffer forever.
+//
+//rowsort:pipeline
+func badBareSend(out chan int, stop chan struct{}) {
+	go func() {
+		for i := 0; ; i++ {
+			out <- process(i) // want "blocking send in a worker loop"
+		}
+	}()
+}
+
+// badSingleCaseSelect is a bare receive wearing a select.
+//
+//rowsort:pipeline
+func badSingleCaseSelect(in chan int) {
+	go func() {
+		for {
+			select { // want "single-case select"
+			case v := <-in:
+				process(v)
+			}
+		}
+	}()
+}
+
+// badNamedWorker: the loop is checked through the static call, not just
+// literals.
+//
+//rowsort:pipeline
+func badNamedWorker(in chan int) {
+	go drain(in)
+}
+
+func drain(in chan int) {
+	for {
+		v := <-in // want "blocking receive in a worker loop"
+		process(v)
+	}
+}
+
+// goodSpawnerLoop: the blocking acquire sits in the pipeline function
+// itself, not in a worker — spawner backpressure is fine.
+//
+//rowsort:pipeline
+func goodSpawnerLoop(sem chan struct{}, n int) {
+	for i := 0; i < n; i++ {
+		sem <- struct{}{}
+		go func() {
+			process(1)
+			<-sem
+		}()
+	}
+}
+
+// unannotated workers are out of scope.
+func unannotatedBareReceive(in chan int) {
+	go func() {
+		for {
+			v := <-in
+			process(v)
+		}
+	}()
+}

@@ -1,0 +1,233 @@
+// Package goroutinejoin checks that pipeline goroutines are joined. The
+// sort pipeline's stages — ingest workers, the spill prefetcher, parallel
+// merge partitions — all spawn goroutines whose completion someone must
+// observe before tearing the stage down: a worker still writing into a
+// buffer after Close returned is a use-after-free in slow motion, and a
+// goroutine nobody waits for can hold a broker reservation past the
+// sort's end.
+//
+// The check is scoped by annotation: inside a function marked
+// //rowsort:pipeline, every `go` statement must spawn a body that signals
+// completion in a way the surrounding package observes —
+//
+//   - it calls Done on a sync.WaitGroup that the package Waits on, or
+//   - it closes (or sends on) a channel that the package receives from
+//     (directly, by range, or in a select).
+//
+// The spawned body is the function literal itself or, for `go x.method(...)`
+// and `go fn(...)`, the statically resolved declaration; closures nested in
+// the spawned body are searched too, since the join signal often sits in a
+// defer. Goroutines that are deliberately detached (an HTTP server's Serve
+// loop) simply stay un-annotated.
+package goroutinejoin
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"rowsort/internal/analysis"
+)
+
+// Analyzer flags pipeline goroutines with no observable join.
+var Analyzer = &analysis.Analyzer{
+	Name: "goroutinejoin",
+	Doc:  "go statements in //rowsort:pipeline functions must be joined via WaitGroup or channel",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) {
+	for _, file := range pass.Pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.Pkg.Info.Defs[fd.Name].(*types.Func)
+			if fn == nil || !pass.U.HasAnnotation(fn, analysis.AnnotPipeline) {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if gs, ok := n.(*ast.GoStmt); ok {
+					checkGo(pass, fd, gs)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkGo verifies one go statement in an annotated pipeline function.
+func checkGo(pass *analysis.Pass, fd *ast.FuncDecl, gs *ast.GoStmt) {
+	body, bodyPkg := spawnedBody(pass, gs)
+	if body == nil {
+		// Dynamic target (func value, interface method): nothing to search.
+		// The annotation is a promise about code we can see; an unresolvable
+		// spawn is reported so the promise stays checkable.
+		pass.Reportf(gs.Pos(), "%s spawns a goroutine whose body cannot be resolved statically; a //rowsort:pipeline function must spawn literals or named functions so the join is checkable", fd.Name.Name)
+		return
+	}
+
+	// Evidence is searched in the spawning package and, for cross-package
+	// calls, the callee's package: the Wait or the draining receive lives
+	// with whoever owns the pipeline stage.
+	ev := evidence(pass, pass.Pkg)
+	if bodyPkg != nil && bodyPkg != pass.Pkg {
+		other := evidence(pass, bodyPkg)
+		merged := joinEvidence{waits: make(map[types.Object]bool), recvs: make(map[types.Object]bool)}
+		for o := range ev.waits {
+			merged.waits[o] = true
+		}
+		for o := range ev.recvs {
+			merged.recvs[o] = true
+		}
+		for o := range other.waits {
+			merged.waits[o] = true
+		}
+		for o := range other.recvs {
+			merged.recvs[o] = true
+		}
+		ev = merged
+	}
+
+	info := pkgInfo(pass, bodyPkg)
+	joined := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if joined {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// wg.Done() with a matching wg.Wait() in scope.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+				if isWaitGroupMethod(info, sel) {
+					if k := objOf(info, sel.X); k != nil && ev.waits[k] {
+						joined = true
+					}
+				}
+			}
+			// close(ch) with a matching receive in scope.
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if k := objOf(info, n.Args[0]); k != nil && ev.recvs[k] {
+					joined = true
+				}
+			}
+		case *ast.SendStmt:
+			// A completion send with a matching receive in scope.
+			if k := objOf(info, n.Chan); k != nil && ev.recvs[k] {
+				joined = true
+			}
+		}
+		return true
+	})
+	if !joined {
+		pass.Reportf(gs.Pos(), "%s spawns a goroutine that is never joined: no WaitGroup Done/Wait pair and no completion channel anyone receives from; the pipeline can tear down under it", fd.Name.Name)
+	}
+}
+
+// spawnedBody resolves the body a go statement runs: the literal itself, or
+// the declaration of a statically known callee (possibly in another
+// package).
+func spawnedBody(pass *analysis.Pass, gs *ast.GoStmt) (*ast.BlockStmt, *analysis.Package) {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body, pass.Pkg
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(gs.Call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = pass.Pkg.Info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = pass.Pkg.Info.Uses[fun.Sel].(*types.Func)
+	}
+	if node, ok := pass.U.FuncDecl(fn); ok && node.Decl.Body != nil {
+		return node.Decl.Body, node.Pkg
+	}
+	return nil, nil
+}
+
+// joinEvidence is what one package offers as join observations.
+type joinEvidence struct {
+	// waits holds the objects (locals or struct fields) on which .Wait() is
+	// called somewhere in the package.
+	waits map[types.Object]bool
+	// recvs holds the channel objects received from somewhere in the
+	// package: <-ch, range ch, or a select comm clause.
+	recvs map[types.Object]bool
+}
+
+// evidence scans (once per package, memoized) for Wait calls and channel
+// receives.
+func evidence(pass *analysis.Pass, pkg *analysis.Package) joinEvidence {
+	return pass.U.Memo("goroutinejoin.evidence:"+pkg.Types.Path(), func() any {
+		ev := joinEvidence{waits: make(map[types.Object]bool), recvs: make(map[types.Object]bool)}
+		info := pkg.Info
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Wait" {
+						if isWaitGroupMethod(info, sel) {
+							if k := objOf(info, sel.X); k != nil {
+								ev.waits[k] = true
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if k := objOf(info, n.X); k != nil {
+							ev.recvs[k] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if t, ok := info.Types[n.X]; ok {
+						if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+							if k := objOf(info, n.X); k != nil {
+								ev.recvs[k] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return ev
+	}).(joinEvidence)
+}
+
+// isWaitGroupMethod reports whether a selector names a method of
+// sync.WaitGroup.
+func isWaitGroupMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// objOf resolves a channel or WaitGroup expression to a stable identity:
+// the variable for a plain identifier, the field object for a selector
+// (p.wg and pf.done mean the same field regardless of which receiver
+// variable reaches them). Deeper expressions (p.inner.wg, chans[i]) have no
+// stable identity and return nil.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if o := info.Uses[e]; o != nil {
+			return o
+		}
+		return info.Defs[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// pkgInfo returns the type info to resolve nodes of the spawned body, which
+// may live in another package than the spawning pass.
+func pkgInfo(pass *analysis.Pass, bodyPkg *analysis.Package) *types.Info {
+	if bodyPkg != nil {
+		return bodyPkg.Info
+	}
+	return pass.Pkg.Info
+}

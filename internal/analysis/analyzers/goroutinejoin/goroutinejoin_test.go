@@ -1,0 +1,12 @@
+package goroutinejoin_test
+
+import (
+	"testing"
+
+	"rowsort/internal/analysis/analysistest"
+	"rowsort/internal/analysis/analyzers/goroutinejoin"
+)
+
+func TestGoroutineJoin(t *testing.T) {
+	analysistest.Run(t, "testdata/goroutinejoin", goroutinejoin.Analyzer)
+}

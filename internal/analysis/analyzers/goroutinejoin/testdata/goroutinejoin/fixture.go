@@ -1,0 +1,105 @@
+// Package fixture exercises the goroutinejoin analyzer: inside a
+// //rowsort:pipeline function, every spawned goroutine must be joined via a
+// WaitGroup the package Waits on or a channel the package receives from.
+package fixture
+
+import "sync"
+
+func work(n int) int { return n * 2 }
+
+// goodWaitGroup joins its workers with Add/Done/Wait in one function.
+//
+//rowsort:pipeline
+func goodWaitGroup(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			work(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+// goodDoneChannel joins through a completion channel.
+//
+//rowsort:pipeline
+func goodDoneChannel() {
+	done := make(chan struct{})
+	go func() {
+		work(1)
+		close(done)
+	}()
+	<-done
+}
+
+// goodResultChannel joins by draining the results the goroutine sends.
+//
+//rowsort:pipeline
+func goodResultChannel(n int) int {
+	out := make(chan int)
+	go func() {
+		out <- work(n)
+	}()
+	return <-out
+}
+
+// pool mimics the ParallelSink shape: the spawn and the Wait live in
+// different methods but share the struct's WaitGroup field.
+type pool struct {
+	wg sync.WaitGroup
+	in chan int
+}
+
+func (p *pool) worker(ch chan int) {
+	defer p.wg.Done()
+	for v := range ch {
+		work(v)
+	}
+}
+
+// Spawn starts a worker joined by Close's Wait on the same field.
+//
+//rowsort:pipeline
+func (p *pool) Spawn() {
+	p.wg.Add(1)
+	go p.worker(p.in)
+}
+
+func (p *pool) Close() {
+	close(p.in)
+	p.wg.Wait()
+}
+
+// badDetached spawns and forgets.
+//
+//rowsort:pipeline
+func badDetached(n int) {
+	go work(n) // want "never joined"
+}
+
+// badClosedButNeverReceived signals completion into the void: nobody in the
+// package receives from the channel it closes.
+//
+//rowsort:pipeline
+func badClosedButNeverReceived() {
+	orphan := make(chan struct{})
+	go func() { // want "never joined"
+		work(1)
+		close(orphan)
+	}()
+}
+
+// badDynamic spawns a func value the analyzer cannot look into.
+//
+//rowsort:pipeline
+func badDynamic(f func()) {
+	go f() // want "cannot be resolved statically"
+}
+
+// unannotatedDetached is outside the pipeline contract: detaching is the
+// caller's explicit choice (an HTTP Serve loop, a debug dump).
+func unannotatedDetached(n int) {
+	go work(n)
+}

@@ -7,17 +7,21 @@
 // does not.
 //
 // The obligation is a call to a method named Reserve whose result type has
-// a Release method (the mem.Reservation shape). It is discharged when, in
-// the same function, the result either
+// a Release method (the mem.Reservation shape). The check is flow-sensitive:
+// the reservation must reach, on every control-flow path from the Reserve to
+// a return, either
 //
-//   - has Release called on it (directly or deferred), or
-//   - escapes — returned, stored in a field, map or slice, aliased into
-//     another variable, placed in a composite literal, or passed to a
-//     call — making its release the owner's responsibility (Sorter.Close
-//     releases the reservations its struct holds).
+//   - a Release call on it (directly or deferred — a defer discharges every
+//     path passing through it), or
+//   - an escape — returned, stored in a field, map or slice, aliased into
+//     another variable, placed in a composite literal, passed to a call, or
+//     captured by a closure — making its release the owner's responsibility
+//     (Sorter.Close releases the reservations its struct holds).
 //
-// Discarding the reservation outright (statement position or assignment to
-// the blank identifier) is always a leak: nothing can ever Release it.
+// A Release that only happens on one branch, or a return between the
+// Reserve and its Release, is a leak on the uncovered path. Discarding the
+// reservation outright (statement position or assignment to the blank
+// identifier) is always a leak: nothing can ever Release it.
 package memacct
 
 import (
@@ -25,9 +29,11 @@ import (
 	"go/types"
 
 	"rowsort/internal/analysis"
+	"rowsort/internal/analysis/flow"
 )
 
-// Analyzer flags broker reservations that can never be released.
+// Analyzer flags broker reservations that can miss their Release on some
+// path to return.
 var Analyzer = &analysis.Analyzer{
 	Name: "memacct",
 	Doc:  "broker Reserve calls must be balanced by Release on every path",
@@ -37,103 +43,124 @@ var Analyzer = &analysis.Analyzer{
 func run(pass *analysis.Pass) {
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
-				checkFunc(pass, fd)
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
 			}
+			checkBody(pass, fd.Name.Name, fd.Body)
+			// Function literals get their own graphs: their acquisitions are
+			// their own obligations, and the enclosing function sees only the
+			// capture (an escape).
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkBody(pass, "func literal in "+fd.Name.Name, lit.Body)
+				}
+				return true
+			})
 		}
 	}
 }
 
-func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+func checkBody(pass *analysis.Pass, name string, body *ast.BlockStmt) {
 	info := pass.Pkg.Info
 
-	// Sweep 1: collect the obligations — Reserve results bound to local
-	// variables — and flag the ones discarded on the spot.
-	held := make(map[*types.Var]*ast.CallExpr)
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
+	// Sweep 1: flag reservations discarded on the spot, and collect the
+	// obligations — Reserve results bound to local variables. Nested literals
+	// are skipped throughout: each is checked on its own body.
+	obligations := make(map[*types.Var]bool)
+	inspectShallow(body, func(n ast.Node) {
 		switch n := n.(type) {
 		case *ast.ExprStmt:
 			if call, ok := n.X.(*ast.CallExpr); ok && isReserve(info, call) {
-				pass.Reportf(call.Pos(), "%s discards the reservation returned by Reserve; nothing can Release it and the broker balance leaks", fd.Name.Name)
+				pass.Reportf(call.Pos(), "%s discards the reservation returned by Reserve; nothing can Release it and the broker balance leaks", name)
 			}
 		case *ast.AssignStmt:
-			if len(n.Rhs) != 1 || len(n.Lhs) != 1 {
-				return true
-			}
-			call, ok := n.Rhs[0].(*ast.CallExpr)
-			if !ok || !isReserve(info, call) {
-				return true
-			}
-			id, ok := n.Lhs[0].(*ast.Ident)
-			if !ok {
-				return true // field/index store: the owner releases it
-			}
-			if id.Name == "_" {
-				pass.Reportf(call.Pos(), "%s assigns the reservation returned by Reserve to the blank identifier; nothing can Release it and the broker balance leaks", fd.Name.Name)
-				return true
-			}
-			if v, ok := defOrUse(info, id); ok {
-				held[v] = call
+			if v, call := boundReserve(info, n); call != nil {
+				if v == nil {
+					pass.Reportf(call.Pos(), "%s assigns the reservation returned by Reserve to the blank identifier; nothing can Release it and the broker balance leaks", name)
+				} else {
+					obligations[v] = true
+				}
 			}
 		}
-		return true
 	})
-	if len(held) == 0 {
+	if len(obligations) == 0 {
 		return
 	}
+	tracked := func(v *types.Var) bool { return obligations[v] }
 
-	// Sweep 2: discharge obligations whose variable is released or escapes.
-	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			// r.Release() — the balancing call (deferred or not: a defer
-			// statement's call is still a CallExpr node).
-			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
-				if v := identVar(info, sel.X); v != nil {
-					delete(held, v)
+	classify := func(n ast.Node) []flow.VarEvent {
+		var evs []flow.VarEvent
+		for _, part := range flow.Shallow(n) {
+			// Releases: r.Release() anywhere in the node, deferred included —
+			// a defer guarantees the release on every path through it. A
+			// Release inside a nested literal is the capture's business, and
+			// the capture below already discharges.
+			inspectShallow(part, func(m ast.Node) {
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return
 				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Release" {
+					if v := flow.BareVar(info, sel.X); v != nil && tracked(v) {
+						evs = append(evs, flow.VarEvent{Var: v, Kind: flow.EventRelease})
+					}
+				}
+			})
+			for _, v := range flow.Escapes(info, part, tracked) {
+				evs = append(evs, flow.VarEvent{Var: v, Kind: flow.EventEscape})
 			}
-			// Passed as an argument: the callee owns it now.
-			for _, arg := range n.Args {
-				if v := identVar(info, arg); v != nil {
-					delete(held, v)
-				}
-			}
-		case *ast.ReturnStmt:
-			// Returned as-is: the caller owns the obligation now. A result
-			// that merely reads through the variable (r.Bytes()) is a use,
-			// not an escape, so only the bare identifier discharges.
-			for _, res := range n.Results {
-				if v := identVar(info, res); v != nil {
-					delete(held, v)
-				}
-			}
-		case *ast.AssignStmt:
-			// Aliased or stored somewhere (field, map, slice, other
-			// variable): the reservation escaped to whatever owns that
-			// location. The binding assignment itself has the call, not
-			// the variable, on its RHS, so it never self-discharges.
-			for _, rhs := range n.Rhs {
-				if v := identVar(info, rhs); v != nil {
-					delete(held, v)
-				}
-			}
-		case *ast.CompositeLit:
-			for _, elt := range n.Elts {
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					elt = kv.Value
-				}
-				if v := identVar(info, elt); v != nil {
-					delete(held, v)
+			if as, ok := part.(*ast.AssignStmt); ok {
+				if v, call := boundReserve(info, as); v != nil && call != nil {
+					evs = append(evs, flow.VarEvent{Var: v, Kind: flow.EventAcquire, Node: call})
 				}
 			}
 		}
+		return evs
+	}
+
+	leaks := flow.MustRelease(pass.U.Fset, info, flow.Build(body), classify)
+	for _, leak := range leaks {
+		pass.Reportf(leak.Acquire.Pos(), "%s never Releases the reservation returned by Reserve on some path to return; the broker balance leaks there", name)
+	}
+}
+
+// boundReserve recognizes `x := b.Reserve(...)` (or =). It returns the bound
+// variable and the Reserve call; the variable is nil when the target is the
+// blank identifier or not a plain identifier.
+func boundReserve(info *types.Info, as *ast.AssignStmt) (*types.Var, *ast.CallExpr) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return nil, nil
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || !isReserve(info, call) {
+		return nil, nil
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return nil, nil // field/index store: the owner releases it
+	}
+	if id.Name == "_" {
+		return nil, call
+	}
+	if v, ok := defOrUse(info, id); ok {
+		return v, call
+	}
+	return nil, nil
+}
+
+// inspectShallow walks n in order but does not descend into function
+// literals.
+func inspectShallow(n ast.Node, visit func(ast.Node)) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		if _, ok := m.(*ast.FuncLit); ok {
+			return false
+		}
+		if m != nil {
+			visit(m)
+		}
 		return true
 	})
-
-	for _, call := range held {
-		pass.Reportf(call.Pos(), "%s never Releases the reservation returned by Reserve; the broker balance leaks on every path", fd.Name.Name)
-	}
 }
 
 // isReserve reports whether a call is a Reserve method call whose result
@@ -165,16 +192,6 @@ func hasRelease(t types.Type) bool {
 		}
 	}
 	return false
-}
-
-// identVar resolves an expression to the local variable it names, or nil.
-func identVar(info *types.Info, expr ast.Expr) *types.Var {
-	id, ok := ast.Unparen(expr).(*ast.Ident)
-	if !ok {
-		return nil
-	}
-	v, _ := info.Uses[id].(*types.Var)
-	return v
 }
 
 // defOrUse resolves an identifier on the LHS of := or =.

@@ -117,3 +117,93 @@ func goodSuppressed(b *broker) {
 	//rowsort:allow memacct process-lifetime reservation released at exit
 	b.Reserve("forever", 1)
 }
+
+// --- flow-sensitive cases: the release must cover every path ---
+
+// badOneBranch releases only when grow succeeds; the other branch leaks.
+func badOneBranch(b *broker) {
+	r := b.Reserve("half", 0) // want "never Releases the reservation"
+	if r.Grow(1 << 10) {
+		r.Release()
+	}
+}
+
+// badEarlyReturn leaks on the early-out path.
+func badEarlyReturn(b *broker, skip bool) {
+	r := b.Reserve("early", 0) // want "never Releases the reservation"
+	if skip {
+		return
+	}
+	r.Release()
+}
+
+// goodBothBranches releases on the early-out path and the fallthrough path.
+func goodBothBranches(b *broker, small bool) {
+	r := b.Reserve("both", 0)
+	if small {
+		r.Release()
+		return
+	}
+	r.Grow(1 << 20)
+	r.Release()
+}
+
+// goodLoopBalanced reserves and releases once per iteration.
+func goodLoopBalanced(b *broker, n int) {
+	for i := 0; i < n; i++ {
+		r := b.Reserve("iter", 64)
+		r.Grow(int64(i))
+		r.Release()
+	}
+}
+
+// badLoopBreak leaks the iteration's reservation when the break fires.
+func badLoopBreak(b *broker, n int) {
+	for i := 0; i < n; i++ {
+		r := b.Reserve("brk", 64) // want "never Releases the reservation"
+		if !r.Grow(int64(i)) {
+			break
+		}
+		r.Release()
+	}
+}
+
+// goodSwitchAllCases releases in every clause, default included.
+func goodSwitchAllCases(b *broker, mode int) {
+	r := b.Reserve("switch", 0)
+	switch mode {
+	case 0:
+		r.Release()
+	case 1:
+		r.Grow(1)
+		r.Release()
+	default:
+		r.Release()
+	}
+}
+
+// badSwitchMissingDefault leaks when no case matches.
+func badSwitchMissingDefault(b *broker, mode int) {
+	r := b.Reserve("nodefault", 0) // want "never Releases the reservation"
+	switch mode {
+	case 0:
+		r.Release()
+	case 1:
+		r.Release()
+	}
+}
+
+// badInsideGoroutine: the literal's own reservation is its own obligation.
+func badInsideGoroutine(b *broker, done chan struct{}) {
+	go func() {
+		r := b.Reserve("worker", 0) // want "never Releases the reservation"
+		r.Grow(1)
+		close(done)
+	}()
+}
+
+// goodClosureCapture hands the reservation to a closure, which releases it.
+func goodClosureCapture(b *broker) func() {
+	r := b.Reserve("captured", 0)
+	return func() { r.Release() }
+}

@@ -5,7 +5,7 @@
 // is easy; not leaking rowsort-run-*.bin files (and noticing when the disk
 // is full) is where regressions actually happen.
 //
-// Four rules:
+// Five rules:
 //
 //  1. In a package that declares trackSpill, every file-creating call
 //     (os.Create, os.CreateTemp, write-mode os.OpenFile) must sit in a
@@ -19,6 +19,13 @@
 //  4. A bare or deferred x.Close() on a type from a trackSpill-declaring
 //     package (the Sorter) drops the joined spill-removal errors Close
 //     reports.
+//  5. Flow-sensitive: a file handle bound to a local variable must reach a
+//     Close — or an ownership transfer (returned, stored in a struct,
+//     captured by a closure) — on every control-flow path to return,
+//     including the error returns between open and use. Write-opens are
+//     checked everywhere; read-opens are checked in trackSpill-declaring
+//     packages, where every descriptor belongs to the spill lifecycle. The
+//     branch where the open itself failed carries no obligation.
 package spillclose
 
 import (
@@ -27,6 +34,7 @@ import (
 	"go/types"
 
 	"rowsort/internal/analysis"
+	"rowsort/internal/analysis/flow"
 )
 
 // Analyzer flags spill files that escape the tracked-removal path.
@@ -43,10 +51,113 @@ func run(pass *analysis.Pass) {
 	for _, file := range pass.Pkg.Files {
 		for _, decl := range file.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
-			if ok && fd.Body != nil {
-				checkFunc(pass, fd, spillPkgs)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd, spillPkgs)
+			checkFlow(pass, fd.Name.Name, fd.Body, spillPkgs)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					checkFlow(pass, "func literal in "+fd.Name.Name, lit.Body, spillPkgs)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkFlow implements rule 5: every open bound to a local must be closed or
+// handed off on every path to return. Function literals are analyzed on
+// their own graphs; the enclosing function sees the capture as an escape.
+func checkFlow(pass *analysis.Pass, name string, body *ast.BlockStmt, spillPkgs map[*types.Package]bool) {
+	info := pass.Pkg.Info
+	inSpillPkg := spillPkgs[pass.Pkg.Types]
+
+	trackedOpen := func(call *ast.CallExpr) bool {
+		fn := callee(info, call)
+		if fn == nil {
+			return false
+		}
+		if isWriteOpen(info, call, fn) {
+			return true
+		}
+		return inSpillPkg && fn.Pkg() != nil && fn.Pkg().Path() == "os" && fn.Name() == "Open"
+	}
+	// boundOpen recognizes `f, err := os.Create(...)` (or f alone, or =).
+	boundOpen := func(as *ast.AssignStmt) (*types.Var, *types.Var, *ast.CallExpr) {
+		if len(as.Rhs) != 1 {
+			return nil, nil, nil
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !trackedOpen(call) {
+			return nil, nil, nil
+		}
+		id, ok := as.Lhs[0].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return nil, nil, nil // blank or structured store: not a local obligation
+		}
+		v, ok := defOrUse(info, id)
+		if !ok {
+			return nil, nil, nil
+		}
+		var errVar *types.Var
+		if len(as.Lhs) == 2 {
+			if errID, ok := as.Lhs[1].(*ast.Ident); ok && errID.Name != "_" {
+				errVar, _ = defOrUse(info, errID)
 			}
 		}
+		return v, errVar, call
+	}
+
+	obligations := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if as, ok := n.(*ast.AssignStmt); ok {
+			if v, _, call := boundOpen(as); v != nil && call != nil {
+				obligations[v] = true
+			}
+		}
+		return true
+	})
+	if len(obligations) == 0 {
+		return
+	}
+	tracked := func(v *types.Var) bool { return obligations[v] }
+
+	classify := func(n ast.Node) []flow.VarEvent {
+		var evs []flow.VarEvent
+		for _, part := range flow.Shallow(n) {
+			ast.Inspect(part, func(m ast.Node) bool {
+				if _, ok := m.(*ast.FuncLit); ok {
+					return false // capture handled as escape below
+				}
+				call, ok := m.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Close" {
+					if v := flow.BareVar(info, sel.X); v != nil && tracked(v) {
+						evs = append(evs, flow.VarEvent{Var: v, Kind: flow.EventRelease})
+					}
+				}
+				return true
+			})
+			for _, v := range flow.Escapes(info, part, tracked) {
+				evs = append(evs, flow.VarEvent{Var: v, Kind: flow.EventEscape})
+			}
+			if as, ok := part.(*ast.AssignStmt); ok {
+				if v, errVar, call := boundOpen(as); v != nil && call != nil {
+					evs = append(evs, flow.VarEvent{Var: v, Kind: flow.EventAcquire, Node: call, ErrVar: errVar})
+				}
+			}
+		}
+		return evs
+	}
+
+	for _, leak := range flow.MustRelease(pass.U.Fset, info, flow.Build(body), classify) {
+		pass.Reportf(leak.Acquire.Pos(), "%s returns without closing the file opened here on some path; the descriptor and its spill bytes leak", name)
 	}
 }
 

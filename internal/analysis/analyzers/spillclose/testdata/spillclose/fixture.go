@@ -81,3 +81,64 @@ func badSorterClose(s *sorter) {
 func goodSorterClose(s *sorter) error {
 	return s.Close()
 }
+
+// --- rule 5: the handle must be closed or handed off on every path ---
+
+// badFlowLeak closes on the write paths but leaks on the empty-header
+// early-out.
+func (s *sorter) badFlowLeak(dir string, hdr []byte) error {
+	f, err := os.CreateTemp(dir, "run-*") // want "returns without closing the file"
+	if err != nil {
+		return err
+	}
+	s.trackSpill(f.Name())
+	if len(hdr) == 0 {
+		return nil
+	}
+	if _, werr := f.Write(hdr); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+// goodFlowAllPaths closes on the write-error path and the success path; the
+// failed-open branch carries no obligation.
+func (s *sorter) goodFlowAllPaths(dir string, hdr []byte) error {
+	f, err := os.CreateTemp(dir, "run-*")
+	if err != nil {
+		return err
+	}
+	s.trackSpill(f.Name())
+	if _, werr := f.Write(hdr); werr != nil {
+		f.Close()
+		return werr
+	}
+	return f.Close()
+}
+
+type spillFile struct {
+	f *os.File
+}
+
+// goodHandoff transfers the handle to a struct the caller owns.
+func (s *sorter) goodHandoff(dir string) (*spillFile, error) {
+	f, err := os.CreateTemp(dir, "run-*")
+	if err != nil {
+		return nil, err
+	}
+	s.trackSpill(f.Name())
+	return &spillFile{f: f}, nil
+}
+
+// badReadLeak: in a trackSpill package even read handles are lifecycle-bound.
+func badReadLeak(path string, skip bool) error {
+	f, err := os.Open(path) // want "returns without closing the file"
+	if err != nil {
+		return err
+	}
+	if skip {
+		return nil
+	}
+	return f.Close()
+}

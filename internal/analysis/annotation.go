@@ -10,6 +10,7 @@ const (
 	AnnotHotpath    = "hotpath"
 	AnnotPure       = "pure"
 	AnnotKeyEncoder = "keyencoder"
+	AnnotPipeline   = "pipeline"
 	annotAllow      = "allow"
 )
 
@@ -19,7 +20,7 @@ const directivePrefix = "//rowsort:"
 
 // directive is one parsed "//rowsort:..." comment line.
 type directive struct {
-	kind string // "hotpath", "pure", "keyencoder", "allow"
+	kind string // "hotpath", "pure", "keyencoder", "pipeline", "allow"
 	rest string // text after the kind, trimmed ("" if none)
 }
 

@@ -1,0 +1,393 @@
+package flow_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+
+	"rowsort/internal/analysis/flow"
+)
+
+// buildFunc parses src as a file and builds the CFG of the named function.
+func buildFunc(t *testing.T, src, name string) *flow.Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return flow.Build(fd.Body)
+		}
+	}
+	t.Fatalf("function %s not found", name)
+	return nil
+}
+
+// block returns the unique block of the given kind.
+func block(t *testing.T, g *flow.Graph, kind string) *flow.Block {
+	t.Helper()
+	var found *flow.Block
+	for _, b := range g.Blocks {
+		if b.Kind == kind {
+			if found != nil {
+				t.Fatalf("kind %q not unique", kind)
+			}
+			found = b
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block of kind %q in\n%s", kind, g)
+	}
+	return found
+}
+
+func hasEdge(from, to *flow.Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestIfElseJoins(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	x := 0
+	if c {
+		x = 1
+	} else {
+		x = 2
+	}
+	return x
+}`, "f")
+	entry, then, els, done := g.Entry, block(t, g, "if.then"), block(t, g, "if.else"), block(t, g, "if.done")
+	if !hasEdge(entry, then) || !hasEdge(entry, els) {
+		t.Fatalf("missing branch edges:\n%s", g)
+	}
+	if entry.TrueSucc != then || entry.FalseSucc != els {
+		t.Fatalf("true/false successors wrong:\n%s", g)
+	}
+	if !hasEdge(then, done) || !hasEdge(els, done) {
+		t.Fatalf("missing join edges:\n%s", g)
+	}
+	if !hasEdge(done, g.Exit) {
+		t.Fatalf("return must reach exit:\n%s", g)
+	}
+}
+
+// Corner case: a defer inside a loop stays a plain node of the loop body —
+// its registration repeats per iteration, its execution is the client's
+// concern — and the back edge still closes the loop.
+func TestDeferInLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		defer println(i)
+	}
+}`, "f")
+	body := block(t, g, "for.body")
+	foundDefer := false
+	for _, n := range body.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			foundDefer = true
+		}
+	}
+	if !foundDefer {
+		t.Fatalf("defer not in loop body:\n%s", g)
+	}
+	head, post := block(t, g, "for.head"), block(t, g, "for.post")
+	if !hasEdge(body, post) || !hasEdge(post, head) {
+		t.Fatalf("loop back edge missing:\n%s", g)
+	}
+	if head.TrueSucc != body || head.FalseSucc != block(t, g, "for.done") {
+		t.Fatalf("loop condition successors wrong:\n%s", g)
+	}
+}
+
+// Corner case: goto jumps across block structure, both backward (into an
+// already-built label) and forward (resolved after the label appears).
+func TestGotoAcrossBlocks(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		goto done
+	}
+retry:
+	if !c {
+		goto retry
+	}
+	c = false
+done:
+	println(c)
+}`, "f")
+	retry, done := block(t, g, "label.retry"), block(t, g, "label.done")
+	reach := g.Reachable()
+	if !reach[retry] || !reach[done] {
+		t.Fatalf("labels unreachable:\n%s", g)
+	}
+	// The forward goto's source block must edge into label.done.
+	intoDone := 0
+	for _, b := range g.Blocks {
+		if b != done && hasEdge(b, done) {
+			intoDone++
+		}
+	}
+	if intoDone < 2 { // fallthrough from c=false plus the forward goto
+		t.Fatalf("forward goto not wired into label.done (%d preds):\n%s", intoDone, g)
+	}
+	// The backward goto closes a cycle through label.retry.
+	intoRetry := 0
+	for _, b := range g.Blocks {
+		if b != retry && hasEdge(b, retry) {
+			intoRetry++
+		}
+	}
+	if intoRetry < 2 { // straight-line entry plus the backward goto
+		t.Fatalf("backward goto not wired into label.retry (%d preds):\n%s", intoRetry, g)
+	}
+}
+
+// Corner case: select with a default clause — every clause (including
+// default) is a successor of the head, and all rejoin after the select.
+func TestSelectWithDefault(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case v := <-a:
+		return v
+	case b <- 1:
+	default:
+		return -1
+	}
+	return 0
+}`, "f")
+	def := block(t, g, "select.default")
+	cases := 0
+	for _, b := range g.Blocks {
+		if b.Kind == "select.case" {
+			cases++
+			if !hasEdge(g.Entry, b) {
+				t.Fatalf("case not a successor of the select head:\n%s", g)
+			}
+			if len(b.Nodes) == 0 {
+				t.Fatalf("comm statement missing from case block:\n%s", g)
+			}
+		}
+	}
+	if cases != 2 {
+		t.Fatalf("want 2 comm cases, got %d:\n%s", cases, g)
+	}
+	if !hasEdge(g.Entry, def) {
+		t.Fatalf("default not a successor of the select head:\n%s", g)
+	}
+	done := block(t, g, "select.done")
+	if !g.Reachable()[done] {
+		t.Fatalf("code after select unreachable despite non-returning case:\n%s", g)
+	}
+}
+
+// A select with no default models blocking: an empty select has no path to
+// the code after it.
+func TestEmptySelectBlocksForever(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	select {}
+	return 1
+}`, "f")
+	if g.Reachable()[g.Exit] {
+		t.Fatalf("exit should be unreachable past select{}:\n%s", g)
+	}
+}
+
+// Corner case: an infinite for whose only way out is a labeled break. The
+// code after the loop must be reachable exactly through the break edge.
+func TestInfiniteForLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c chan bool) int {
+loop:
+	for {
+		select {
+		case v := <-c:
+			if v {
+				break loop
+			}
+		}
+	}
+	return 1
+}`, "f")
+	after := block(t, g, "for.done")
+	head := block(t, g, "for.head")
+	if hasEdge(head, after) {
+		t.Fatalf("infinite loop must not fall through to for.done:\n%s", g)
+	}
+	reach := g.Reachable()
+	if !reach[after] || !reach[g.Exit] {
+		t.Fatalf("labeled break must make for.done and exit reachable:\n%s", g)
+	}
+	// Unlabeled break inside the select would target the select, not the
+	// loop: the break edge must originate inside the if.then of the case.
+	then := block(t, g, "if.then")
+	if !hasEdge(then, after) {
+		t.Fatalf("break loop edge missing from if.then:\n%s", g)
+	}
+}
+
+// Corner case: panic terminates into PanicExit; a deferred recover adds the
+// resumption edge PanicExit -> Exit.
+func TestPanicAndRecoverEdges(t *testing.T) {
+	withRecover := buildFunc(t, `package p
+func f(c bool) {
+	defer func() { recover() }()
+	if c {
+		panic("boom")
+	}
+}`, "f")
+	if !hasEdge(withRecover.PanicExit, withRecover.Exit) {
+		t.Fatalf("deferred recover must add PanicExit->Exit:\n%s", withRecover)
+	}
+	then := block(t, withRecover, "if.then")
+	if !hasEdge(then, withRecover.PanicExit) {
+		t.Fatalf("panic must edge into PanicExit:\n%s", withRecover)
+	}
+
+	without := buildFunc(t, `package p
+func g() {
+	panic("boom")
+}`, "g")
+	if hasEdge(without.PanicExit, without.Exit) {
+		t.Fatalf("no recover: PanicExit must not resume:\n%s", without)
+	}
+	if !g_reachesPanic(without) {
+		t.Fatalf("panic edge missing:\n%s", without)
+	}
+	// Everything after an unconditional panic is dead.
+	if without.Reachable()[without.Exit] {
+		t.Fatalf("exit should be unreachable after unconditional panic:\n%s", without)
+	}
+}
+
+func g_reachesPanic(g *flow.Graph) bool {
+	return g.Reachable()[g.PanicExit]
+}
+
+// Switch: fallthrough jumps into the next clause's body; without a default
+// the head can skip the switch entirely.
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	switch x {
+	case 1:
+		x++
+		fallthrough
+	case 2:
+		x += 2
+	}
+	return x
+}`, "f")
+	var cases []*flow.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "switch.case" {
+			cases = append(cases, b)
+		}
+	}
+	if len(cases) != 2 {
+		t.Fatalf("want 2 cases, got %d:\n%s", len(cases), g)
+	}
+	if !hasEdge(cases[0], cases[1]) {
+		t.Fatalf("fallthrough edge missing:\n%s", g)
+	}
+	done := block(t, g, "switch.done")
+	if !hasEdge(g.Entry, done) {
+		t.Fatalf("switch without default must allow skipping all cases:\n%s", g)
+	}
+
+	withDefault := buildFunc(t, `package p
+func g(x int) int {
+	switch {
+	case x > 0:
+		return 1
+	default:
+		return 0
+	}
+}`, "g")
+	head := withDefault.Entry
+	for _, s := range head.Succs {
+		if s.Kind == "switch.done" {
+			t.Fatalf("switch with default must not skip its clauses:\n%s", withDefault)
+		}
+	}
+}
+
+// Range loops: head repeats the per-iteration assignment, body loops back,
+// and both body and done are reachable.
+func TestRangeLoop(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`, "f")
+	head, body, done := block(t, g, "range.head"), block(t, g, "range.body"), block(t, g, "range.done")
+	if len(head.Nodes) != 1 {
+		t.Fatalf("range head must carry the RangeStmt:\n%s", g)
+	}
+	if _, ok := head.Nodes[0].(*ast.RangeStmt); !ok {
+		t.Fatalf("range head node is %T:\n%s", head.Nodes[0], g)
+	}
+	if !hasEdge(head, body) || !hasEdge(head, done) || !hasEdge(body, head) {
+		t.Fatalf("range loop shape wrong:\n%s", g)
+	}
+}
+
+// Labeled continue targets the labeled loop's post/head, not the inner one.
+func TestLabeledContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) int {
+	s := 0
+outer:
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if j > i {
+				continue outer
+			}
+			s++
+		}
+	}
+	return s
+}`, "f")
+	// The outer loop has a post block (i++); continue outer must edge there.
+	then := block(t, g, "if.then")
+	var outerPost *flow.Block
+	for _, b := range g.Blocks {
+		if b.Kind == "for.post" && hasEdge(then, b) {
+			outerPost = b
+		}
+	}
+	if outerPost == nil {
+		t.Fatalf("continue outer edge missing:\n%s", g)
+	}
+}
+
+// Code after return is kept but unreachable.
+func TestUnreachableAfterReturn(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() int {
+	return 1
+	println("dead")
+}`, "f")
+	reach := g.Reachable()
+	for _, b := range g.Blocks {
+		if b.Kind == "unreachable" && reach[b] {
+			t.Fatalf("unreachable block is reachable:\n%s", g)
+		}
+	}
+	if !reach[g.Exit] {
+		t.Fatalf("exit must be reachable:\n%s", g)
+	}
+}

@@ -1,0 +1,85 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Escapes returns the tracked variables whose ownership leaves the current
+// function inside node n: the variable appears bare (or address-taken) as a
+// call argument, in a return statement, on the right-hand side of an
+// assignment to another location, in a composite literal, as a channel send
+// value — or anywhere inside a function literal, which captures it.
+//
+// Receiver uses (v.Grow(1), v.Close()) and field reads (v.n) are NOT
+// escapes: they use the resource without transferring who must release it.
+// Function literal bodies are scanned only for captures; their own
+// acquisitions are analyzed separately on the literal's own graph.
+func Escapes(info *types.Info, n ast.Node, tracked func(*types.Var) bool) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	report := func(v *types.Var) {
+		if v != nil && tracked(v) && !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	reportExpr := func(e ast.Expr) {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok { // &v escapes too
+			e = ast.Unparen(u.X)
+		}
+		report(BareVar(info, e))
+	}
+
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			// Any reference inside a closure is a capture: the closure may
+			// release (or leak) the resource after this function returns.
+			ast.Inspect(m.Body, func(inner ast.Node) bool {
+				if id, ok := inner.(*ast.Ident); ok {
+					if v, ok := info.Uses[id].(*types.Var); ok {
+						report(v)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.CallExpr:
+			for _, arg := range m.Args {
+				reportExpr(arg)
+			}
+		case *ast.ReturnStmt:
+			for _, res := range m.Results {
+				reportExpr(res)
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range m.Rhs {
+				reportExpr(rhs)
+			}
+		case *ast.CompositeLit:
+			for _, elt := range m.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				reportExpr(elt)
+			}
+		case *ast.SendStmt:
+			reportExpr(m.Value)
+		}
+		return true
+	})
+	return out
+}
+
+// BareVar resolves an expression (modulo parentheses) to the plain local or
+// parameter variable it names, or nil for anything more structured.
+func BareVar(info *types.Info, e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	return v
+}

@@ -1,0 +1,218 @@
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// The obligation engine answers the question both resource analyzers
+// (memacct's broker reservations, spillclose's file handles) share: does a
+// resource bound to a local variable reach a release — or an ownership
+// transfer — on every path to return? Clients classify what each CFG node
+// does to their resource variables; the engine runs the may-held dataflow
+// and reports acquisitions that can still be held when the function
+// returns.
+
+// Event says what one CFG node does to a tracked resource variable.
+type Event int
+
+const (
+	// EventAcquire binds the resource to the variable (the Reserve or
+	// os.Create call's result assignment).
+	EventAcquire Event = iota
+	// EventRelease discharges the obligation (Release/Close called,
+	// directly or deferred — a defer guarantees release on every path
+	// passing through it).
+	EventRelease
+	// EventEscape transfers ownership: returned, stored into a field or
+	// composite literal, passed to a call, captured by a closure. Whoever
+	// owns the new location owns the release.
+	EventEscape
+)
+
+// VarEvent is one classified effect of a node.
+type VarEvent struct {
+	Var  *types.Var
+	Kind Event
+	// Node is the acquisition site (for EventAcquire), used in reports.
+	Node ast.Node
+	// ErrVar, for EventAcquire, is the error variable bound alongside the
+	// resource (`f, err := os.Create(...)`). On the branch where that
+	// error is non-nil the acquisition failed and no obligation exists —
+	// the engine kills the fact on `err != nil` true-edges.
+	ErrVar *types.Var
+}
+
+// Classify maps one CFG node to its resource events. Release and escape
+// events must precede acquire events for the same node (Go evaluates the
+// right-hand side before binding).
+type Classify func(n ast.Node) []VarEvent
+
+// Leak is one acquisition that may still be held on some path to return.
+type Leak struct {
+	Var     *types.Var
+	Acquire ast.Node
+}
+
+// heldFact maps a resource variable to the set of acquisition nodes that
+// may still be held. The may-analysis join is union: held on any incoming
+// path means a leak is possible.
+type heldFact map[*types.Var]map[ast.Node]bool
+
+func (f heldFact) clone() heldFact {
+	out := make(heldFact, len(f))
+	for v, sites := range f {
+		cp := make(map[ast.Node]bool, len(sites))
+		for n := range sites {
+			cp[n] = true
+		}
+		out[v] = cp
+	}
+	return out
+}
+
+func heldJoin(a, b heldFact) heldFact {
+	out := a.clone()
+	for v, sites := range b {
+		if out[v] == nil {
+			out[v] = make(map[ast.Node]bool, len(sites))
+		}
+		for n := range sites {
+			out[v][n] = true
+		}
+	}
+	return out
+}
+
+func heldEqual(a, b heldFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for v, as := range a {
+		bs, ok := b[v]
+		if !ok || len(as) != len(bs) {
+			return false
+		}
+		for n := range as {
+			if !bs[n] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// MustRelease runs the obligation analysis over g and returns the
+// acquisitions that may still be held at Exit, ordered by position. Panic
+// paths are not checked: a panicking sort is already lost, and deferred
+// releases run there anyway.
+func MustRelease(fset *token.FileSet, info *types.Info, g *Graph, classify Classify) []Leak {
+	// The err-var pairing is static: collect it once up front.
+	errPair := make(map[*types.Var]*types.Var) // err var -> resource var
+	for _, blk := range g.Blocks {
+		for _, n := range blk.Nodes {
+			for _, ev := range classify(n) {
+				if ev.Kind == EventAcquire && ev.ErrVar != nil {
+					errPair[ev.ErrVar] = ev.Var
+				}
+			}
+		}
+	}
+
+	transfer := func(blk *Block, in heldFact) heldFact {
+		out := in
+		copied := false
+		for _, n := range blk.Nodes {
+			for _, ev := range classify(n) {
+				if !copied {
+					out = out.clone()
+					copied = true
+				}
+				switch ev.Kind {
+				case EventAcquire:
+					out[ev.Var] = map[ast.Node]bool{ev.Node: true}
+				case EventRelease, EventEscape:
+					delete(out, ev.Var)
+				}
+			}
+		}
+		return out
+	}
+
+	// On the branch where the acquisition's error variable is non-nil the
+	// open failed: the resource was never acquired, so the obligation dies
+	// on that edge.
+	edge := func(from, to *Block, out heldFact) heldFact {
+		if from.Cond == nil || len(errPair) == 0 {
+			return out
+		}
+		errVar, nonNilSucc := nilCheck(info, from)
+		if errVar == nil || to != nonNilSucc {
+			return out
+		}
+		res, ok := errPair[errVar]
+		if !ok || out[res] == nil {
+			return out
+		}
+		out = out.clone()
+		delete(out, res)
+		return out
+	}
+
+	in := Solve(g, heldFact{}, Lattice[heldFact]{
+		Join:     heldJoin,
+		Equal:    heldEqual,
+		Transfer: transfer,
+		Edge:     edge,
+	})
+
+	var leaks []Leak
+	for v, sites := range in[g.Exit] {
+		for n := range sites {
+			leaks = append(leaks, Leak{Var: v, Acquire: n})
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool {
+		pi, pj := fset.Position(leaks[i].Acquire.Pos()), fset.Position(leaks[j].Acquire.Pos())
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return leaks
+}
+
+// nilCheck recognizes a block ending in `x != nil` / `x == nil` on a plain
+// variable and returns that variable plus the successor taken when x is
+// non-nil.
+func nilCheck(info *types.Info, blk *Block) (*types.Var, *Block) {
+	bin, ok := ast.Unparen(blk.Cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.NEQ && bin.Op != token.EQL) {
+		return nil, nil
+	}
+	x, y := ast.Unparen(bin.X), ast.Unparen(bin.Y)
+	var id *ast.Ident
+	if isNilIdent(y) {
+		id, _ = x.(*ast.Ident)
+	} else if isNilIdent(x) {
+		id, _ = y.(*ast.Ident)
+	}
+	if id == nil {
+		return nil, nil
+	}
+	v, _ := info.Uses[id].(*types.Var)
+	if v == nil {
+		return nil, nil
+	}
+	if bin.Op == token.NEQ {
+		return v, blk.TrueSucc
+	}
+	return v, blk.FalseSucc
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}

@@ -68,7 +68,7 @@ func (u *Universe) FuncDecl(fn *types.Func) (FuncNode, bool) {
 }
 
 // HasAnnotation reports whether fn's declaration carries the named
-// annotation (AnnotHotpath, AnnotPure, AnnotKeyEncoder).
+// annotation (AnnotHotpath, AnnotPure, AnnotKeyEncoder, AnnotPipeline).
 func (u *Universe) HasAnnotation(fn *types.Func, name string) bool {
 	if fn == nil {
 		return false
@@ -153,7 +153,7 @@ func (u *Universe) buildIndexes() {
 						continue
 					}
 					switch d.kind {
-					case AnnotHotpath, AnnotPure, AnnotKeyEncoder:
+					case AnnotHotpath, AnnotPure, AnnotKeyEncoder, AnnotPipeline:
 						u.annotations[fn] = append(u.annotations[fn], d.kind)
 					case annotAllow:
 						u.addSuppression(c, d)
@@ -174,7 +174,7 @@ func (u *Universe) buildIndexes() {
 					switch d.kind {
 					case annotAllow:
 						u.addSuppression(c, d)
-					case AnnotHotpath, AnnotPure, AnnotKeyEncoder:
+					case AnnotHotpath, AnnotPure, AnnotKeyEncoder, AnnotPipeline:
 						u.problem(c.Pos(), "//rowsort:%s must be in a function's doc comment", d.kind)
 					default:
 						u.problem(c.Pos(), "unknown directive //rowsort:%s", d.kind)
@@ -214,6 +214,21 @@ func (u *Universe) problem(pos token.Pos, format string, args ...any) {
 		Line:     position.Line,
 		Col:      position.Column,
 	})
+}
+
+// SuppressionCounts tallies the justified //rowsort:allow sites per
+// analyzer across the universe. The lint CLI compares these against a
+// committed budget so the suppression count can only shrink over time.
+func (u *Universe) SuppressionCounts() map[string]int {
+	counts := make(map[string]int)
+	for _, sites := range u.suppressions {
+		for _, s := range sites {
+			if s.justified {
+				counts[s.analyzer]++
+			}
+		}
+	}
+	return counts
 }
 
 // suppressed reports whether a diagnostic is covered by a justified

@@ -42,6 +42,8 @@ type partResult struct {
 // the sort should fall back to the sequential merge: too few rows per
 // worker, a run still memory-resident, or no usable boundary keys (all
 // fences tie on the safe prefix).
+//
+//rowsort:pipeline
 func (s *Sorter) externalFinalizeParallel(ids []uint32) (bool, error) {
 	parts := s.opt.extMergeThreads()
 	total := 0

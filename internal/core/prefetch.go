@@ -232,6 +232,8 @@ type prefetcher struct {
 }
 
 // startPrefetcher launches the read-ahead goroutine over dec.
+//
+//rowsort:pipeline
 func startPrefetcher(dec *blockDecoder, depth int, res *mem.Reservation) *prefetcher {
 	pf := &prefetcher{dec: dec, res: res,
 		out:  make(chan *spillBlock, depth),

@@ -888,6 +888,8 @@ func (s *Sorter) Result() (*vector.Table, error) {
 // ResultThreads is Result with an explicit worker count, for the gather
 // ablation and for callers that want to bound materialization parallelism
 // separately from the sort.
+//
+//rowsort:pipeline
 func (s *Sorter) ResultThreads(threads int) (*vector.Table, error) {
 	if !s.finalized {
 		return nil, fmt.Errorf("core: Result before Finalize")
@@ -1031,6 +1033,8 @@ func SortTableStats(t *vector.Table, keys []SortColumn, opt Options) (*vector.Ta
 }
 
 // sortTable runs the sort pipeline over t's chunks.
+//
+//rowsort:pipeline
 func sortTable(s *Sorter, t *vector.Table) (*vector.Table, error) {
 	root := s.rec.Worker("main")
 	sp := root.Begin(obs.PhaseSort)

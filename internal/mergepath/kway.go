@@ -497,6 +497,8 @@ func ParallelKWayMerge(dst []byte, runs []Run, keyWidth int, tie CompareFunc, p 
 // before that partition merges, and the function it returns runs when the
 // partition finishes — the telemetry layer uses the pair to give every
 // merge worker its own trace lane.
+//
+//rowsort:pipeline
 func ParallelKWayMergeSpans(dst []byte, runs []Run, keyWidth int, tie CompareFunc, p int, useOVC bool, onWorker func(part int) func()) Stats {
 	total := 0
 	for _, r := range runs {
