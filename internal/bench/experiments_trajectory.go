@@ -110,6 +110,8 @@ func (c Config) trajectoryWorkloads(spillDir string) []trajectoryWorkload {
 			opt(func(o *core.Options) { o.SpillDir = spillDir })},
 		{"budget-multipass", false, workload.UniformInt64s(n, seed), col0,
 			opt(func(o *core.Options) { o.MemoryLimit = int64(n) * 8 })},
+		{"adaptive-nearsorted", true, workload.NearlySorted(n, 0.001, seed), col0,
+			opt(func(o *core.Options) { o.Adaptive = true })},
 	}
 }
 

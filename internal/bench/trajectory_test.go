@@ -25,6 +25,7 @@ func TestTrajectoryReportShape(t *testing.T) {
 	want := map[string]bool{ // name -> deterministic
 		"uniform-int64": true, "lowcard-dict": true, "prefix-trunc": true,
 		"dup-rle": true, "spill-ext": true, "budget-multipass": false,
+		"adaptive-nearsorted": true,
 	}
 	if len(rep.Workloads) != len(want) {
 		t.Fatalf("suite has %d workloads, want %d", len(rep.Workloads), len(want))

@@ -11,6 +11,7 @@ import (
 
 	"rowsort/internal/mem"
 	"rowsort/internal/mergepath"
+	"rowsort/internal/normkey"
 	"rowsort/internal/obs"
 	"rowsort/internal/row"
 )
@@ -67,6 +68,9 @@ type blockDecoder struct {
 	readRows   int // absolute row cursor
 	lastKey    []byte
 	done       bool
+
+	fc     bool   // format-3 file: key sections carry a tag byte
+	encBuf []byte // scratch for front-coded key sections
 }
 
 // openBlockDecoder opens r's spill file, validates its header, and seeks
@@ -89,7 +93,11 @@ func (s *Sorter) openBlockDecoder(r *sortedRun, withCodes bool, codeWidth int,
 		f.Close()
 		return nil, fmt.Errorf("core: reading spill header: %w", err)
 	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != spillMagic {
+	switch binary.LittleEndian.Uint32(hdr[0:]) {
+	case spillMagic:
+	case spillMagicFC:
+		d.fc = true
+	default:
 		f.Close()
 		return nil, fmt.Errorf("core: bad spill magic in %s", sf.path)
 	}
@@ -149,9 +157,9 @@ func (d *blockDecoder) decode(reuse *spillBlock) (*spillBlock, error) {
 			buf = buf[:rows*rw]
 		}
 		b.buf = buf
-		if _, err := io.ReadFull(d.br, buf); err != nil {
+		if err := d.readKeySection(buf, rows, rw); err != nil {
 			sp.End()
-			return nil, fmt.Errorf("core: reading spill block keys: %w", err)
+			return nil, err
 		}
 		payload, err := row.ReadRowSet(d.br, d.s.layout)
 		if err != nil {
@@ -206,6 +214,53 @@ func (d *blockDecoder) decode(reuse *spillBlock) (*spillBlock, error) {
 		b.padOff = uint32(a)
 		b.bytes = int64(cap(buf)) + payload.CapBytes()
 		return b, nil
+	}
+}
+
+// readKeySection reads one block's key rows into buf (rows rows of stride
+// rw). Format-2 files store them raw; format-3 files prefix a tag byte —
+// raw rows (0) or a length-prefixed front-coded section (1) that decodes in
+// place through the scratch buffer. Everything downstream (offset-value
+// codes, fences, partition trims) sees the same decoded rows either way.
+func (d *blockDecoder) readKeySection(buf []byte, rows, rw int) error {
+	if !d.fc {
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return fmt.Errorf("core: reading spill block keys: %w", err)
+		}
+		return nil
+	}
+	tag, err := d.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("core: reading spill block key tag: %w", err)
+	}
+	switch tag {
+	case 0:
+		if _, err := io.ReadFull(d.br, buf); err != nil {
+			return fmt.Errorf("core: reading spill block keys: %w", err)
+		}
+		return nil
+	case 1:
+		var lenBuf [4]byte
+		if _, err := io.ReadFull(d.br, lenBuf[:]); err != nil {
+			return fmt.Errorf("core: reading spill block key length: %w", err)
+		}
+		encLen := int(binary.LittleEndian.Uint32(lenBuf[:]))
+		if encLen <= 0 || encLen > rows*rw {
+			return fmt.Errorf("core: front-coded key section of %d bytes for %d rows", encLen, rows)
+		}
+		if cap(d.encBuf) < encLen {
+			d.encBuf = make([]byte, encLen)
+		}
+		enc := d.encBuf[:encLen]
+		if _, err := io.ReadFull(d.br, enc); err != nil {
+			return fmt.Errorf("core: reading spill block keys: %w", err)
+		}
+		if err := normkey.DecodeFrontCoded(buf, enc, rw, d.s.keyWidth, rows); err != nil {
+			return fmt.Errorf("core: decoding spill block keys: %w", err)
+		}
+		return nil
+	default:
+		return fmt.Errorf("core: unknown spill key-section tag %d", tag)
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"rowsort/internal/radix"
 	"rowsort/internal/row"
 	"rowsort/internal/sortalgo"
+	"rowsort/internal/strategy"
 	"rowsort/internal/vector"
 )
 
@@ -41,6 +42,7 @@ type Sorter struct {
 
 	mu        sync.Mutex
 	runs      []*sortedRun
+	decisions []StrategyDecision // one per generated run, appended under mu
 	finalized bool
 	finalKeys []byte
 
@@ -103,6 +105,7 @@ type Sorter struct {
 	runsGrouped     atomic.Int64
 	dupGroupRows    atomic.Int64
 	runsTieRepaired atomic.Int64
+	spillBlocksFC   atomic.Int64
 	gatherBytes     atomic.Int64
 	durGather       atomic.Int64
 	spillRemoved    atomic.Int64
@@ -164,6 +167,9 @@ func (s *Sorter) putRowSet(rs *row.RowSet) {
 
 // sortedRun is one thread-local sorted run: sorted key rows plus the
 // payload physically reordered to match (so scans read it sequentially).
+// The strategy fields carry the run's sampled execution plan forward into
+// the spill and merge phases; they are zero for unplanned (non-adaptive)
+// runs.
 type sortedRun struct {
 	id       uint32
 	keys     []byte
@@ -172,6 +178,10 @@ type sortedRun struct {
 	tieBreak bool // some string may exceed its prefix (or embed NUL)
 	spilling bool // claimed by a spiller (guarded by Sorter.mu)
 	spill    *spillFile
+
+	role      strategy.MergeRole // merge-scheduling hint from the run's plan
+	blockHint int                // planned spill block rows (0 = default)
+	frontCode bool               // attempt spill-block key front coding
 }
 
 // runBytes is a resident run's accounted footprint: key-buffer plus payload
@@ -258,6 +268,7 @@ func NewSorter(schema vector.Schema, keys []SortColumn, opt Options) (*Sorter, e
 				st := s.Stats()
 				return &st
 			},
+			Strategy: s.strategyDecisions,
 		})
 	}
 	return s, nil
@@ -295,6 +306,7 @@ type Sink struct {
 	s        *Sorter
 	ow       *obs.Worker      // this sink's trace lane (nil without telemetry)
 	res      *mem.Reservation // pending-run buffers, charged to the sorter's broker
+	planner  *strategy.Planner
 	keys     []byte
 	payload  *row.RowSet
 	n        int
@@ -448,16 +460,16 @@ func (k *Sink) flush() error {
 	// Sort the normalized keys: radix sort when plain byte order is the
 	// tuple order; pdqsort with a tie-breaking comparator when truncated
 	// string prefixes may collide (the paper's algorithm choice). With
-	// Adaptive set, the Future Work heuristic may pick pdqsort for inputs
-	// where radix is weak (long effective keys, nearly sorted data). Two
+	// Adaptive set, the strategy planner samples the pending run and picks
+	// the run sort from modeled costs (see internal/strategy). Two
 	// compressed-key refinements: a lossy compressed run whose tie-capable
 	// segment is last radix-sorts its bytes and repairs the byte-equal
 	// blocks, and a byte-decisive duplicate-heavy run may sort grouped
-	// (KeyCompRLE) — both byte-identical to the baseline paths.
-	usePdq := tb || s.opt.ForcePdqsort
-	if !usePdq && s.opt.Adaptive {
-		usePdq = !chooseRadix(keys, s.rowWidth, s.keyWidth, n)
-	}
+	// (KeyCompRLE) — both byte-identical to the baseline paths. Every arm
+	// records its decision, so SortStats.StrategyDecisions explains each
+	// run even when the plan was dictated rather than sampled.
+	var plan strategy.Plan
+	dec := StrategyDecision{Rows: n}
 	switch {
 	case tb && !s.opt.ForcePdqsort && s.enc.Plan().Active() && s.ovcSafeWidth(true) == s.keyWidth:
 		// Byte order is exact between rows whose bytes differ (the sole
@@ -467,12 +479,21 @@ func (k *Sink) flush() error {
 		radix.Sort(keys, s.rowWidth, s.keyWidth)
 		s.repairTies(keys, n, payload)
 		s.runsTieRepaired.Add(1)
-	case usePdq:
+		dec.Algo, dec.Forced = "radix+repair", "tie-break"
+	case tb || s.opt.ForcePdqsort:
 		r := sortalgo.NewRows(keys, s.rowWidth)
 		r.Compare = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return payload, int(idx) })
 		r.Pdqsort()
+		dec.Algo, dec.Forced = strategy.AlgoPdqsort.String(), "option"
+		if tb {
+			dec.Forced = "tie-break"
+		}
+	case s.opt.Adaptive:
+		plan = k.strategyPlanner().PlanRun(keys, n)
+		keys = s.sortRunPlanned(keys, payload, n, plan, &dec)
 	default:
-		keys = s.radixSortRun(keys, n)
+		keys = s.radixSortRun(keys, n, &dec)
+		dec.Forced = "static"
 	}
 
 	// Register the run id first (so merge order is stable), then physically
@@ -482,8 +503,11 @@ func (k *Sink) flush() error {
 	// observe a half-built run.
 	s.mu.Lock()
 	runID := uint32(len(s.runs))
-	run := &sortedRun{id: runID, tieBreak: tb, rows: n}
+	run := &sortedRun{id: runID, tieBreak: tb, rows: n,
+		role: plan.MergeRole, blockHint: plan.SpillBlockRows, frontCode: plan.FrontCode}
 	s.runs = append(s.runs, run)
+	dec.Run = int(runID)
+	s.decisions = append(s.decisions, dec)
 	s.mu.Unlock()
 
 	idxs := make([]uint32, n)
@@ -526,6 +550,53 @@ func (k *Sink) flush() error {
 	return nil
 }
 
+// strategyPlanner lazily builds this sink's per-run planner (Adaptive
+// sorts only). The planner owns sampling scratch and is reused across the
+// sink's runs; the config captures the sort's fixed shape — key segment
+// offsets for the per-segment sketches, and the spill-block default the
+// plan's block hint is relative to (zero when the user pinned the block
+// shape or a budget makes mergepath size blocks dynamically).
+func (k *Sink) strategyPlanner() *strategy.Planner {
+	if k.planner == nil {
+		s := k.s
+		segOffs := make([]int, len(s.keys))
+		for i := range s.keys {
+			segOffs[i] = s.enc.Offset(i)
+		}
+		blockRows := 0
+		if s.opt.SpillBlockRows == 0 && !s.opt.limited() {
+			blockRows = DefaultSpillBlockRows
+		}
+		k.planner = strategy.NewPlanner(strategy.Config{
+			RowWidth: s.rowWidth,
+			KeyWidth: s.keyWidth,
+			SegOffs:  segOffs,
+			// The adaptive arm is only reached for byte-decisive runs (no
+			// tie-break), so grouping byte-equal rows is always sound here.
+			AllowDupGroup:         true,
+			DefaultSpillBlockRows: blockRows,
+		})
+	}
+	return k.planner
+}
+
+// strategyDecisions snapshots the per-run decision log for the
+// observability registry (registered as the run's Strategy closure).
+func (s *Sorter) strategyDecisions() []StrategyDecision {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]StrategyDecision(nil), s.decisions...)
+}
+
+// radixAlgoName names the arm radix.Sort picks for the key width, so
+// decisions recorded by non-adaptive paths still say what actually ran.
+func radixAlgoName(keyWidth int) string {
+	if keyWidth <= radix.LSDThreshold {
+		return strategy.AlgoLSDRadix.String()
+	}
+	return strategy.AlgoMSDRadix.String()
+}
+
 // radixSortRun sorts a byte-decisive run. Under KeyCompRLE a
 // duplicate-heavy run (adjacent byte-equal key groups averaging two or more
 // rows) sorts one representative row per group and expands, moving each
@@ -533,25 +604,73 @@ func (k *Sink) flush() error {
 // the expansion is byte-identical to sorting row at a time. Returns the
 // buffer now holding the sorted run — the expansion writes into a recycled
 // buffer and returns the input buffer to the pool.
-func (s *Sorter) radixSortRun(keys []byte, n int) []byte {
+func (s *Sorter) radixSortRun(keys []byte, n int, dec *StrategyDecision) []byte {
 	if s.opt.KeyComp&KeyCompRLE != 0 {
 		if reps, groups, ok := sortalgo.CollectDupGroups(keys, s.rowWidth, s.keyWidth); ok {
-			radix.Sort(reps, s.keyWidth+sortalgo.GroupTagBytes, s.keyWidth)
-			dst := s.getKeyBuf()
-			if cap(dst) < len(keys) {
-				s.putKeyBuf(dst)
-				dst = make([]byte, len(keys))
-			} else {
-				dst = dst[:len(keys)]
-			}
-			sortalgo.ExpandDupGroups(dst, keys, s.rowWidth, reps, s.keyWidth)
-			s.putKeyBuf(keys)
-			s.runsGrouped.Add(1)
-			s.dupGroupRows.Add(int64(n - groups))
-			return dst
+			dec.Algo = strategy.AlgoDupGroup.String()
+			return s.expandGroups(keys, reps, groups, n)
 		}
 	}
+	dec.Algo = radixAlgoName(s.keyWidth)
 	radix.Sort(keys, s.rowWidth, s.keyWidth)
+	return keys
+}
+
+// expandGroups finishes a duplicate-group run sort: stable radix sort of
+// the representative rows on the key prefix (tags ride along), then group
+// expansion into a recycled buffer. Returns the buffer holding the sorted
+// run; the input buffer goes back to the pool.
+func (s *Sorter) expandGroups(keys, reps []byte, groups, n int) []byte {
+	radix.Sort(reps, s.keyWidth+sortalgo.GroupTagBytes, s.keyWidth)
+	dst := s.getKeyBuf()
+	if cap(dst) < len(keys) {
+		s.putKeyBuf(dst)
+		dst = make([]byte, len(keys))
+	} else {
+		dst = dst[:len(keys)]
+	}
+	sortalgo.ExpandDupGroups(dst, keys, s.rowWidth, reps, s.keyWidth)
+	s.putKeyBuf(keys)
+	s.runsGrouped.Add(1)
+	s.dupGroupRows.Add(int64(n - groups))
+	return dst
+}
+
+// sortRunPlanned executes a sampled strategy plan for a byte-decisive run
+// and records the decision. The duplicate-group arm re-checks the plan
+// against the full run (the sample may have oversold the duplication); a
+// miss falls back to plain radix and is recorded as such.
+func (s *Sorter) sortRunPlanned(keys []byte, payload *row.RowSet, n int, plan strategy.Plan, dec *StrategyDecision) []byte {
+	st := plan.Stats
+	dec.Algo = plan.Algo.String()
+	dec.MergeRole = plan.MergeRole.String()
+	dec.Sortedness = st.Sortedness
+	dec.EffectiveKeyBytes = st.EffectiveBytes
+	dec.DistinctRatio = st.DistinctRatio
+	dec.FirstByteEntropy = st.FirstByteEntropy
+	dec.DupRunFrac = st.DupRunFrac
+	dec.RadixCost = plan.RadixCost
+	dec.PdqCost = plan.PdqCost
+	dec.SpillBlockRows = plan.SpillBlockRows
+	dec.FrontCode = plan.FrontCode
+	switch plan.Algo {
+	case strategy.AlgoDupGroup:
+		reps, groups, ok := sortalgo.CollectDupGroupsMin(keys, s.rowWidth, s.keyWidth, plan.DupGroupMinAvg)
+		if ok {
+			return s.expandGroups(keys, reps, groups, n)
+		}
+		dec.Forced = "dup-group-miss"
+		dec.Algo = radixAlgoName(s.keyWidth)
+		radix.Sort(keys, s.rowWidth, s.keyWidth)
+	case strategy.AlgoPdqsort:
+		r := sortalgo.NewRows(keys, s.rowWidth)
+		r.Compare = s.comparator(func(_, idx uint32) (*row.RowSet, int) { return payload, int(idx) })
+		r.Pdqsort()
+	case strategy.AlgoMSDRadix:
+		radix.SortOpts(keys, s.rowWidth, s.keyWidth, radix.Options{ForceMSD: true})
+	default:
+		radix.SortOpts(keys, s.rowWidth, s.keyWidth, radix.Options{ForceLSD: true})
+	}
 	return keys
 }
 

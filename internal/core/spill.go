@@ -11,8 +11,10 @@ import (
 
 	"rowsort/internal/mem"
 	"rowsort/internal/mergepath"
+	"rowsort/internal/normkey"
 	"rowsort/internal/obs"
 	"rowsort/internal/row"
+	"rowsort/internal/strategy"
 )
 
 // Spilling demonstrates the paper's future-work direction: because a run is
@@ -27,8 +29,21 @@ import (
 // spillMagic heads every spill file ("RSB2": row-sort blocks, format 2).
 const spillMagic = 0x52534232
 
+// spillMagicFC heads spill files whose key sections may be front-coded
+// ("RSB3"): each block's key section starts with a tag byte — 0 for raw key
+// rows, 1 for a little-endian uint32 encoded length followed by the
+// front-coded rows (normkey.AppendFrontCoded). Payload sections and the
+// block index are unchanged. Written only by adaptive sorts; format-2 files
+// stay byte-for-byte what they always were.
+const spillMagicFC = 0x52534233
+
 // spillHeaderLen is the file header: magic, block rows, total rows.
 const spillHeaderLen = 16
+
+// fcPlanCutoff is the sampled encoded-to-raw ratio below which a block's
+// key section attempts front-coding; blocks predicted to barely shrink
+// skip the encode work entirely.
+const fcPlanCutoff = 0.95
 
 // spillFile records where a sorted run lives on disk, plus the in-memory
 // block index recorded while writing it: the byte offset of every block's
@@ -198,6 +213,12 @@ func (s *Sorter) approxRowBytes() int64 { return int64(s.rowWidth + s.layout.Wid
 // pressure, default-sized ones when there is headroom.
 func (s *Sorter) spillBlockRowsFor(r *sortedRun) int {
 	if s.opt.SpillBlockRows > 0 || !s.opt.limited() {
+		// The strategy plan's block-shape hint applies only when neither the
+		// user (SpillBlockRows) nor a budget (mergepath planning below) owns
+		// the block size.
+		if s.opt.SpillBlockRows == 0 && r.blockHint > 0 {
+			return r.blockHint
+		}
 		return s.opt.spillBlockRows()
 	}
 	avg := s.approxRowBytes()
@@ -335,16 +356,59 @@ func (r *sortedRun) spillTo(s *Sorter, ow *obs.Worker) error {
 	return nil
 }
 
-// writeBlocks serializes the run: a header, then per block the raw key rows
-// followed by the block's payload rows (with a block-local string heap, so
-// a reader needs only that block resident to resolve tie-break lookups).
-// It returns the spill file's block index (offsets and fences), recorded as
-// the blocks stream out; the caller fills in the path.
+// writeKeySection writes one spill block's key rows. Raw format: the rows
+// as they are. Front-coding format (fc): a tag byte, then either the raw
+// rows (tag 0) or a length-prefixed front-coded encoding (tag 1). The
+// encode is attempted only when a fresh sample of the block predicts a
+// saving (re-checked per block, so intermediate merge generations re-sample
+// what the merge actually produced), and kept only when the block really
+// shrank. scratch is the caller's reusable encode buffer.
+func (s *Sorter) writeKeySection(w io.Writer, scratch *[]byte, keys []byte, rows int, fc bool) error {
+	if !fc {
+		_, err := w.Write(keys)
+		return err
+	}
+	rw, kw := s.rowWidth, s.keyWidth
+	if normkey.PlanFrontCoding(keys, rw, kw, rows) < fcPlanCutoff {
+		enc := normkey.AppendFrontCoded((*scratch)[:0], keys, rw, kw, rows)
+		*scratch = enc
+		if len(enc) < len(keys) {
+			var pre [5]byte
+			pre[0] = 1
+			binary.LittleEndian.PutUint32(pre[1:], uint32(len(enc)))
+			if _, err := w.Write(pre[:]); err != nil {
+				return err
+			}
+			if _, err := w.Write(enc); err != nil {
+				return err
+			}
+			s.spillBlocksFC.Add(1)
+			return nil
+		}
+	}
+	if _, err := w.Write([]byte{0}); err != nil {
+		return err
+	}
+	_, err := w.Write(keys)
+	return err
+}
+
+// writeBlocks serializes the run: a header, then per block the key rows
+// (raw, or tagged and possibly front-coded when the run's strategy plan
+// asked for it) followed by the block's payload rows (with a block-local
+// string heap, so a reader needs only that block resident to resolve
+// tie-break lookups). It returns the spill file's block index (offsets and
+// fences), recorded as the blocks stream out; the caller fills in the path.
 func (r *sortedRun) writeBlocks(s *Sorter, w *countingWriter, blockRows int) (*spillFile, error) {
 	rw := s.rowWidth
 	n := len(r.keys) / rw
+	fc := s.opt.Adaptive && r.frontCode
+	magic := uint32(spillMagic)
+	if fc {
+		magic = spillMagicFC
+	}
 	var hdr [spillHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockRows))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(n))
 	if _, err := w.Write(hdr[:]); err != nil {
@@ -359,11 +423,12 @@ func (r *sortedRun) writeBlocks(s *Sorter, w *countingWriter, blockRows int) (*s
 	blockSet := s.getRowSet()
 	defer s.putRowSet(blockSet)
 	idxs := make([]uint32, 0, blockRows)
+	var fcScratch []byte
 	for start := 0; start < n; start += blockRows {
 		rows := min(blockRows, n-start)
 		sf.offs = append(sf.offs, w.n)
 		sf.fences = append(sf.fences, r.keys[start*rw:start*rw+rw]...)
-		if _, err := w.Write(r.keys[start*rw : (start+rows)*rw]); err != nil {
+		if err := s.writeKeySection(w, &fcScratch, r.keys[start*rw:(start+rows)*rw], rows, fc); err != nil {
 			return nil, err
 		}
 		blockSet.Reset()
@@ -855,8 +920,12 @@ func (s *Sorter) planStreamingMerge() error {
 // per run that read-ahead holds). Batches are contiguous and each merged
 // run takes its batch's position, so the final merge sees runs in original
 // run-id order — ties still resolve to the earlier input run, which keeps
-// budgeted output byte-identical to the unlimited sort. The executed plan
-// is recorded in SortStats (merge passes, final fan-in, pass bytes).
+// budgeted output byte-identical to the unlimited sort. The strategy
+// planner's merge-role hints steer where the contiguous cuts land
+// (mergepath.BatchRuns groups like-role neighbors into the same pass, which
+// keeps the duplicate-run fast path hot); they never reorder runs, so the
+// tie guarantee is untouched. The executed plan is recorded in SortStats
+// (merge passes, final fan-in, pass bytes).
 func (s *Sorter) reduceFanIn(ids []uint32, mw *obs.Worker) ([]uint32, error) {
 	buffers := s.opt.mergeBuffers()
 	for {
@@ -866,9 +935,13 @@ func (s *Sorter) reduceFanIn(ids []uint32, mw *obs.Worker) ([]uint32, error) {
 			s.mergeFanIn.Store(int64(len(ids)))
 			return ids, nil
 		}
+		var role func(i int) int
+		if s.opt.Adaptive {
+			role = func(i int) int { return int(s.runs[ids[i]].role) }
+		}
 		next := make([]uint32, 0, (len(ids)+plan.FanIn-1)/plan.FanIn)
-		for i := 0; i < len(ids); i += plan.FanIn {
-			batch := ids[i:min(i+plan.FanIn, len(ids))]
+		for _, span := range mergepath.BatchRuns(len(ids), plan.FanIn, role) {
+			batch := ids[span[0]:span[1]]
 			if len(batch) == 1 {
 				next = append(next, batch[0])
 				continue
@@ -906,7 +979,21 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 	consumed := false
 	defer func() { e.close(consumed) }()
 
-	merged := &sortedRun{id: uint32(len(s.runs)), tieBreak: e.anyTie, rows: e.total}
+	// A merged run inherits its inputs' common merge role (mixed batches
+	// demote to normal) and, under Adaptive, keeps attempting front-coded
+	// spill blocks: writeKeySection re-samples every block of every
+	// generation, so the decision tracks what this merge actually produced
+	// rather than what the original runs looked like.
+	fc := s.opt.Adaptive
+	role := s.runs[ids[0]].role
+	for _, id := range ids[1:] {
+		if s.runs[id].role != role {
+			role = strategy.RoleNormal
+			break
+		}
+	}
+	merged := &sortedRun{id: uint32(len(s.runs)), tieBreak: e.anyTie, rows: e.total,
+		role: role, frontCode: fc}
 	s.runs = append(s.runs, merged)
 
 	path, err := s.spillPath(merged.id)
@@ -932,8 +1019,12 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 	}
 	bw := bufio.NewWriter(f)
 	cw := &countingWriter{w: bw}
+	magic := uint32(spillMagic)
+	if fc {
+		magic = spillMagicFC
+	}
 	var hdr [spillHeaderLen]byte
-	binary.LittleEndian.PutUint32(hdr[0:], spillMagic)
+	binary.LittleEndian.PutUint32(hdr[0:], magic)
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(blockRows))
 	binary.LittleEndian.PutUint64(hdr[8:], uint64(e.total))
 	if _, err := cw.Write(hdr[:]); err != nil {
@@ -945,6 +1036,7 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 	defer s.putRowSet(staging)
 	e.dst = staging
 	keyBlock := make([]byte, 0, blockRows*rw)
+	var fcScratch []byte
 	outPos := 0
 	writeBlock := func() error {
 		if len(keyBlock) == 0 {
@@ -952,7 +1044,7 @@ func (s *Sorter) mergeRunsToSpill(ids []uint32, blockRows int, mw *obs.Worker) (
 		}
 		sf.offs = append(sf.offs, cw.n)
 		sf.fences = append(sf.fences, keyBlock[:rw]...)
-		if _, err := cw.Write(keyBlock); err != nil {
+		if err := s.writeKeySection(cw, &fcScratch, keyBlock, len(keyBlock)/rw, fc); err != nil {
 			return err
 		}
 		e.flushPend()

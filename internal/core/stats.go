@@ -3,12 +3,19 @@ package core
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 	"time"
 
 	"rowsort/internal/mergepath"
 	"rowsort/internal/obs"
 )
+
+// StrategyDecision is one run's recorded execution-plan choice: the sort
+// that generated the run, the sampled statistics and modeled costs behind
+// the choice, and the run's spill/merge hints. It aliases the obs wire type
+// so the observability registry serializes decisions without conversion.
+type StrategyDecision = obs.StrategyDecision
 
 // SortStats is the unified telemetry snapshot of one sorter: ingestion and
 // run-generation counters, spill I/O accounting, memory-budget pressure,
@@ -47,6 +54,15 @@ type SortStats struct {
 	// RunsTieRepaired counts lossy compressed runs sorted with the
 	// radix-plus-block-repair path instead of comparator pdqsort.
 	RunsTieRepaired int64
+	// StrategyDecisions records, per generated run, the execution-plan
+	// choice and the sampled statistics it came from. Populated on every
+	// path (non-adaptive runs record their dictated choice with Forced
+	// set), so the log always explains what ran and why.
+	StrategyDecisions []StrategyDecision
+	// SpillBlocksFrontCoded counts spill blocks whose key section was
+	// written front-coded (adaptive sorts; blocks that would not shrink
+	// stay raw and are not counted).
+	SpillBlocksFrontCoded int64
 	// SpillBytesWritten and SpillBytesRead account spill-file I/O. The
 	// streaming merge reads every spilled byte exactly once, so after
 	// Finalize read equals written; the cascaded ablation re-spills
@@ -126,36 +142,38 @@ type KeyEncodingStat struct {
 // in the sorter's life, including concurrently with ingestion.
 func (s *Sorter) Stats() SortStats {
 	st := SortStats{
-		RowsIngested:         s.rowsIn.Load(),
-		RunsGenerated:        s.runsGen.Load(),
-		NormKeyBytes:         s.normKeyBytes.Load(),
-		PhysKeyBytes:         s.physKeyBytes.Load(),
-		DictEscapes:          s.dictEscapes.Load(),
-		RunsGroupSorted:      s.runsGrouped.Load(),
-		DupGroupRows:         s.dupGroupRows.Load(),
-		RunsTieRepaired:      s.runsTieRepaired.Load(),
-		SpillBytesWritten:    s.spillWritten.Load(),
-		SpillBytesRead:       s.spillRead.Load(),
-		SpillFilesRemoved:    s.spillRemoved.Load(),
-		SpillRemoveErrors:    s.spillRemoveErrs.Load(),
-		GatherBytesMoved:     s.gatherBytes.Load(),
-		PeakResidentRunBytes: s.broker.Peak(),
-		MemoryLimit:          s.opt.MemoryLimit,
-		MemoryPressureEvents: s.broker.PressureEvents(),
-		PressureSpills:       s.pressureSpills.Load(),
-		PrefetchedBlocks:     s.prefetchBlocks.Load(),
-		PrefetchHits:         s.prefetchHits.Load(),
-		MergeStall:           time.Duration(s.prefetchStallNs.Load()),
-		MergePasses:          s.mergePasses.Load(),
-		MergePassRuns:        s.mergePassRuns.Load(),
-		MergePassBytes:       s.mergePassBytes.Load(),
-		MergeFanIn:           s.mergeFanIn.Load(),
-		ExtMergeParts:        s.extMergeParts.Load(),
-		DurGather:            time.Duration(s.durGather.Load()),
-		Phases:               s.rec.Summary(),
+		RowsIngested:          s.rowsIn.Load(),
+		RunsGenerated:         s.runsGen.Load(),
+		NormKeyBytes:          s.normKeyBytes.Load(),
+		PhysKeyBytes:          s.physKeyBytes.Load(),
+		DictEscapes:           s.dictEscapes.Load(),
+		RunsGroupSorted:       s.runsGrouped.Load(),
+		DupGroupRows:          s.dupGroupRows.Load(),
+		RunsTieRepaired:       s.runsTieRepaired.Load(),
+		SpillBlocksFrontCoded: s.spillBlocksFC.Load(),
+		SpillBytesWritten:     s.spillWritten.Load(),
+		SpillBytesRead:        s.spillRead.Load(),
+		SpillFilesRemoved:     s.spillRemoved.Load(),
+		SpillRemoveErrors:     s.spillRemoveErrs.Load(),
+		GatherBytesMoved:      s.gatherBytes.Load(),
+		PeakResidentRunBytes:  s.broker.Peak(),
+		MemoryLimit:           s.opt.MemoryLimit,
+		MemoryPressureEvents:  s.broker.PressureEvents(),
+		PressureSpills:        s.pressureSpills.Load(),
+		PrefetchedBlocks:      s.prefetchBlocks.Load(),
+		PrefetchHits:          s.prefetchHits.Load(),
+		MergeStall:            time.Duration(s.prefetchStallNs.Load()),
+		MergePasses:           s.mergePasses.Load(),
+		MergePassRuns:         s.mergePassRuns.Load(),
+		MergePassBytes:        s.mergePassBytes.Load(),
+		MergeFanIn:            s.mergeFanIn.Load(),
+		ExtMergeParts:         s.extMergeParts.Load(),
+		DurGather:             time.Duration(s.durGather.Load()),
+		Phases:                s.rec.Summary(),
 	}
 	s.mu.Lock()
 	st.Merge = s.mergeStats
+	st.StrategyDecisions = append([]StrategyDecision(nil), s.decisions...)
 	if p := s.enc.Plan(); p != nil {
 		nkeys := s.enc.Keys()
 		st.KeyEncodings = make([]KeyEncodingStat, len(nkeys))
@@ -205,6 +223,30 @@ func (s *Sorter) Stats() SortStats {
 	return st
 }
 
+// algoCount is one algorithm's run tally in the decision log.
+type algoCount struct {
+	algo string
+	runs int
+}
+
+// strategyAlgoCounts tallies the decision log by executed algorithm, in
+// stable (sorted) algorithm-name order.
+func (st SortStats) strategyAlgoCounts() []algoCount {
+	if len(st.StrategyDecisions) == 0 {
+		return nil
+	}
+	byAlgo := make(map[string]int)
+	for _, d := range st.StrategyDecisions {
+		byAlgo[d.Algo]++
+	}
+	out := make([]algoCount, 0, len(byAlgo))
+	for algo, runs := range byAlgo {
+		out = append(out, algoCount{algo, runs})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].algo < out[j].algo })
+	return out
+}
+
 // String renders the stats as an aligned multi-line report.
 func (st SortStats) String() string {
 	var b strings.Builder
@@ -232,6 +274,16 @@ func (st SortStats) String() string {
 	}
 	if st.RunsTieRepaired > 0 {
 		row("tie-repaired runs", fmt.Sprintf("%d", st.RunsTieRepaired))
+	}
+	if byAlgo := st.strategyAlgoCounts(); len(byAlgo) > 0 {
+		parts := make([]string, len(byAlgo))
+		for i, ac := range byAlgo {
+			parts[i] = fmt.Sprintf("%s=%d", ac.algo, ac.runs)
+		}
+		row("run sort strategy", strings.Join(parts, ", "))
+	}
+	if st.SpillBlocksFrontCoded > 0 {
+		row("front-coded spill blocks", fmt.Sprintf("%d", st.SpillBlocksFrontCoded))
 	}
 	row("spill written / read", fmt.Sprintf("%d / %d bytes", st.SpillBytesWritten, st.SpillBytesRead))
 	row("spill files removed", fmt.Sprintf("%d (%d errors)", st.SpillFilesRemoved, st.SpillRemoveErrors))
@@ -299,6 +351,13 @@ func (st SortStats) WritePrometheus(w io.Writer) error {
 	counter("rowsort_rle_runs_total", "Runs sorted via duplicate-run grouping.", float64(st.RunsGroupSorted))
 	counter("rowsort_rle_dup_rows_total", "Rows grouped away from individual sorting.", float64(st.DupGroupRows))
 	counter("rowsort_tie_repaired_runs_total", "Lossy compressed runs sorted radix-plus-repair.", float64(st.RunsTieRepaired))
+	if byAlgo := st.strategyAlgoCounts(); len(byAlgo) > 0 {
+		pw.Family("rowsort_strategy_runs_total", "counter", "Runs generated per selected sort algorithm.")
+		for _, ac := range byAlgo {
+			pw.Sample([]string{"algo", ac.algo}, float64(ac.runs))
+		}
+	}
+	counter("rowsort_spill_fc_blocks_total", "Spill blocks written with front-coded key sections.", float64(st.SpillBlocksFrontCoded))
 	counter("rowsort_spill_written_bytes_total", "Bytes written to spill files.", float64(st.SpillBytesWritten))
 	counter("rowsort_spill_read_bytes_total", "Bytes read back from spill files.", float64(st.SpillBytesRead))
 	counter("rowsort_spill_files_removed_total", "Spill files deleted.", float64(st.SpillFilesRemoved))

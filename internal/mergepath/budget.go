@@ -122,6 +122,42 @@ func PlanMerge(k int, remaining, rowBytes int64, maxRows, buffers int) MergePlan
 	return MergePlan{FanIn: f, BlockRows: rows}
 }
 
+// BatchRuns splits n runs into contiguous batches of at most fanIn runs,
+// returned as [start, end) index pairs. When the caller supplies per-run
+// merge roles (the strategy planner's hints: dup-heavy, presorted, normal),
+// a batch prefers to end where the role changes — merging like-role
+// neighbors keeps the duplicate-run fast path and the presorted streak
+// detection effective through intermediate passes — but only once the batch
+// holds at least max(2, fanIn/2) runs, so role-alternating inputs cannot
+// degrade the cascade into tiny batches. Batches stay contiguous regardless
+// of role: the fan-in reducer relies on contiguity for its byte-identical
+// tie ordering, so roles may only move the cut points, never reorder runs.
+// With uniform roles (or a nil role func) the cuts land exactly every fanIn
+// runs — the role-blind batching.
+func BatchRuns(n, fanIn int, role func(i int) int) [][2]int {
+	if n <= 0 {
+		return nil
+	}
+	if fanIn < minFanIn {
+		fanIn = minFanIn
+	}
+	minCut := max(2, fanIn/2)
+	out := make([][2]int, 0, (n+fanIn-1)/fanIn)
+	start := 0
+	for i := 1; i <= n; i++ {
+		size := i - start
+		cut := i == n || size >= fanIn
+		if !cut && role != nil && size >= minCut && role(i) != role(i-1) {
+			cut = true
+		}
+		if cut {
+			out = append(out, [2]int{start, i})
+			start = i
+		}
+	}
+	return out
+}
+
 // PlanFanIn picks how many of k runs one streaming merge pass may read at
 // once: each run holds about blockBytes resident, so the fan-in is the
 // remaining budget divided by the per-run block footprint, clamped to

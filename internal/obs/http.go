@@ -6,6 +6,7 @@ import (
 	"html/template"
 	"io"
 	"net/http"
+	"sort"
 	"time"
 )
 
@@ -162,6 +163,38 @@ func (g *Registry) WritePrometheus(w io.Writer) error {
 	for _, s := range snaps {
 		if s.ETA >= 0 {
 			pw.Sample(runLbl(s), s.ETA.Seconds())
+		}
+	}
+
+	// Per-run strategy decisions: sorted runs generated, broken down by the
+	// run-generation sort the planner executed. Only runs with a planner
+	// carry decisions, so the family is absent for unplanned sorts.
+	hasStrategy := false
+	for _, s := range snaps {
+		if len(s.Strategy) > 0 {
+			hasStrategy = true
+			break
+		}
+	}
+	if hasStrategy {
+		pw.Family("rowsort_run_strategy_runs_total", "counter",
+			"Sorted runs generated, by chosen run-generation algorithm.")
+		for _, s := range snaps {
+			if len(s.Strategy) == 0 {
+				continue
+			}
+			byAlgo := map[string]int64{}
+			for _, d := range s.Strategy {
+				byAlgo[d.Algo]++
+			}
+			algos := make([]string, 0, len(byAlgo))
+			for a := range byAlgo {
+				algos = append(algos, a)
+			}
+			sort.Strings(algos)
+			for _, a := range algos {
+				pw.SampleInt([]string{"run", s.ID, "label", s.Label, "algo", a}, byAlgo[a])
+			}
 		}
 	}
 

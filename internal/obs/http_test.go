@@ -138,6 +138,13 @@ func TestHTTPMetricsValidate(t *testing.T) {
 	p.RowsIngested.Store(5)
 	finished := g.Register(RunOptions{Label: "done-run"})
 	finished.Done()
+	planned := g.Register(RunOptions{Label: "planned-run", Strategy: func() []StrategyDecision {
+		return []StrategyDecision{
+			{Run: 0, Rows: 10, Algo: "lsd-radix"},
+			{Run: 1, Rows: 10, Algo: "pdqsort"},
+			{Run: 2, Rows: 10, Algo: "lsd-radix"},
+		}
+	}})
 
 	resp, body := get("/metrics")
 	if resp.StatusCode != http.StatusOK {
@@ -150,12 +157,14 @@ func TestHTTPMetricsValidate(t *testing.T) {
 		t.Fatalf("exposition invalid: %v\n%s", err, body)
 	}
 	for _, want := range []string{
-		"rowsort_runs_live 1",
-		"rowsort_runs_retained 2",
+		"rowsort_runs_live 2",
+		"rowsort_runs_retained 3",
 		`rowsort_run_rows_ingested_total{run="` + live.ID() + `",label="live-run"} 5`,
 		`rowsort_run_done{run="` + finished.ID() + `",label="done-run"} 1`,
 		`rowsort_run_mem_used_bytes{run="` + live.ID() + `",label="live-run"} 7`,
 		`rowsort_run_phase_busy_seconds{run="` + live.ID() + `",label="live-run",phase="sort"}`,
+		`rowsort_run_strategy_runs_total{run="` + planned.ID() + `",label="planned-run",algo="lsd-radix"} 2`,
+		`rowsort_run_strategy_runs_total{run="` + planned.ID() + `",label="planned-run",algo="pdqsort"} 1`,
 		"# HELP rowsort_run_progress_ratio",
 		"# TYPE rowsort_run_progress_ratio gauge",
 	} {

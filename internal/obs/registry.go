@@ -69,6 +69,11 @@ type RunOptions struct {
 	// completed run does not pin whatever the closure captured (usually
 	// the entire sorter and its buffers).
 	FinalStats func() any
+	// Strategy, when non-nil, samples the run's per-run execution-plan
+	// decisions for live snapshots. Like FinalStats it typically captures
+	// the sorter, so Done freezes its last result and releases the
+	// closure; snapshots taken after completion serve the frozen copy.
+	Strategy func() []StrategyDecision
 }
 
 // runInfo is one registered run's registry record.
@@ -83,6 +88,14 @@ type runInfo struct {
 	// it alive. Only Done touches this field (guarded by doneOnce), which
 	// lets Done nil it without racing snapshot's read of opt.
 	finalStatsFn func() any
+
+	// strategyFn is RunOptions.Strategy, moved out of opt the same way —
+	// but snapshots call it while the run is live, so the release must be
+	// an atomic swap rather than a guarded nil. Done freezes the last
+	// result into strategy (published by the done handshake below) and
+	// swaps the pointer out.
+	strategyFn atomic.Pointer[func() []StrategyDecision]
+	strategy   []StrategyDecision
 
 	// Completion handshake: Done writes final and finishedNs, then flips
 	// done — readers that observe done.Load() == true therefore see both.
@@ -116,9 +129,14 @@ func (g *Registry) Register(o RunOptions) *RunHandle {
 	}
 	fn := o.FinalStats
 	o.FinalStats = nil // held in finalStatsFn; dropped once captured
+	stratFn := o.Strategy
+	o.Strategy = nil // held in strategyFn; released at Done
 	g.mu.Lock()
 	g.seq++
 	ri := &runInfo{id: fmt.Sprintf("run-%d", g.seq), opt: o, started: time.Now(), finalStatsFn: fn}
+	if stratFn != nil {
+		ri.strategyFn.Store(&stratFn)
+	}
 	g.runs = append(g.runs, ri)
 	g.mu.Unlock()
 	return &RunHandle{g: g, ri: ri}
@@ -148,6 +166,11 @@ func (h *RunHandle) Done() {
 	if ri.finalStatsFn != nil {
 		ri.final = ri.finalStatsFn()
 		ri.finalStatsFn = nil // release the sorter the closure captured
+	}
+	if fn := ri.strategyFn.Swap(nil); fn != nil {
+		// Freeze the decisions before the done handshake publishes them;
+		// a snapshot in the tiny swap-to-done window simply omits them.
+		ri.strategy = (*fn)()
 	}
 	ri.finishedNs.Store(time.Now().UnixNano())
 	ri.done.Store(true)
@@ -231,6 +254,9 @@ type RunSnapshot struct {
 	// Final is the frozen completed-run record (FinalStats' result); nil
 	// while the run is live.
 	Final any `json:"final,omitempty"`
+	// Strategy is the run's per-run execution-plan decisions so far (all
+	// of them once the run is done); nil when the run has no planner.
+	Strategy []StrategyDecision `json:"strategy,omitempty"`
 }
 
 // Snapshot returns the current snapshot of the run with the given id.
@@ -317,6 +343,9 @@ func (ri *runInfo) snapshot() RunSnapshot {
 	}
 	if done {
 		s.Final = ri.final
+		s.Strategy = ri.strategy
+	} else if fn := ri.strategyFn.Load(); fn != nil {
+		s.Strategy = (*fn)()
 	}
 
 	s.Phases = phaseProgress(p, o.Weights, now)

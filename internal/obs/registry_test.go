@@ -218,3 +218,46 @@ func TestDoneReleasesFinalStatsClosure(t *testing.T) {
 	}
 	t.Fatal("retained done run still pins the FinalStats closure's captures")
 }
+
+// TestStrategySnapshotLifecycle pins the Strategy closure contract: live
+// snapshots sample it, Done freezes its last result and releases the
+// closure (same pinning hazard as FinalStats), and snapshots after
+// completion serve the frozen copy.
+func TestStrategySnapshotLifecycle(t *testing.T) {
+	g := NewRegistry(8)
+	decisions := []StrategyDecision{{Run: 0, Rows: 100, Algo: "lsd-radix"}}
+	type sorterStandIn struct{ buf []byte }
+	s := &sorterStandIn{buf: make([]byte, 1<<10)}
+	freed := make(chan struct{})
+	runtime.SetFinalizer(s, func(*sorterStandIn) { close(freed) })
+	h := g.Register(RunOptions{
+		Label: "strat",
+		Strategy: func() []StrategyDecision {
+			_ = len(s.buf) // stand in for capturing the sorter
+			return decisions
+		},
+	})
+
+	snap, ok := g.Snapshot(h.ID())
+	if !ok || len(snap.Strategy) != 1 || snap.Strategy[0].Algo != "lsd-radix" {
+		t.Fatalf("live snapshot strategy = %+v", snap.Strategy)
+	}
+
+	decisions = append(decisions, StrategyDecision{Run: 1, Rows: 50, Algo: "pdqsort"})
+	h.Done()
+	snap, ok = g.Snapshot(h.ID())
+	if !ok || len(snap.Strategy) != 2 || snap.Strategy[1].Algo != "pdqsort" {
+		t.Fatalf("frozen snapshot strategy = %+v", snap.Strategy)
+	}
+
+	s = nil
+	for i := 0; i < 20; i++ {
+		runtime.GC()
+		select {
+		case <-freed:
+			return
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+	t.Fatal("retained done run still pins the Strategy closure's captures")
+}

@@ -1,0 +1,35 @@
+package obs
+
+// StrategyDecision is one run's recorded execution-plan choice, as the
+// observability plane surfaces it: which sort generated the run and the
+// sampled statistics the decision came from. It lives here (not in the
+// strategy package) so the registry can carry and serialize decisions
+// without the core/strategy layers depending on each other through obs.
+type StrategyDecision struct {
+	// Run is the run's id within its sorter; Rows its row count.
+	Run  int `json:"run"`
+	Rows int `json:"rows"`
+	// Algo is the executed run-generation sort ("lsd-radix", "msd-radix",
+	// "pdqsort", "dup-group", "radix+repair").
+	Algo string `json:"algo"`
+	// Forced, when non-empty, names why the plan was dictated rather than
+	// sampled ("tie-break", "option", "static", "dup-group-miss").
+	Forced string `json:"forced,omitempty"`
+	// MergeRole is the run's merge-scheduling hint ("normal", "dup-heavy",
+	// "presorted"); empty when no plan was sampled.
+	MergeRole string `json:"merge_role,omitempty"`
+	// Sampled statistics behind the decision (zero when Forced).
+	Sortedness        float64 `json:"sortedness,omitempty"`
+	EffectiveKeyBytes int     `json:"effective_key_bytes,omitempty"`
+	DistinctRatio     float64 `json:"distinct_ratio,omitempty"`
+	FirstByteEntropy  float64 `json:"first_byte_entropy,omitempty"`
+	DupRunFrac        float64 `json:"dup_run_frac,omitempty"`
+	// Modeled per-row costs the crossover compared (zero when Forced).
+	RadixCost float64 `json:"radix_cost,omitempty"`
+	PdqCost   float64 `json:"pdq_cost,omitempty"`
+	// SpillBlockRows is the plan's spill block-shape hint (0 = default).
+	SpillBlockRows int `json:"spill_block_rows,omitempty"`
+	// FrontCode reports whether spill-block key front-coding was enabled
+	// for the run.
+	FrontCode bool `json:"front_code,omitempty"`
+}

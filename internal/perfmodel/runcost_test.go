@@ -1,0 +1,49 @@
+package perfmodel
+
+import "testing"
+
+// The run-sort cost curves must land the crossovers the measured regimes
+// show: radix on short uniform keys, pdqsort on long varying keys and on
+// presorted runs, radix on wide keys whose varying band is narrow.
+func TestRunCostCrossovers(t *testing.T) {
+	cases := []struct {
+		name      string
+		sh        RunShape
+		wantRadix bool
+	}{
+		{"short uniform keys", RunShape{Rows: 1 << 14, RowBytes: 16, KeyBytes: 9,
+			EffectiveKeyBytes: 8, Sortedness: 0.5, DistinctRatio: 1}, true},
+		{"long varying keys small n", RunShape{Rows: 1 << 10, RowBytes: 72, KeyBytes: 64,
+			EffectiveKeyBytes: 64, Sortedness: 0.5, DistinctRatio: 1}, false},
+		{"wide key narrow varying band", RunShape{Rows: 1 << 12, RowBytes: 72, KeyBytes: 64,
+			EffectiveKeyBytes: 2, Sortedness: 0.5, DistinctRatio: 1}, true},
+		{"presorted", RunShape{Rows: 1 << 14, RowBytes: 16, KeyBytes: 9,
+			EffectiveKeyBytes: 8, Sortedness: 1, DistinctRatio: 1}, false},
+	}
+	for _, c := range cases {
+		r, p := RadixRunCost(c.sh), PdqRunCost(c.sh)
+		if (r <= p) != c.wantRadix {
+			t.Errorf("%s: radix %.2f vs pdq %.2f, want radix=%v", c.name, r, p, c.wantRadix)
+		}
+	}
+}
+
+func TestRunCostDuplicatesShortenPdq(t *testing.T) {
+	uni := RunShape{Rows: 1 << 16, RowBytes: 16, KeyBytes: 9,
+		EffectiveKeyBytes: 8, Sortedness: 0.5, DistinctRatio: 1}
+	dup := uni
+	dup.DistinctRatio = 0.001 // ~64 distinct keys
+	if PdqRunCost(dup) >= PdqRunCost(uni) {
+		t.Errorf("duplicate-heavy pdq cost %.2f not below unique-key cost %.2f",
+			PdqRunCost(dup), PdqRunCost(uni))
+	}
+}
+
+func TestRunCostDegenerate(t *testing.T) {
+	if c := PdqRunCost(RunShape{Rows: 1}); c != 1 {
+		t.Errorf("single-row pdq cost = %.2f", c)
+	}
+	if c := RadixRunCost(RunShape{Rows: 1, RowBytes: 8}); c <= 0 {
+		t.Errorf("degenerate radix cost = %.2f", c)
+	}
+}

@@ -29,11 +29,23 @@ const GroupTagBytes = 8
 // count. ok is false when grouping would not pay, including runs too large
 // for 32-bit tags.
 func CollectDupGroups(data []byte, rowWidth, keyWidth int) (reps []byte, groups int, ok bool) {
+	return CollectDupGroupsMin(data, rowWidth, keyWidth, 2)
+}
+
+// CollectDupGroupsMin is CollectDupGroups with a caller-chosen payoff bar:
+// grouping proceeds only while the adjacent groups average at least minAvg
+// rows each. A sampled planner that is confident the run is duplicate-heavy
+// can relax the bar below the historical two; minAvg <= 1 accepts any
+// grouping.
+func CollectDupGroupsMin(data []byte, rowWidth, keyWidth int, minAvg float64) (reps []byte, groups int, ok bool) {
 	n := len(data) / rowWidth
 	if n < 2 || keyWidth <= 0 || n > 1<<31 {
 		return nil, 0, false
 	}
-	limit := n / 2
+	limit := n
+	if minAvg > 1 {
+		limit = int(float64(n) / minAvg)
+	}
 	groups = 1
 	for i := 1; i < n; i++ {
 		if !bytes.Equal(data[(i-1)*rowWidth:(i-1)*rowWidth+keyWidth], data[i*rowWidth:i*rowWidth+keyWidth]) {

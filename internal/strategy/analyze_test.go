@@ -1,0 +1,201 @@
+package strategy
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"rowsort/internal/workload"
+)
+
+// buildKeyRows packs big-endian uint32 keys into rows of the given stride.
+func buildKeyRows(vals []uint32, rowWidth int) []byte {
+	data := make([]byte, len(vals)*rowWidth)
+	for i, v := range vals {
+		binary.BigEndian.PutUint32(data[i*rowWidth:], v)
+	}
+	return data
+}
+
+func analyze(t *testing.T, vals []uint32) Stats {
+	t.Helper()
+	a := NewAnalyzer(4, nil)
+	return a.Analyze(buildKeyRows(vals, 8), 8, len(vals))
+}
+
+// TestSortednessSawtooth is the adversarial case: a sawtooth is locally
+// ascending almost everywhere (adjacent pairs look sorted) but globally
+// unordered. The combined estimate must not call it presorted — that is
+// what taking min(local, global) buys, and what both a pure adjacent-pair
+// estimator and a fixed-stride estimator (whose stride a period can
+// divide) get wrong.
+func TestSortednessSawtooth(t *testing.T) {
+	n := 1 << 14
+	for _, period := range []int{16, 64, 128, 1024} {
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(i % period)
+		}
+		st := analyze(t, vals)
+		if st.LocalSorted < 0.8 {
+			t.Errorf("period %d: local sortedness %.2f, expected high (ramps ascend)",
+				period, st.LocalSorted)
+		}
+		if st.Sortedness >= presortedCut {
+			t.Errorf("period %d: combined sortedness %.2f >= %.2f — sawtooth misread as presorted",
+				period, st.Sortedness, presortedCut)
+		}
+	}
+}
+
+func TestSortednessSortedAndNearly(t *testing.T) {
+	n := 1 << 14
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(i)
+	}
+	if st := analyze(t, vals); st.Sortedness < 0.999 {
+		t.Errorf("sorted input: sortedness %.3f, want ~1", st.Sortedness)
+	}
+	// Displace 0.5% of positions: still overwhelmingly sorted.
+	rng := workload.NewRNG(7)
+	for k := 0; k < n/200; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		vals[i], vals[j] = vals[j], vals[i]
+	}
+	if st := analyze(t, vals); st.Sortedness < presortedCut {
+		t.Errorf("0.5%% disorder: sortedness %.3f, want >= %.2f", st.Sortedness, presortedCut)
+	}
+	// Random input: nowhere near sorted.
+	for i := range vals {
+		vals[i] = rng.Uint32()
+	}
+	if st := analyze(t, vals); st.Sortedness > 0.7 {
+		t.Errorf("random input: sortedness %.3f, want ~0.5", st.Sortedness)
+	}
+}
+
+// TestConfirmScanCatchesSparseDisorder: a single adjacent swap in a run
+// small enough for the confirmation pass to scan every pair must never
+// report Sortedness == 1, wherever the swap lands — including positions the
+// 256-row base sample skips. This is the guard that keeps pdqsort's razor-
+// thin presorted cliff honest: a perfect base sample alone is not evidence
+// of a perfectly sorted run.
+func TestConfirmScanCatchesSparseDisorder(t *testing.T) {
+	n := 2000 // n-1 < confirmPairs: the confirm pass is exhaustive
+	for _, swapAt := range []int{1, 500, 777, 1000, 1500, n - 2} {
+		vals := make([]uint32, n)
+		for i := range vals {
+			vals[i] = uint32(i)
+		}
+		vals[swapAt], vals[swapAt+1] = vals[swapAt+1], vals[swapAt]
+		st := analyze(t, vals)
+		if st.Sortedness >= 1 {
+			t.Errorf("swap at %d: sortedness %.4f, confirm scan missed the inversion",
+				swapAt, st.Sortedness)
+		}
+		if st.Sortedness < 0.99 {
+			t.Errorf("swap at %d: sortedness %.4f, one swap should stay near 1",
+				swapAt, st.Sortedness)
+		}
+	}
+}
+
+// TestEntropyDictVsUniform: dictionary-coded keys (a handful of hot values)
+// must show markedly lower first-byte entropy than uniform keys — the skew
+// signal the planner records per run.
+func TestEntropyDictVsUniform(t *testing.T) {
+	n := 1 << 14
+	rng := workload.NewRNG(11)
+	dict := make([]uint32, n)
+	for i := range dict {
+		// 8 distinct values spread over the byte range, like 1-byte dict
+		// codes for a low-cardinality column.
+		dict[i] = uint32(rng.Intn(8)) << 29
+	}
+	uniform := make([]uint32, n)
+	for i := range uniform {
+		uniform[i] = rng.Uint32()
+	}
+	dictSt, uniSt := analyze(t, dict), analyze(t, uniform)
+	if dictSt.FirstByteEntropy >= 3.5 {
+		t.Errorf("dict-coded entropy %.2f bits, want < 3.5 (8 values = 3 bits)", dictSt.FirstByteEntropy)
+	}
+	if uniSt.FirstByteEntropy <= 6 {
+		t.Errorf("uniform entropy %.2f bits, want > 6", uniSt.FirstByteEntropy)
+	}
+	if dictSt.FirstByteEntropy >= uniSt.FirstByteEntropy {
+		t.Errorf("dict entropy %.2f >= uniform %.2f", dictSt.FirstByteEntropy, uniSt.FirstByteEntropy)
+	}
+	if dictSt.DistinctRatio > 0.05 {
+		t.Errorf("dict distinct ratio %.3f, want <= 0.05 (8 of %d)", dictSt.DistinctRatio, n)
+	}
+	if uniSt.DistinctRatio < 0.5 {
+		t.Errorf("uniform distinct ratio %.3f, want high", uniSt.DistinctRatio)
+	}
+}
+
+func TestEffectiveBytesAndDupRuns(t *testing.T) {
+	n := 4096
+	// Constant high bytes, varying low byte: one effective byte at pos 3.
+	vals := make([]uint32, n)
+	rng := workload.NewRNG(13)
+	for i := range vals {
+		vals[i] = 0xAABBCC00 | uint32(rng.Intn(256))
+	}
+	st := analyze(t, vals)
+	if st.EffectiveBytes != 1 || st.FirstVarying != 3 {
+		t.Errorf("effective=%d firstVarying=%d, want 1 at 3", st.EffectiveBytes, st.FirstVarying)
+	}
+	// Runs of 8 equal keys: adjacent-dup fraction ~7/8.
+	for i := range vals {
+		vals[i] = uint32(i / 8)
+	}
+	st = analyze(t, vals)
+	if st.DupRunFrac < 0.7 {
+		t.Errorf("runs of 8: dup-run fraction %.2f, want ~0.875", st.DupRunFrac)
+	}
+	// All-equal keys: no varying byte, full dup fraction.
+	for i := range vals {
+		vals[i] = 5
+	}
+	st = analyze(t, vals)
+	if st.EffectiveBytes != 0 || st.FirstVarying != -1 || st.DupRunFrac != 1 {
+		t.Errorf("all-equal: effective=%d firstVarying=%d dupFrac=%.2f",
+			st.EffectiveBytes, st.FirstVarying, st.DupRunFrac)
+	}
+}
+
+func TestPerSegmentCardinality(t *testing.T) {
+	// Two 4-byte segments: first from 4 values, second effectively unique.
+	n := 4096
+	rw, kw := 16, 8
+	keys := make([]byte, n*rw)
+	rng := workload.NewRNG(17)
+	for i := 0; i < n; i++ {
+		binary.BigEndian.PutUint32(keys[i*rw:], uint32(rng.Intn(4)))
+		binary.BigEndian.PutUint32(keys[i*rw+4:], rng.Uint32())
+	}
+	a := NewAnalyzer(kw, []int{0, 4})
+	st := a.Analyze(keys, rw, n)
+	if st.NumSegs != 2 {
+		t.Fatalf("NumSegs = %d, want 2", st.NumSegs)
+	}
+	if st.SegDistinct[0] < 2 || st.SegDistinct[0] > 8 {
+		t.Errorf("seg 0 distinct %.1f, want ~4", st.SegDistinct[0])
+	}
+	if st.SegDistinct[1] < 0.7*float64(st.Sampled) {
+		t.Errorf("seg 1 distinct %.1f of %d sampled, want near-unique", st.SegDistinct[1], st.Sampled)
+	}
+}
+
+func TestAnalyzeDegenerate(t *testing.T) {
+	a := NewAnalyzer(4, nil)
+	if st := a.Analyze(nil, 8, 0); st.Rows != 0 || st.Sampled != 0 {
+		t.Fatalf("empty input: %+v", st)
+	}
+	one := buildKeyRows([]uint32{9}, 8)
+	st := a.Analyze(one, 8, 1)
+	if st.Sampled != 1 || st.DupRunFrac != 0 {
+		t.Fatalf("single row: %+v", st)
+	}
+}

@@ -1,26 +1,21 @@
-package core
+package strategy
 
 import (
-	"encoding/binary"
+	"bytes"
 	"math/bits"
 )
 
-// Algorithm choice heuristic (the paper's Future Work): the shipped rule is
-// "radix sort unless strings are present". This heuristic refines it with
-// the variables the paper names — key size, number of tuples, and an
-// estimate of uniqueness — enabled by Options.Adaptive.
-//
-// The model behind it: radix sort costs O(n · k) byte passes for k key
-// bytes while a comparison sort costs O(n · log n) comparisons, so radix
-// loses when k is large relative to log2(n). Duplicate-heavy keys shrink
-// radix's effective k (shared bytes become single-bucket skip passes), and
-// nearly-sorted inputs are pdqsort's best case (its pattern detector
-// finishes them in near-linear time) and radix's worst documented weakness.
+// Degenerate fallback: the original core/heuristic.go rule, kept verbatim
+// as the zero-infrastructure baseline the sampled planner is measured
+// against (and as the decision procedure for callers that have no Planner
+// at hand). The model: radix costs O(n·k) byte passes, comparison sorting
+// O(n·log n), so radix loses when the varying key width is large relative
+// to log2(n); nearly-sorted inputs are pdqsort's best case.
 
-// chooseRadix reports whether radix sort should sort the given key rows.
+// ChooseRadix reports whether radix sort should sort the given key rows.
 // keys holds n rows of stride rowWidth whose first keyWidth bytes are the
 // normalized key.
-func chooseRadix(keys []byte, rowWidth, keyWidth, n int) bool {
+func ChooseRadix(keys []byte, rowWidth, keyWidth, n int) bool {
 	if n < 2 {
 		return true
 	}
@@ -28,14 +23,14 @@ func chooseRadix(keys []byte, rowWidth, keyWidth, n int) bool {
 
 	// Effective key width: bytes that actually vary across a sample. Shared
 	// prefix or constant bytes become skipped passes, so they are free.
-	effective := effectiveKeyBytes(keys, rowWidth, keyWidth, n)
+	effective := EffectiveKeyBytes(keys, rowWidth, keyWidth, n)
 	if effective == 0 {
 		return true // all keys equal: skip passes only, no data movement
 	}
 
 	// Nearly sorted input: pdqsort's partial-insertion detector handles it
 	// in ~n comparisons; radix gains nothing from pre-sortedness.
-	if sampledSortedness(keys, rowWidth, keyWidth, n) > 0.95 {
+	if SampledSortedness(keys, rowWidth, keyWidth, n) > 0.95 {
 		return false
 	}
 
@@ -45,9 +40,9 @@ func chooseRadix(keys []byte, rowWidth, keyWidth, n int) bool {
 	return effective <= 2*logN
 }
 
-// sampledSortedness returns the fraction of adjacent sampled pairs already
+// SampledSortedness returns the fraction of adjacent sampled pairs already
 // in nondecreasing key order.
-func sampledSortedness(keys []byte, rowWidth, keyWidth, n int) float64 {
+func SampledSortedness(keys []byte, rowWidth, keyWidth, n int) float64 {
 	const samples = 128
 	step := max(1, n/samples)
 	pairs, sorted := 0, 0
@@ -55,7 +50,7 @@ func sampledSortedness(keys []byte, rowWidth, keyWidth, n int) float64 {
 		a := keys[(i-step)*rowWidth : (i-step)*rowWidth+keyWidth]
 		b := keys[i*rowWidth : i*rowWidth+keyWidth]
 		pairs++
-		if compareBytes(a, b) <= 0 {
+		if bytes.Compare(a, b) <= 0 {
 			sorted++
 		}
 	}
@@ -65,9 +60,9 @@ func sampledSortedness(keys []byte, rowWidth, keyWidth, n int) float64 {
 	return float64(sorted) / float64(pairs)
 }
 
-// effectiveKeyBytes counts key byte positions that vary across a sample of
+// EffectiveKeyBytes counts key byte positions that vary across a sample of
 // rows — an estimate of the radix passes that will actually move data.
-func effectiveKeyBytes(keys []byte, rowWidth, keyWidth, n int) int {
+func EffectiveKeyBytes(keys []byte, rowWidth, keyWidth, n int) int {
 	const samples = 256
 	step := max(1, n/samples)
 	first := keys[:keyWidth]
@@ -89,30 +84,17 @@ func effectiveKeyBytes(keys []byte, rowWidth, keyWidth, n int) int {
 	return count
 }
 
-// sampleDistinctKeys estimates the number of distinct keys among up to 256
+// SampleDistinctKeys estimates the number of distinct keys among up to 256
 // sampled rows, using the full key bytes. Rows are picked with a
 // multiplicative jump rather than a fixed stride so periodic data does not
-// alias with the sampling. Exposed for the heuristic's tests and future
-// refinements.
-func sampleDistinctKeys(keys []byte, rowWidth, keyWidth, n int) int {
+// alias with the sampling.
+func SampleDistinctKeys(keys []byte, rowWidth, keyWidth, n int) int {
 	samples := min(256, n)
 	seen := make(map[uint64]struct{}, samples)
 	for j := 0; j < samples; j++ {
-		i := int((uint64(j)*2654435761 + 12345) % uint64(n))
+		i := samplePos(j, n)
 		row := keys[i*rowWidth : i*rowWidth+keyWidth]
-		seen[hashKey(row)] = struct{}{}
+		seen[HashBytes(row)] = struct{}{}
 	}
 	return len(seen)
-}
-
-func hashKey(b []byte) uint64 {
-	h := uint64(1469598103934665603)
-	for len(b) >= 8 {
-		h = (h ^ binary.LittleEndian.Uint64(b)) * 1099511628211
-		b = b[8:]
-	}
-	for _, c := range b {
-		h = (h ^ uint64(c)) * 1099511628211
-	}
-	return h
 }

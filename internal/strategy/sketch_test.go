@@ -1,0 +1,55 @@
+package strategy
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"testing"
+)
+
+// TestHLLErrorBounds feeds streams of known cardinality through the sketch
+// and checks the estimate lands within a few standard errors (p=8 gives a
+// ~6.5% standard error; we allow 3x that plus small-range slack).
+func TestHLLErrorBounds(t *testing.T) {
+	for _, card := range []int{1, 10, 100, 1000, 10_000, 100_000} {
+		var h HLL
+		var buf [8]byte
+		for i := 0; i < 3*card; i++ { // repeats must not move the estimate
+			binary.LittleEndian.PutUint64(buf[:], uint64(i%card)*7919+13)
+			h.Add(HashBytes(buf[:]))
+		}
+		got := h.Estimate()
+		relErr := math.Abs(got-float64(card)) / float64(card)
+		if relErr > 0.20 {
+			t.Errorf("cardinality %d: estimate %.0f (rel err %.1f%%), want within 20%%",
+				card, got, 100*relErr)
+		}
+	}
+}
+
+func TestHLLReset(t *testing.T) {
+	var h HLL
+	var buf [8]byte
+	for i := 0; i < 1000; i++ {
+		binary.LittleEndian.PutUint64(buf[:], uint64(i))
+		h.Add(HashBytes(buf[:]))
+	}
+	h.Reset()
+	binary.LittleEndian.PutUint64(buf[:], 42)
+	h.Add(HashBytes(buf[:]))
+	if got := h.Estimate(); math.Abs(got-1) > 0.5 {
+		t.Fatalf("after Reset + one value, estimate = %.2f, want ~1", got)
+	}
+}
+
+func TestHashBytesDistinguishes(t *testing.T) {
+	seen := map[uint64]string{}
+	for i := 0; i < 10_000; i++ {
+		b := []byte(fmt.Sprintf("key-%d", i))
+		h := HashBytes(b)
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("hash collision between %q and %q", prev, b)
+		}
+		seen[h] = string(b)
+	}
+}

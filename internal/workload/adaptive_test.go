@@ -1,0 +1,118 @@
+package workload
+
+import "testing"
+
+// int64Keys extracts column 0 as int64 values.
+func int64Keys(t *testing.T, n int, col interface{ Value(int) any }) []int64 {
+	t.Helper()
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = col.Value(i).(int64)
+	}
+	return out
+}
+
+// orderStats returns the fraction of adjacent pairs in order and the
+// fraction of sampled global index pairs in order.
+func orderStats(keys []int64) (local, global float64) {
+	n := len(keys)
+	inOrder := 0
+	for i := 1; i < n; i++ {
+		if keys[i-1] <= keys[i] {
+			inOrder++
+		}
+	}
+	local = float64(inOrder) / float64(n-1)
+	rng := NewRNG(99)
+	pairs, sorted := 0, 0
+	for k := 0; k < 4096; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i == j {
+			continue
+		}
+		if i > j {
+			i, j = j, i
+		}
+		pairs++
+		if keys[i] <= keys[j] {
+			sorted++
+		}
+	}
+	global = float64(sorted) / float64(pairs)
+	return local, global
+}
+
+func TestNearlySortedDisorderDial(t *testing.T) {
+	const n = 20_000
+	sorted := NearlySorted(n, 0, 11)
+	if sorted.NumRows() != n {
+		t.Fatalf("rows = %d, want %d", sorted.NumRows(), n)
+	}
+	keys := int64Keys(t, n, sorted.Column(0))
+	if local, _ := orderStats(keys); local != 1 {
+		t.Fatalf("disorder 0 produced unsorted output: local %.3f", local)
+	}
+
+	mild := int64Keys(t, n, NearlySorted(n, 0.001, 11).Column(0))
+	local, global := orderStats(mild)
+	if local < 0.99 || global < 0.99 {
+		t.Fatalf("disorder 0.001 too disordered: local %.3f global %.3f", local, global)
+	}
+	if l, _ := orderStats(mild); l == 1 {
+		t.Fatal("disorder 0.001 produced fully sorted output")
+	}
+
+	wild := int64Keys(t, n, NearlySorted(n, 1, 11).Column(0))
+	if local, _ := orderStats(wild); local > 0.7 {
+		t.Fatalf("disorder 1 still looks sorted: local %.3f", local)
+	}
+}
+
+func TestNearlySortedIsPermutation(t *testing.T) {
+	const n = 5_000
+	keys := int64Keys(t, n, NearlySorted(n, 0.3, 12).Column(0))
+	seen := make([]bool, n)
+	for _, k := range keys {
+		if k < 0 || k >= n || seen[k] {
+			t.Fatalf("key %d out of range or repeated", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestSawtoothDefeatsLocalEstimators(t *testing.T) {
+	const n, period = 20_000, 500
+	tbl := SawtoothRuns(n, period, 13)
+	if tbl.NumRows() != n {
+		t.Fatalf("rows = %d, want %d", tbl.NumRows(), n)
+	}
+	keys := int64Keys(t, n, tbl.Column(0))
+	// Each tooth strictly ascends.
+	for i := 1; i < n; i++ {
+		if i%period != 0 && keys[i-1] >= keys[i] {
+			t.Fatalf("tooth not ascending at %d: %d >= %d", i, keys[i-1], keys[i])
+		}
+	}
+	local, global := orderStats(keys)
+	if local < 0.99 {
+		t.Fatalf("sawtooth should look locally sorted: %.3f", local)
+	}
+	if global > 0.75 {
+		t.Fatalf("sawtooth should be globally shuffled: %.3f", global)
+	}
+}
+
+func TestAdaptiveWorkloadPayloadsAreDeterministic(t *testing.T) {
+	a := NearlySorted(3_000, 0.1, 14)
+	b := NearlySorted(3_000, 0.1, 14)
+	ka, va := a.Column(0), a.Column(1)
+	kb, vb := b.Column(0), b.Column(1)
+	for i := 0; i < a.NumRows(); i++ {
+		if ka.Value(i) != kb.Value(i) || va.Value(i) != vb.Value(i) {
+			t.Fatalf("row %d not reproducible", i)
+		}
+		if va.Value(i).(int64) != mixPayload(uint64(ka.Value(i).(int64))) {
+			t.Fatalf("row %d payload not a function of key", i)
+		}
+	}
+}
